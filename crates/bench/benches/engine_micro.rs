@@ -1,0 +1,120 @@
+//! Criterion micro-benchmarks of the document-store engine: the codec,
+//! filter evaluation (interpreted vs compiled), indexed vs scanned
+//! lookups, and the aggregation pipeline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use doclite_bson::{codec, doc, Document, Value};
+use doclite_docstore::query::matcher::{compile, matches, matches_compiled};
+use doclite_docstore::{
+    Accumulator, Collection, Expr, Filter, GroupId, IndexDef, Pipeline,
+};
+use std::hint::black_box;
+
+fn sample_doc() -> Document {
+    doc! {
+        "ss_sold_date_sk" => 2_450_815i64,
+        "ss_item_sk" => 1234i64,
+        "ss_customer_sk" => 999i64,
+        "ss_quantity" => 42i64,
+        "ss_list_price" => 35.99f64,
+        "ss_coupon_amt" => 0.0f64,
+        "store" => doc!{"s_city" => "Midway", "s_state" => "OH"},
+        "tags" => Value::Array(vec![Value::from("a"), Value::from("b")]),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let d = sample_doc();
+    let bytes = codec::encode_document(&d);
+    c.bench_function("codec/encode", |b| {
+        b.iter(|| black_box(codec::encode_document(black_box(&d))))
+    });
+    c.bench_function("codec/decode", |b| {
+        b.iter(|| black_box(codec::decode_document(black_box(&bytes)).unwrap()))
+    });
+    c.bench_function("codec/encoded_size", |b| {
+        b.iter(|| black_box(codec::encoded_size(black_box(&d))))
+    });
+}
+
+fn bench_matcher(c: &mut Criterion) {
+    let d = sample_doc();
+    // A wide $in — the semi-join shape the compiled path exists for.
+    let values: Vec<Value> = (0..2000i64).map(Value::Int64).collect();
+    let filter = Filter::and([
+        Filter::In { path: "ss_customer_sk".into(), values },
+        Filter::eq("store.s_city", "Midway"),
+    ]);
+    c.bench_function("matcher/interpreted_wide_in", |b| {
+        b.iter(|| black_box(matches(black_box(&filter), black_box(&d))))
+    });
+    let compiled = compile(&filter);
+    c.bench_function("matcher/compiled_wide_in", |b| {
+        b.iter(|| black_box(matches_compiled(black_box(&compiled), black_box(&d))))
+    });
+}
+
+fn seeded_collection(n: i64) -> Collection {
+    let coll = Collection::new("bench");
+    coll.insert_many((0..n).map(|i| {
+        doc! {"_id" => i, "k" => i, "grp" => i % 100, "v" => (i * 7 % 1000) as f64}
+    }))
+    .expect("insert");
+    coll
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let coll = seeded_collection(50_000);
+    c.bench_function("find/collscan_eq", |b| {
+        b.iter(|| black_box(coll.find(&Filter::eq("grp", 42i64))))
+    });
+    coll.create_index(IndexDef::single("grp")).expect("index");
+    c.bench_function("find/ixscan_eq", |b| {
+        b.iter(|| black_box(coll.find(&Filter::eq("grp", 42i64))))
+    });
+    c.bench_function("find/ixscan_point_id", |b| {
+        b.iter(|| black_box(coll.find(&Filter::eq("_id", 25_000i64))))
+    });
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("insert/one_with_id_index", |b| {
+        let coll = Collection::new("ins");
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            coll.insert_one(doc! {"_id" => i, "v" => i * 3}).unwrap()
+        })
+    });
+    c.bench_function("insert/batch_1000", |b| {
+        b.iter_batched(
+            || (0..1000i64).map(|i| doc! {"k" => i}).collect::<Vec<_>>(),
+            |docs| Collection::new("batch").insert_many(docs).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let coll = seeded_collection(50_000);
+    let p = Pipeline::new()
+        .match_stage(Filter::lt("k", 25_000i64))
+        .group(
+            GroupId::Expr(Expr::field("grp")),
+            [("total", Accumulator::sum_field("v")), ("n", Accumulator::count())],
+        )
+        .sort([("total", -1)]);
+    c.bench_function("aggregate/match_group_sort_50k", |b| {
+        b.iter(|| black_box(coll.aggregate(&p).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_matcher,
+    bench_lookup,
+    bench_insert,
+    bench_pipeline
+);
+criterion_main!(benches);

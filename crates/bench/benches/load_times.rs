@@ -1,0 +1,80 @@
+//! Criterion benches behind Table 4.3 / Figure 4.9: the `.dat` →
+//! collection migration path, per representative table and end to end.
+//!
+//! Full-scale numbers come from the report binaries
+//! (`--bin table_4_3`, `--bin fig_4_9`); these benches track the
+//! migration path's per-row cost at a small fixed scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use doclite_core::migrate::{header_map, line_to_document, migrate_table};
+use doclite_docstore::Database;
+use doclite_tpcds::{Generator, TableId};
+use std::path::PathBuf;
+
+const SF: f64 = 0.002;
+
+fn datdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("doclite-bench-load-{}", std::process::id()));
+    if !dir.join("store_sales.dat").exists() {
+        let gen = Generator::new(SF);
+        for t in [TableId::StoreSales, TableId::DateDim, TableId::Warehouse] {
+            doclite_tpcds::write_table(&dir, &gen, t).expect("dat");
+        }
+    }
+    dir
+}
+
+fn bench_line_parse(c: &mut Criterion) {
+    let header = header_map(TableId::StoreSales);
+    let gen = Generator::new(SF);
+    let row = gen.row(TableId::StoreSales, 7);
+    let fields: Vec<Option<String>> = row
+        .iter()
+        .map(|cell| {
+            let s = cell.to_dat_field();
+            if s.is_empty() {
+                None
+            } else {
+                Some(s)
+            }
+        })
+        .collect();
+    c.bench_function("migrate/line_to_document", |b| {
+        b.iter(|| {
+            std::hint::black_box(line_to_document(TableId::StoreSales, &header, &fields))
+        })
+    });
+}
+
+fn bench_migrate_tables(c: &mut Criterion) {
+    let dir = datdir();
+    let mut g = c.benchmark_group("migrate/table");
+    g.sample_size(10);
+    for t in [TableId::StoreSales, TableId::DateDim, TableId::Warehouse] {
+        g.bench_function(t.name(), |b| {
+            b.iter_batched(
+                || Database::new("bench"),
+                |db| migrate_table(&db, &dir, t).expect("migrate"),
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_direct_load(c: &mut Criterion) {
+    let gen = Generator::new(SF);
+    let mut g = c.benchmark_group("load_direct");
+    g.sample_size(10);
+    g.bench_function("store_sales", |b| {
+        b.iter_batched(
+            || Database::new("bench"),
+            |db| doclite_core::load_table_direct(&db, &gen, TableId::StoreSales).expect("load"),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_line_parse, bench_migrate_tables, bench_direct_load);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches behind Table 4.5 / Figures 4.10–4.11: the four
+//! workload queries against each setup of the experiment matrix, at a
+//! small fixed scale (full-scale sweeps live in the report binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doclite_core::experiment::{
+    run_query_once, setup_environment, DataModel, Deployment, Environment, ExperimentSpec,
+    SetupOptions,
+};
+use doclite_tpcds::{QueryId, QueryParams};
+use std::hint::black_box;
+
+const SF: f64 = 0.005;
+
+fn env_for(model: DataModel, deployment: Deployment) -> Environment {
+    setup_environment(
+        &ExperimentSpec { id: 0, sf: SF, model, deployment },
+        &SetupOptions::default(),
+    )
+    .expect("setup")
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let params = QueryParams::for_scale(SF);
+    let setups = [
+        ("denorm_standalone", env_for(DataModel::Denormalized, Deployment::Standalone), DataModel::Denormalized),
+        ("norm_standalone", env_for(DataModel::Normalized, Deployment::Standalone), DataModel::Normalized),
+        ("norm_sharded", env_for(DataModel::Normalized, Deployment::Sharded), DataModel::Normalized),
+    ];
+    for (name, env, model) in &setups {
+        let mut g = c.benchmark_group(format!("query/{name}"));
+        g.sample_size(10);
+        for q in QueryId::ALL {
+            g.bench_function(format!("{q}").replace(' ', "_"), |b| {
+                b.iter(|| {
+                    let (docs, _) = run_query_once(env, q, &params, *model).expect("query");
+                    black_box(docs)
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,266 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. index vs. collection scan for the dimension-filter step;
+//! 2. hashed vs. range sharding for `store_sales` (distribution, jumbo
+//!    chunks, and targetability — thesis Section 2.1.3.3);
+//! 3. one `$in` semi-join vs. per-key point queries (Fig 4.8 step ii);
+//! 4. parallel vs. sequential scatter-gather (the thesis's future-work
+//!    multithreading suggestion);
+//! 5. embedding only aggregation-relevant dimensions vs. all dimensions
+//!    (the Fig 4.8 step-iii optimization).
+//!
+//! Run with `cargo run --release -p doclite-bench --bin ablations`.
+
+use doclite_bench::sf_small;
+use doclite_core::denormalize::embed_documents_from;
+use doclite_core::experiment::{
+    setup_environment, DataModel, Deployment, ExperimentSpec, SetupOptions,
+};
+use doclite_core::queries::{filter_dim_pks, semi_join_into};
+use doclite_core::store::Store;
+use doclite_core::{fmt_duration, TextTable};
+use doclite_docstore::{Database, Filter, IndexDef};
+use doclite_sharding::{NetworkModel, ScatterMode, ShardKey, ShardedCluster};
+use doclite_tpcds::{Generator, QueryParams, TableId};
+use std::time::Instant;
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+fn main() {
+    let sf = sf_small();
+    let params = QueryParams::for_scale(sf);
+    println!("ablations at SF {sf}\n");
+
+    ablation_dim_index(sf, &params);
+    ablation_shard_key(sf);
+    ablation_semi_join(sf, &params);
+    ablation_scatter_mode(sf);
+    ablation_embed_scope(sf, &params);
+}
+
+/// 1. Dimension filtering with and without a secondary index.
+fn ablation_dim_index(sf: f64, params: &QueryParams) {
+    let db = Database::new("abl1");
+    let gen = Generator::new(sf);
+    doclite_core::load_table_direct(&db, &gen, TableId::DateDim).expect("load");
+    let filter = Filter::eq("d_year", params.q7.year);
+
+    let (pks, scan) = time(|| filter_dim_pks(&db, "date_dim", &filter, "d_date_sk"));
+    db.collection("date_dim").create_index(IndexDef::single("d_year")).expect("index");
+    let (pks_ix, ix) = time(|| filter_dim_pks(&db, "date_dim", &filter, "d_date_sk"));
+    assert_eq!(pks.len(), pks_ix.len());
+
+    let mut t = TextTable::new(["dimension filter (date_dim, d_year)", "time", "rows"]);
+    t.row(["collection scan".to_owned(), fmt_duration(scan), pks.len().to_string()]);
+    t.row(["single-field index".to_owned(), fmt_duration(ix), pks_ix.len().to_string()]);
+    println!("{}", t.render());
+}
+
+/// 2. Range vs hashed shard key for store_sales.
+fn ablation_shard_key(sf: f64) {
+    let gen = Generator::new(sf);
+    let mut t = TextTable::new([
+        "shard key",
+        "chunks",
+        "jumbo",
+        "max/min docs per shard",
+        "eq targeted?",
+        "range targeted?",
+    ]);
+    for (label, key) in [
+        ("range(ss_ticket_number)", ShardKey::range(["ss_ticket_number"])),
+        ("hashed(ss_ticket_number)", ShardKey::hashed("ss_ticket_number")),
+        ("range(ss_store_sk) [low card]", ShardKey::range(["ss_store_sk"])),
+    ] {
+        let cluster = ShardedCluster::new(3, "abl2", NetworkModel::free());
+        cluster
+            .shard_collection("store_sales", key, 256 * 1024)
+            .expect("shard");
+        cluster
+            .router()
+            .insert_many(
+                "store_sales",
+                gen.documents(TableId::StoreSales).collect::<Vec<_>>(),
+            )
+            .expect("load");
+        cluster.balance().expect("balance");
+        let meta = cluster.router().config().meta("store_sales").expect("meta");
+        let per_shard: Vec<usize> = cluster
+            .router()
+            .shards()
+            .iter()
+            .map(|s| s.db().get_collection("store_sales").map(|c| c.len()).unwrap_or(0))
+            .collect();
+        let eq = cluster
+            .router()
+            .explain_targeting("store_sales", &Filter::eq("ss_ticket_number", 10i64));
+        let range = cluster.router().explain_targeting(
+            "store_sales",
+            &Filter::between("ss_ticket_number", 10i64, 50i64),
+        );
+        t.row([
+            label.to_owned(),
+            meta.chunks.len().to_string(),
+            meta.chunks.iter().filter(|c| c.jumbo).count().to_string(),
+            format!(
+                "{}/{}",
+                per_shard.iter().max().expect("shards"),
+                per_shard.iter().min().expect("shards")
+            ),
+            (eq.is_targeted() && eq.shards().len() == 1).to_string(),
+            (range.is_targeted() && range.shards().len() < 3).to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// 3. Semi-join via one $in vs per-key point queries.
+fn ablation_semi_join(sf: f64, params: &QueryParams) {
+    let db = Database::new("abl3");
+    let gen = Generator::new(sf);
+    for t in [TableId::StoreSales, TableId::DateDim] {
+        doclite_core::load_table_direct(&db, &gen, t).expect("load");
+    }
+    let date_pks = filter_dim_pks(
+        &db,
+        "date_dim",
+        &Filter::eq("d_year", params.q7.year),
+        "d_date_sk",
+    );
+
+    let (n_in, via_in) = time(|| {
+        semi_join_into(&db, "store_sales", &[("ss_sold_date_sk", &date_pks)], Filter::True, "i1")
+            .expect("semi-join")
+    });
+    let (n_pt, via_points) = time(|| {
+        db.drop_collection("i2");
+        let mut n = 0;
+        for pk in &date_pks {
+            let mut docs = db.find("store_sales", &Filter::eq("ss_sold_date_sk", pk.clone()));
+            for d in &mut docs {
+                d.remove("_id");
+            }
+            n += Store::insert_many(&db, "i2", docs).expect("insert");
+        }
+        n
+    });
+    assert_eq!(n_in, n_pt);
+
+    let mut t = TextTable::new(["fact semi-join (365 date keys)", "time", "rows"]);
+    t.row(["single $in filter".to_owned(), fmt_duration(via_in), n_in.to_string()]);
+    t.row([
+        format!("{} point queries", date_pks.len()),
+        fmt_duration(via_points),
+        n_pt.to_string(),
+    ]);
+    println!("{}", t.render());
+}
+
+/// 4. Parallel vs sequential scatter-gather on a broadcast find.
+fn ablation_scatter_mode(sf: f64) {
+    let gen = Generator::new(sf);
+    let mut results = Vec::new();
+    for mode in [ScatterMode::Parallel, ScatterMode::Sequential] {
+        let mut cluster = ShardedCluster::new(3, "abl4", NetworkModel::free());
+        cluster
+            .shard_collection("store_sales", ShardKey::range(["ss_ticket_number"]), 256 * 1024)
+            .expect("shard");
+        cluster
+            .router()
+            .insert_many(
+                "store_sales",
+                gen.documents(TableId::StoreSales).collect::<Vec<_>>(),
+            )
+            .expect("load");
+        cluster.balance().expect("balance");
+        cluster.router_mut().set_scatter_mode(mode);
+        // Broadcast: predicate not on the shard key.
+        let (n, took) = time(|| {
+            cluster
+                .router()
+                .find("store_sales", &Filter::gt("ss_quantity", 50i64))
+                .len()
+        });
+        results.push((format!("{mode:?}"), took, n));
+    }
+    let mut t = TextTable::new(["scatter-gather (broadcast find)", "time", "rows"]);
+    for (label, took, n) in results {
+        t.row([label, fmt_duration(took), n.to_string()]);
+    }
+    println!("{}", t.render());
+}
+
+/// 5. Embed only the aggregation-relevant dimension vs every dimension.
+fn ablation_embed_scope(sf: f64, params: &QueryParams) {
+    let env = setup_environment(
+        &ExperimentSpec {
+            id: 0,
+            sf,
+            model: DataModel::Normalized,
+            deployment: Deployment::Standalone,
+        },
+        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 1 << 20 },
+    )
+    .expect("setup");
+    let store = env.store();
+
+    // Build the Q7 intermediate once.
+    let cd_pks = filter_dim_pks(
+        store,
+        "customer_demographics",
+        &Filter::and([
+            Filter::eq("cd_gender", params.q7.gender),
+            Filter::eq("cd_marital_status", params.q7.marital_status),
+            Filter::eq("cd_education_status", params.q7.education_status),
+        ]),
+        "cd_demo_sk",
+    );
+    let date_pks = filter_dim_pks(
+        store,
+        "date_dim",
+        &Filter::eq("d_year", params.q7.year),
+        "d_date_sk",
+    );
+
+    let embeds_relevant: [(&str, TableId, &str); 1] = [("ss_item_sk", TableId::Item, "i_item_sk")];
+    let embeds_all: [(&str, TableId, &str); 4] = [
+        ("ss_item_sk", TableId::Item, "i_item_sk"),
+        ("ss_cdemo_sk", TableId::CustomerDemographics, "cd_demo_sk"),
+        ("ss_sold_date_sk", TableId::DateDim, "d_date_sk"),
+        ("ss_promo_sk", TableId::Promotion, "p_promo_sk"),
+    ];
+
+    let mut t = TextTable::new(["Q7 embedding scope", "time", "dims embedded"]);
+    for (label, embeds) in [
+        ("aggregation-relevant only (thesis)", &embeds_relevant[..]),
+        ("every joined dimension", &embeds_all[..]),
+    ] {
+        semi_join_into(
+            store,
+            "store_sales",
+            &[("ss_cdemo_sk", &cd_pks), ("ss_sold_date_sk", &date_pks)],
+            Filter::exists("ss_item_sk"),
+            "abl5_intermediate",
+        )
+        .expect("semi-join");
+        let (n, took) = time(|| {
+            let mut n = 0;
+            for (field, dim, pk) in embeds {
+                store
+                    .create_index("abl5_intermediate", IndexDef::single(*field))
+                    .expect("index");
+                let dims = store.find(dim.name(), &Filter::True);
+                n += embed_documents_from(store, "abl5_intermediate", field, pk, dims)
+                    .expect("embed")
+                    .dim_docs;
+            }
+            n
+        });
+        t.row([label.to_owned(), fmt_duration(took), n.to_string()]);
+    }
+    println!("{}", t.render());
+}

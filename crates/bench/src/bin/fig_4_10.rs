@@ -1,0 +1,13 @@
+//! Regenerates thesis Figure 4.10: query execution times at the small
+//! scale (the paper's 9.94 GB dataset) across the three setups, as
+//! grouped ASCII bars.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin fig_4_10`.
+
+use doclite_bench::figures::render_figure;
+use doclite_bench::sf_small;
+
+fn main() {
+    let ok = render_figure(sf_small(), [1, 2, 3], "Figure 4.10");
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,13 @@
+//! Regenerates thesis Figure 4.11: query execution times at the large
+//! scale (the paper's 41.93 GB dataset) across the three setups, as
+//! grouped ASCII bars.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin fig_4_11`.
+
+use doclite_bench::figures::render_figure;
+use doclite_bench::sf_large;
+
+fn main() {
+    let ok = render_figure(sf_large(), [4, 5, 6], "Figure 4.11");
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,66 @@
+//! Regenerates thesis Figure 4.9: total data load time for the two
+//! dataset scales, rendered as an ASCII bar chart.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin fig_4_9`.
+
+use doclite_bench::{sf_large, sf_small, PAPER_TOTAL_LOAD_SECS};
+use doclite_core::{fmt_duration, migrate_all};
+use doclite_docstore::Database;
+use doclite_tpcds::Generator;
+use std::time::Duration;
+
+fn total_load(sf: f64, tag: &str) -> Duration {
+    let dir = std::env::temp_dir().join(format!("doclite-f49-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gen = Generator::new(sf);
+    eprintln!("generating + migrating 24 tables at SF {sf}…");
+    doclite_tpcds::write_all(&dir, &gen).expect("dsdgen");
+    let db = Database::new(format!("Dataset_{tag}"));
+    let total = migrate_all(&db, &dir)
+        .expect("migrate")
+        .iter()
+        .map(|r| r.elapsed)
+        .sum();
+    let _ = std::fs::remove_dir_all(&dir);
+    total
+}
+
+fn bar(label: &str, value: Duration, max: Duration) -> String {
+    let width = 48;
+    let n = ((value.as_secs_f64() / max.as_secs_f64()) * width as f64).round() as usize;
+    format!("{label:<22} {} {}", "█".repeat(n.max(1)), fmt_duration(value))
+}
+
+fn main() {
+    let (small_sf, large_sf) = (sf_small(), sf_large());
+    let small = total_load(small_sf, "small");
+    let large = total_load(large_sf, "large");
+    let max = small.max(large);
+
+    println!("\nFigure 4.9: Comparison of Data Load Times (reproduction scale)");
+    println!("{}", bar(&format!("SF{small_sf} dataset"), small, max));
+    println!("{}", bar(&format!("SF{large_sf} dataset"), large, max));
+
+    println!("\npaper (absolute):");
+    let paper_max = Duration::from_secs_f64(PAPER_TOTAL_LOAD_SECS[1]);
+    println!(
+        "{}",
+        bar("9.94GB dataset", Duration::from_secs_f64(PAPER_TOTAL_LOAD_SECS[0]), paper_max)
+    );
+    println!(
+        "{}",
+        bar("41.93GB dataset", Duration::from_secs_f64(PAPER_TOTAL_LOAD_SECS[1]), paper_max)
+    );
+
+    let measured_ratio = large.as_secs_f64() / small.as_secs_f64();
+    let paper_ratio = PAPER_TOTAL_LOAD_SECS[1] / PAPER_TOTAL_LOAD_SECS[0];
+    println!(
+        "\nload-time ratio large/small: measured {measured_ratio:.2}x, paper {paper_ratio:.2}x"
+    );
+    let ok = measured_ratio > 1.5;
+    println!(
+        "{} larger dataset takes proportionally longer to load",
+        if ok { "✓" } else { "✗" }
+    );
+    std::process::exit(i32::from(!ok));
+}

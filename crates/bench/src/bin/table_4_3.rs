@@ -1,0 +1,120 @@
+//! Regenerates thesis Table 4.3: per-table data load times for the two
+//! dataset scales, via the full `.dat` → migration path, plus the
+//! Section 4.3 load-time observations as checks.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin table_4_3`.
+
+use doclite_bench::{sf_large, sf_small};
+use doclite_core::{fmt_duration, migrate_all, MigrationReport, TextTable};
+use doclite_docstore::Database;
+use doclite_tpcds::{Generator, TableId};
+use std::path::PathBuf;
+
+fn load_at(sf: f64, tag: &str) -> Vec<MigrationReport> {
+    let dir: PathBuf = std::env::temp_dir().join(format!("doclite-t43-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gen = Generator::new(sf);
+    eprintln!("generating .dat files at SF {sf}…");
+    doclite_tpcds::write_all(&dir, &gen).expect("dsdgen");
+    eprintln!("migrating 24 tables at SF {sf}…");
+    let db = Database::new(format!("Dataset_{tag}"));
+    let reports = migrate_all(&db, &dir).expect("migration");
+    let _ = std::fs::remove_dir_all(&dir);
+    reports
+}
+
+fn main() {
+    let (small_sf, large_sf) = (sf_small(), sf_large());
+    let small = load_at(small_sf, "small");
+    let large = load_at(large_sf, "large");
+
+    let mut t = TextTable::new([
+        "TPC-DS Data File",
+        &format!("SF{small_sf} rows"),
+        &format!("SF{small_sf} load"),
+        &format!("SF{large_sf} rows"),
+        &format!("SF{large_sf} load"),
+    ]);
+    let mut total_small = std::time::Duration::ZERO;
+    let mut total_large = std::time::Duration::ZERO;
+    for (s, l) in small.iter().zip(large.iter()) {
+        assert_eq!(s.table, l.table);
+        total_small += s.elapsed;
+        total_large += l.elapsed;
+        t.row([
+            s.table.name().to_owned(),
+            s.rows.to_string(),
+            fmt_duration(s.elapsed),
+            l.rows.to_string(),
+            fmt_duration(l.elapsed),
+        ]);
+    }
+    t.row([
+        "TOTAL".to_owned(),
+        String::new(),
+        fmt_duration(total_small),
+        String::new(),
+        fmt_duration(total_large),
+    ]);
+    println!("Table 4.3: Data Load Times (reproduction scale)");
+    println!("{}", t.render());
+    println!(
+        "paper totals: 47m20.14s (1GB→9.94GB) and 3h31m53.72s (5GB→41.93GB)\n"
+    );
+
+    // Observation (i): equal-count tables load in comparable time.
+    println!("Section 4.3 load-time observations:");
+    let by_table = |rs: &[MigrationReport], t: TableId| {
+        rs.iter().find(|r| r.table == t).expect("present").clone()
+    };
+    let mut ok = true;
+    for t in [TableId::IncomeBand, TableId::ShipMode, TableId::HouseholdDemographics] {
+        let (s, l) = (by_table(&small, t), by_table(&large, t));
+        let same_rows = s.rows == l.rows;
+        let ratio = l.elapsed.as_secs_f64() / s.elapsed.as_secs_f64().max(1e-9);
+        let holds = same_rows && (0.2..=5.0).contains(&ratio);
+        ok &= holds;
+        println!(
+            "  {} {}: equal rows ({}) load within 5x ({:.2}x)",
+            if holds { "✓" } else { "✗" },
+            t.name(),
+            s.rows,
+            ratio
+        );
+    }
+    // Observation (ii): for scaling tables, load-time ratio tracks the
+    // row-count ratio.
+    for t in [TableId::StoreSales, TableId::Inventory, TableId::CatalogSales] {
+        let (s, l) = (by_table(&small, t), by_table(&large, t));
+        let row_ratio = l.rows as f64 / s.rows as f64;
+        let time_ratio = l.elapsed.as_secs_f64() / s.elapsed.as_secs_f64().max(1e-9);
+        let holds = (time_ratio / row_ratio - 1.0).abs() < 1.0; // within 2x of proportional
+        ok &= holds;
+        println!(
+            "  {} {}: time ratio {:.2}x tracks row ratio {:.2}x",
+            if holds { "✓" } else { "✗" },
+            t.name(),
+            time_ratio,
+            row_ratio
+        );
+    }
+    // Inventory dominates the total load at both scales, as in the paper.
+    for (rs, label) in [(&small, "small"), (&large, "large")] {
+        let inv = by_table(rs, TableId::Inventory).elapsed;
+        let max_other = rs
+            .iter()
+            .filter(|r| r.table != TableId::Inventory)
+            .map(|r| r.elapsed)
+            .max()
+            .expect("non-empty");
+        let holds = inv >= max_other;
+        ok &= holds;
+        println!(
+            "  {} inventory is the slowest load at the {label} scale ({} vs next {})",
+            if holds { "✓" } else { "✗" },
+            fmt_duration(inv),
+            fmt_duration(max_other)
+        );
+    }
+    std::process::exit(i32::from(!ok));
+}

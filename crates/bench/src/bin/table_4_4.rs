@@ -1,0 +1,97 @@
+//! Regenerates thesis Table 4.4: query selectivity (result-set size in
+//! MB) per query × dataset scale, with the paper's values alongside.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin table_4_4`.
+
+use doclite_bench::{sf_large, sf_small, PAPER_TABLE_4_4};
+use doclite_core::experiment::{
+    setup_environment, DataModel, Deployment, ExperimentSpec, SetupOptions,
+};
+use doclite_core::selectivity::measure;
+use doclite_core::TextTable;
+use doclite_tpcds::{QueryId, QueryParams};
+
+fn main() {
+    let opts = SetupOptions::default();
+    let scales = [(sf_small(), "small", 3u8), (sf_large(), "large", 6u8)];
+
+    let mut rows: Vec<(String, [f64; 4], usize)> = Vec::new();
+    for (sf, tag, id) in scales {
+        eprintln!("building denormalized environment at SF {sf} ({tag})…");
+        let env = setup_environment(
+            &ExperimentSpec {
+                id,
+                sf,
+                model: DataModel::Denormalized,
+                deployment: Deployment::Standalone,
+            },
+            &opts,
+        )
+        .expect("setup");
+        let params = QueryParams::for_scale(sf);
+        let mut mbs = [0.0f64; 4];
+        let mut total_docs = 0;
+        for (i, q) in QueryId::ALL.iter().enumerate() {
+            let s = measure(&env, *q, &params, DataModel::Denormalized).expect("measure");
+            mbs[i] = s.megabytes();
+            total_docs += s.docs;
+        }
+        rows.push((format!("SF{sf}"), mbs, total_docs));
+    }
+
+    let mut t = TextTable::new(["", "Query 7", "Query 21", "Query 46", "Query 50"]);
+    for (label, mbs, _) in &rows {
+        t.row([
+            label.clone(),
+            format!("{:.4}MB", mbs[0]),
+            format!("{:.4}MB", mbs[1]),
+            format!("{:.4}MB", mbs[2]),
+            format!("{:.4}MB", mbs[3]),
+        ]);
+    }
+    for (i, label) in ["9.94GB (paper)", "41.93GB (paper)"].iter().enumerate() {
+        let p = PAPER_TABLE_4_4[i];
+        t.row([
+            (*label).to_owned(),
+            format!("{}MB", p[0]),
+            format!("{}MB", p[1]),
+            format!("{}MB", p[2]),
+            format!("{}MB", p[3]),
+        ]);
+    }
+    println!("\nTable 4.4: Query Selectivity (measured at reproduction scale vs paper)");
+    println!("{}", t.render());
+
+    // Shape: Q7/Q21/Q46 results grow with scale while Q50's stays flat
+    // (bounded by stores × day-range buckets), and every result is a tiny
+    // fraction of its dataset — the structure of the paper's Table 4.4.
+    //
+    // Known deviation: the paper's largest result is Query 46's; here it
+    // is Query 7's, because dsdgen's store-city distribution is more
+    // concentrated on Midway/Fairview than this generator's 20%-biased
+    // pool, which shrinks Q46's qualifying ticket count relative to Q7's
+    // line count. The growth ordering and orders of magnitude hold.
+    let (small, large) = (&rows[0].1, &rows[1].1);
+    let mut ok = true;
+    for (i, q) in QueryId::ALL.iter().enumerate().take(3) {
+        let holds = large[i] >= small[i];
+        ok &= holds;
+        println!(
+            "  {} {q}: result grows with scale ({:.4} → {:.4} MB)",
+            if holds { "✓" } else { "✗" },
+            small[i],
+            large[i]
+        );
+    }
+    {
+        let flat = (large[3] - small[3]).abs() <= small[3].max(0.001);
+        ok &= flat;
+        println!(
+            "  {} Query 50: result stays flat across scales ({:.4} vs {:.4} MB), as in the paper's 0.003/0.003",
+            if flat { "✓" } else { "✗" },
+            small[3],
+            large[3]
+        );
+    }
+    std::process::exit(i32::from(!ok));
+}

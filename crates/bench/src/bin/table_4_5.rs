@@ -1,0 +1,55 @@
+//! Regenerates thesis Table 4.5: best-of-N query execution runtimes for
+//! the six experiments of Table 4.1, with the paper's numbers printed
+//! alongside and the Section 4.3 observations checked.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin table_4_5`.
+//! Knobs: `DOCLITE_SF_SMALL` / `DOCLITE_SF_LARGE` / `DOCLITE_RUNS`.
+
+use doclite_bench::{print_shape_checks, runs, sf_large, sf_small, shape_checks, PAPER_TABLE_4_5};
+use doclite_core::experiment::{run_experiment, ExperimentSpec, SetupOptions};
+use doclite_core::{fmt_duration, TextTable};
+use doclite_tpcds::QueryId;
+use std::time::Duration;
+
+fn main() {
+    let specs = ExperimentSpec::table_4_1(sf_small(), sf_large());
+    let opts = SetupOptions::default();
+    let n_runs = runs();
+
+    let mut measured: Vec<(u8, Vec<doclite_core::QueryTiming>)> = Vec::new();
+    for spec in &specs {
+        eprintln!("{} — {} (SF {})…", spec.label(), spec.describe(), spec.sf);
+        let timings = run_experiment(spec, &opts, n_runs).expect("experiment");
+        measured.push((spec.id, timings));
+    }
+
+    let mut t = TextTable::new(["", "Query 7", "Query 21", "Query 46", "Query 50"]);
+    for (id, timings) in &measured {
+        let mut cells = vec![format!("Experiment {id}")];
+        for q in QueryId::ALL {
+            let best = timings.iter().find(|x| x.query == q).expect("timed").best;
+            cells.push(fmt_duration(best));
+        }
+        t.row(cells);
+        // Paper row for comparison.
+        let paper = PAPER_TABLE_4_5[*id as usize - 1];
+        t.row([
+            format!("  (paper, exp {id})"),
+            fmt_duration(Duration::from_secs_f64(paper[0])),
+            fmt_duration(Duration::from_secs_f64(paper[1])),
+            fmt_duration(Duration::from_secs_f64(paper[2])),
+            fmt_duration(Duration::from_secs_f64(paper[3])),
+        ]);
+    }
+    println!("\nTable 4.5: Query Execution Runtimes (best of {n_runs}; measured vs paper)");
+    println!("{}", t.render());
+
+    let checks = shape_checks(&measured);
+    let failures = print_shape_checks(&checks);
+    println!(
+        "\n{} of {} shape checks hold",
+        checks.len() - failures,
+        checks.len()
+    );
+    std::process::exit(i32::from(failures > 0));
+}

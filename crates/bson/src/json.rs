@@ -1,0 +1,197 @@
+//! Relaxed-JSON rendering of documents, in the style of the mongo shell
+//! (`ObjectId("…")`, `ISODate(…)`), used by examples and error output.
+
+use crate::{Document, Value};
+use std::fmt::Write;
+
+/// Renders a document as single-line relaxed JSON.
+pub fn to_json(doc: &Document) -> String {
+    let mut out = String::new();
+    write_doc(&mut out, doc);
+    out
+}
+
+/// Renders a document as indented multi-line relaxed JSON.
+pub fn to_json_pretty(doc: &Document) -> String {
+    let mut out = String::new();
+    write_doc_pretty(&mut out, doc, 0);
+    out
+}
+
+fn write_doc(out: &mut String, doc: &Document) {
+    out.push('{');
+    for (i, (k, v)) in doc.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_string(out, k);
+        out.push_str(": ");
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+fn write_doc_pretty(out: &mut String, doc: &Document, indent: usize) {
+    if doc.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    let pad = "  ".repeat(indent + 1);
+    for (i, (k, v)) in doc.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&pad);
+        write_string(out, k);
+        out.push_str(": ");
+        write_value_pretty(out, v, indent + 1);
+    }
+    out.push('\n');
+    out.push_str(&"  ".repeat(indent));
+    out.push('}');
+}
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int32(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Int64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Double(d) => write_double(out, *d),
+        Value::String(s) => write_string(out, s),
+        Value::DateTime(ms) => {
+            let _ = write!(out, "ISODate({ms})");
+        }
+        Value::ObjectId(oid) => {
+            let _ = write!(out, "ObjectId(\"{oid}\")");
+        }
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Document(d) => write_doc(out, d),
+    }
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Document(d) => write_doc_pretty(out, d, indent),
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            let pad = "  ".repeat(indent + 1);
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad);
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&"  ".repeat(indent));
+            out.push(']');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn write_double(out: &mut String, d: f64) {
+    if d.is_nan() {
+        out.push_str("NaN");
+    } else if d.is_infinite() {
+        out.push_str(if d > 0.0 { "Infinity" } else { "-Infinity" });
+    } else if d.fract() == 0.0 && d.abs() < 1e15 {
+        let _ = write!(out, "{d:.1}");
+    } else {
+        let _ = write!(out, "{d}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl std::fmt::Display for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&to_json(self))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self);
+        f.write_str(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{array, doc, ObjectId};
+
+    #[test]
+    fn renders_scalars() {
+        let d = doc! {"i" => 1i32, "f" => 2.5f64, "s" => "x", "b" => false, "n" => Value::Null};
+        assert_eq!(
+            to_json(&d),
+            r#"{"i": 1, "f": 2.5, "s": "x", "b": false, "n": null}"#
+        );
+    }
+
+    #[test]
+    fn renders_integral_double_with_decimal_point() {
+        let d = doc! {"f" => 2.0f64};
+        assert_eq!(to_json(&d), r#"{"f": 2.0}"#);
+    }
+
+    #[test]
+    fn renders_shell_types() {
+        let oid = ObjectId::from_parts(0, 0, 0);
+        let d = doc! {"id" => oid, "t" => Value::DateTime(5)};
+        assert_eq!(
+            to_json(&d),
+            format!(r#"{{"id": ObjectId("{oid}"), "t": ISODate(5)}}"#)
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let d = doc! {"s" => "a\"b\\c\nd"};
+        assert_eq!(to_json(&d), "{\"s\": \"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn pretty_nests() {
+        let d = doc! {"a" => doc!{"b" => array![1i64]}};
+        let pretty = to_json_pretty(&d);
+        assert!(pretty.contains("\n  \"a\": {\n"));
+        assert!(pretty.contains("\"b\": [\n"));
+    }
+}

@@ -1,0 +1,167 @@
+//! 12-byte ObjectId generation.
+//!
+//! MongoDB's default `_id` is an ObjectId built from a timestamp, a
+//! machine identifier, a process id, and a process-local counter
+//! (thesis Section 2.1). We reproduce the same layout deterministically:
+//! the "machine id" and "pid" components come from a per-process random
+//! seed so ids are unique across engines in the simulated cluster, and the
+//! trailing counter guarantees uniqueness within a process.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU32 = AtomicU32::new(0);
+static PROCESS_UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn process_unique() -> u64 {
+    // Lazily derive 5 bytes of process-unique entropy from the process id
+    // and startup time; good enough for a single-process simulation and
+    // fully deterministic given the same pid + boot instant.
+    let mut v = PROCESS_UNIQUE.load(Ordering::Relaxed);
+    if v == 0 {
+        let pid = std::process::id() as u64;
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        v = (pid << 32) ^ (nanos.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1;
+        PROCESS_UNIQUE.store(v, Ordering::Relaxed);
+    }
+    v
+}
+
+/// A 12-byte unique identifier: 4-byte big-endian seconds timestamp,
+/// 5-byte process-unique value, 3-byte big-endian counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId([u8; 12]);
+
+impl ObjectId {
+    /// Generates a fresh ObjectId.
+    pub fn new() -> Self {
+        let secs = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs() as u32)
+            .unwrap_or(0);
+        let unique = process_unique();
+        let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Self::from_parts(secs, unique, count)
+    }
+
+    /// Builds an ObjectId from its components; used by tests and by the
+    /// deterministic data generator.
+    pub fn from_parts(timestamp_secs: u32, process_unique: u64, counter: u32) -> Self {
+        let mut b = [0u8; 12];
+        b[0..4].copy_from_slice(&timestamp_secs.to_be_bytes());
+        b[4..9].copy_from_slice(&process_unique.to_be_bytes()[3..8]);
+        b[9..12].copy_from_slice(&counter.to_be_bytes()[1..4]);
+        ObjectId(b)
+    }
+
+    /// Constructs an ObjectId from raw bytes.
+    pub fn from_bytes(bytes: [u8; 12]) -> Self {
+        ObjectId(bytes)
+    }
+
+    /// Returns the raw byte representation.
+    pub fn bytes(&self) -> &[u8; 12] {
+        &self.0
+    }
+
+    /// Returns the embedded creation timestamp (seconds since epoch).
+    pub fn timestamp_secs(&self) -> u32 {
+        u32::from_be_bytes([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// Renders as the conventional 24-character lowercase hex string.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(24);
+        for b in &self.0 {
+            use std::fmt::Write;
+            let _ = write!(s, "{b:02x}");
+        }
+        s
+    }
+
+    /// Parses a 24-character hex string back into an ObjectId.
+    pub fn parse_hex(s: &str) -> Option<Self> {
+        if s.len() != 24 || !s.is_ascii() {
+            return None;
+        }
+        let mut b = [0u8; 12];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            b[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(ObjectId(b))
+    }
+}
+
+impl Default for ObjectId {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjectId(\"{}\")", self.to_hex())
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn new_ids_are_unique() {
+        let ids: HashSet<ObjectId> = (0..10_000).map(|_| ObjectId::new()).collect();
+        assert_eq!(ids.len(), 10_000);
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let id = ObjectId::new();
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 24);
+        assert_eq!(ObjectId::parse_hex(&hex), Some(id));
+    }
+
+    #[test]
+    fn parse_hex_rejects_bad_input() {
+        assert_eq!(ObjectId::parse_hex("xyz"), None);
+        assert_eq!(ObjectId::parse_hex(&"g".repeat(24)), None);
+        assert_eq!(ObjectId::parse_hex(&"a".repeat(23)), None);
+    }
+
+    #[test]
+    fn from_parts_layout() {
+        let id = ObjectId::from_parts(0x01020304, 0xAABBCCDDEE, 0x00112233);
+        assert_eq!(id.timestamp_secs(), 0x01020304);
+        assert_eq!(&id.bytes()[0..4], &[1, 2, 3, 4]);
+        assert_eq!(&id.bytes()[4..9], &[0xAA, 0xBB, 0xCC, 0xDD, 0xEE]);
+        assert_eq!(&id.bytes()[9..12], &[0x11, 0x22, 0x33]);
+    }
+
+    #[test]
+    fn ids_generated_later_sort_later_within_same_second() {
+        let a = ObjectId::from_parts(100, 7, 1);
+        let b = ObjectId::from_parts(100, 7, 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn timestamp_dominates_ordering() {
+        let a = ObjectId::from_parts(100, u64::MAX, u32::MAX);
+        let b = ObjectId::from_parts(101, 0, 0);
+        assert!(a < b);
+    }
+}

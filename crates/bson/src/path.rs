@@ -1,0 +1,184 @@
+//! Dotted field-path parsing and resolution.
+//!
+//! The thesis's denormalized queries navigate embedded documents with
+//! dotted paths (`"ss_cdemo_sk.cd_gender"`, Appendix B); the match
+//! language and aggregation expressions both resolve paths through this
+//! module so their semantics stay aligned.
+
+use crate::{Document, Value};
+
+/// A parsed dotted field path.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FieldPath {
+    segments: Vec<String>,
+}
+
+impl FieldPath {
+    /// Parses a dotted path. Empty segments are rejected.
+    pub fn parse(path: &str) -> Option<Self> {
+        if path.is_empty() {
+            return None;
+        }
+        let segments: Vec<String> = path.split('.').map(str::to_owned).collect();
+        if segments.iter().any(String::is_empty) {
+            return None;
+        }
+        Some(Self { segments })
+    }
+
+    /// The path segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segments
+    }
+
+    /// The leading segment (the top-level field name).
+    pub fn head(&self) -> &str {
+        &self.segments[0]
+    }
+
+    /// Renders back to dotted form.
+    pub fn dotted(&self) -> String {
+        self.segments.join(".")
+    }
+
+    /// Resolves the path against a document.
+    pub fn resolve(&self, doc: &Document) -> Option<Value> {
+        resolve_segments(doc, &self.segments)
+    }
+}
+
+impl std::fmt::Display for FieldPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.dotted())
+    }
+}
+
+/// Resolves a dotted path against a document.
+///
+/// Rules (matching MongoDB's navigation semantics used by the thesis):
+///
+/// * a segment descends into an embedded document by field name;
+/// * a numeric segment indexes into an array (`"items.0.price"`);
+/// * a non-numeric segment applied to an array maps over the elements and
+///   collects the matches into an array (multikey fan-out); if no element
+///   matches, resolution fails;
+/// * resolution of a missing field yields `None` (distinct from an
+///   explicit `Null` value).
+pub fn resolve_path(doc: &Document, path: &str) -> Option<Value> {
+    let segments: Vec<&str> = path.split('.').collect();
+    if segments.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    resolve_segments_str(doc, &segments)
+}
+
+fn resolve_segments(doc: &Document, segments: &[String]) -> Option<Value> {
+    let refs: Vec<&str> = segments.iter().map(String::as_str).collect();
+    resolve_segments_str(doc, &refs)
+}
+
+fn resolve_segments_str(doc: &Document, segments: &[&str]) -> Option<Value> {
+    let (first, rest) = segments.split_first()?;
+    let v = doc.get(first)?;
+    if rest.is_empty() {
+        return Some(v.clone());
+    }
+    descend(v, rest)
+}
+
+fn descend(v: &Value, rest: &[&str]) -> Option<Value> {
+    match v {
+        Value::Document(d) => resolve_segments_str(d, rest),
+        Value::Array(items) => {
+            let (seg, tail) = rest.split_first()?;
+            if let Ok(idx) = seg.parse::<usize>() {
+                let elem = items.get(idx)?;
+                if tail.is_empty() {
+                    return Some(elem.clone());
+                }
+                return descend(elem, tail);
+            }
+            // Multikey fan-out: apply the remaining path to each element.
+            let collected: Vec<Value> = items
+                .iter()
+                .filter_map(|e| match e {
+                    Value::Document(d) => resolve_segments_str(d, rest),
+                    _ => None,
+                })
+                .collect();
+            if collected.is_empty() {
+                None
+            } else {
+                Some(Value::Array(collected))
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{array, doc};
+
+    #[test]
+    fn parse_rejects_empty_and_dotted_holes() {
+        assert!(FieldPath::parse("").is_none());
+        assert!(FieldPath::parse("a..b").is_none());
+        assert!(FieldPath::parse(".a").is_none());
+        assert_eq!(FieldPath::parse("a.b").unwrap().segments().len(), 2);
+    }
+
+    #[test]
+    fn resolves_scalar_and_nested() {
+        let d = doc! {"a" => doc!{"b" => 3i64}};
+        assert_eq!(resolve_path(&d, "a.b"), Some(Value::Int64(3)));
+        assert_eq!(resolve_path(&d, "a"), Some(d.get("a").unwrap().clone()));
+        assert_eq!(resolve_path(&d, "a.c"), None);
+    }
+
+    #[test]
+    fn numeric_segment_indexes_arrays() {
+        let d = doc! {"xs" => array![10i64, 20i64, 30i64]};
+        assert_eq!(resolve_path(&d, "xs.1"), Some(Value::Int64(20)));
+        assert_eq!(resolve_path(&d, "xs.9"), None);
+    }
+
+    #[test]
+    fn multikey_fanout_collects_matches() {
+        let d = doc! {
+            "books" => Value::Array(vec![
+                Value::Document(doc!{"pages" => 216i64}),
+                Value::Document(doc!{"pages" => 418i64}),
+                Value::Int64(7), // non-document elements are skipped
+            ])
+        };
+        assert_eq!(
+            resolve_path(&d, "books.pages"),
+            Some(array![216i64, 418i64])
+        );
+    }
+
+    #[test]
+    fn fanout_with_no_matches_fails() {
+        let d = doc! {"books" => array![1i64, 2i64]};
+        assert_eq!(resolve_path(&d, "books.pages"), None);
+    }
+
+    #[test]
+    fn deep_mixed_navigation() {
+        let d = doc! {
+            "a" => Value::Array(vec![Value::Document(
+                doc!{"b" => Value::Array(vec![Value::Document(doc!{"c" => 1i64})])},
+            )])
+        };
+        assert_eq!(resolve_path(&d, "a.0.b.0.c"), Some(Value::Int64(1)));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p = FieldPath::parse("x.y.z").unwrap();
+        assert_eq!(p.to_string(), "x.y.z");
+        assert_eq!(p.head(), "x");
+    }
+}

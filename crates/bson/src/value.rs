@@ -1,0 +1,331 @@
+//! The dynamic value type and its canonical cross-type ordering.
+
+use crate::{Document, ObjectId};
+use std::cmp::Ordering;
+
+/// A dynamically typed value, mirroring the BSON types the thesis's
+/// workload uses: null, booleans, 32/64-bit integers, doubles, strings,
+/// millisecond datetimes, ObjectIds, arrays, and embedded documents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int32(i32),
+    Int64(i64),
+    Double(f64),
+    String(String),
+    /// Milliseconds since the Unix epoch (`ISODate` in mongo shell terms).
+    DateTime(i64),
+    ObjectId(ObjectId),
+    Array(Vec<Value>),
+    Document(Document),
+}
+
+/// Canonical type rank used for cross-type comparisons, following
+/// MongoDB's BSON comparison order: Null < Numbers < String < Document <
+/// Array < Bool < ObjectId < DateTime. (The subset of types we implement.)
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int32(_) | Value::Int64(_) | Value::Double(_) => 1,
+        Value::String(_) => 2,
+        Value::Document(_) => 3,
+        Value::Array(_) => 4,
+        Value::Bool(_) => 5,
+        Value::ObjectId(_) => 6,
+        Value::DateTime(_) => 7,
+    }
+}
+
+impl Value {
+    /// Returns the value's numeric content as `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int32(i) => Some(f64::from(i)),
+            Value::Int64(i) => Some(i as f64),
+            Value::Double(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer (or an integral
+    /// double).
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int32(i) => Some(i64::from(i)),
+            Value::Int64(i) => Some(i),
+            Value::Double(d) if d.fract() == 0.0 && d.is_finite() => Some(d as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Returns the embedded document, if any.
+    pub fn as_document(&self) -> Option<&Document> {
+        match self {
+            Value::Document(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements, if any.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if the value is numeric (Int32/Int64/Double).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int32(_) | Value::Int64(_) | Value::Double(_))
+    }
+
+    /// Truthiness as used by aggregation expressions (`$cond`): everything
+    /// is truthy except `Null`, `false`, and numeric zero.
+    pub fn is_truthy(&self) -> bool {
+        match *self {
+            Value::Null => false,
+            Value::Bool(b) => b,
+            Value::Int32(i) => i != 0,
+            Value::Int64(i) => i != 0,
+            Value::Double(d) => d != 0.0,
+            _ => true,
+        }
+    }
+
+    /// A short name of the value's type for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int32(_) => "int32",
+            Value::Int64(_) => "int64",
+            Value::Double(_) => "double",
+            Value::String(_) => "string",
+            Value::DateTime(_) => "datetime",
+            Value::ObjectId(_) => "objectId",
+            Value::Array(_) => "array",
+            Value::Document(_) => "document",
+        }
+    }
+
+    /// Total order across all values: types compare by canonical rank, and
+    /// values of comparable types (all numerics are mutually comparable)
+    /// compare by content. NaN sorts below all other doubles, making the
+    /// order total — a requirement for B-tree index keys.
+    pub fn canonical_cmp(&self, other: &Value) -> Ordering {
+        let (ra, rb) = (type_rank(self), type_rank(other));
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                total_f64_cmp(x, y)
+            }
+            (Value::String(a), Value::String(b)) => a.cmp(b),
+            (Value::Document(a), Value::Document(b)) => doc_cmp(a, b),
+            (Value::Array(a), Value::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.canonical_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::ObjectId(a), Value::ObjectId(b)) => a.cmp(b),
+            (Value::DateTime(a), Value::DateTime(b)) => a.cmp(b),
+            _ => unreachable!("equal ranks imply same comparison family"),
+        }
+    }
+
+    /// Equality under the canonical order (so `Int32(1) == Int64(1)` —
+    /// match-language equality is numeric-type-insensitive, like MongoDB).
+    pub fn canonical_eq(&self, other: &Value) -> bool {
+        self.canonical_cmp(other) == Ordering::Equal
+    }
+}
+
+/// Total order over f64 with NaN smallest; -0.0 and 0.0 compare equal.
+fn total_f64_cmp(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => a.partial_cmp(&b).expect("non-NaN doubles compare"),
+    }
+}
+
+/// Documents compare field-by-field in insertion order: first by key, then
+/// by value, shorter document first on a shared prefix.
+fn doc_cmp(a: &Document, b: &Document) -> Ordering {
+    for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+        let c = ka.cmp(kb);
+        if c != Ordering::Equal {
+            return c;
+        }
+        let c = va.canonical_cmp(vb);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int32(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<ObjectId> for Value {
+    fn from(v: ObjectId) -> Self {
+        Value::ObjectId(v)
+    }
+}
+impl From<Document> for Value {
+    fn from(v: Document) -> Self {
+        Value::Document(v)
+    }
+}
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int32(5).canonical_eq(&Value::Int64(5)));
+        assert!(Value::Int64(5).canonical_eq(&Value::Double(5.0)));
+        assert!(!Value::Int32(5).canonical_eq(&Value::Double(5.5)));
+    }
+
+    #[test]
+    fn type_order_is_stable() {
+        let vals = [
+            Value::Null,
+            Value::Int32(0),
+            Value::String("".into()),
+            Value::Document(Document::new()),
+            Value::Array(vec![]),
+            Value::Bool(false),
+            Value::ObjectId(ObjectId::from_parts(0, 0, 0)),
+            Value::DateTime(0),
+        ];
+        for w in vals.windows(2) {
+            assert_eq!(w[0].canonical_cmp(&w[1]), Ordering::Less, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn nan_sorts_first_among_numbers() {
+        assert_eq!(
+            Value::Double(f64::NAN).canonical_cmp(&Value::Double(f64::NEG_INFINITY)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Double(f64::NAN).canonical_cmp(&Value::Double(f64::NAN)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn array_comparison_is_lexicographic() {
+        let a = Value::Array(vec![Value::Int32(1), Value::Int32(2)]);
+        let b = Value::Array(vec![Value::Int32(1), Value::Int32(3)]);
+        let c = Value::Array(vec![Value::Int32(1)]);
+        assert_eq!(a.canonical_cmp(&b), Ordering::Less);
+        assert_eq!(c.canonical_cmp(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn document_comparison_checks_keys_then_values() {
+        let a = doc! {"x" => 1i64};
+        let b = doc! {"x" => 2i64};
+        let c = doc! {"y" => 0i64};
+        assert_eq!(Value::from(a.clone()).canonical_cmp(&Value::from(b)), Ordering::Less);
+        assert_eq!(Value::from(a).canonical_cmp(&Value::from(c)), Ordering::Less);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(!Value::Int32(0).is_truthy());
+        assert!(!Value::Double(0.0).is_truthy());
+        assert!(Value::String(String::new()).is_truthy());
+        assert!(Value::Int64(-1).is_truthy());
+    }
+
+    #[test]
+    fn as_i64_accepts_integral_doubles_only() {
+        assert_eq!(Value::Double(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Double(3.5).as_i64(), None);
+        assert_eq!(Value::Double(f64::INFINITY).as_i64(), None);
+    }
+
+    #[test]
+    fn option_from_maps_none_to_null() {
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(4i64)), Value::Int64(4));
+    }
+}

@@ -1,0 +1,118 @@
+//! Report formatting: renders durations and tables the way the thesis
+//! prints them (`4m50.00s`, `0.62s`, `1h53m51.00s`).
+
+use std::time::Duration;
+
+/// Formats a duration in the thesis's `h/m/s` style.
+pub fn fmt_duration(d: Duration) -> String {
+    let total = d.as_secs_f64();
+    if total >= 3600.0 {
+        let h = (total / 3600.0).floor() as u64;
+        let rem = total - h as f64 * 3600.0;
+        let m = (rem / 60.0).floor() as u64;
+        let s = rem - m as f64 * 60.0;
+        format!("{h}h{m}m{s:05.2}s")
+    } else if total >= 60.0 {
+        let m = (total / 60.0).floor() as u64;
+        let s = total - m as f64 * 60.0;
+        format!("{m}m{s:05.2}s")
+    } else {
+        format!("{total:.2}s")
+    }
+}
+
+/// A simple fixed-width text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row (must match the header arity).
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment and a separator line.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(c);
+                for _ in c.len()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_styles_match_thesis() {
+        assert_eq!(fmt_duration(Duration::from_millis(620)), "0.62s");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(26.84)), "26.84s");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(290.0)), "4m50.00s");
+        assert_eq!(fmt_duration(Duration::from_secs_f64(6831.0)), "1h53m51.00s");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["Query", "Time"]);
+        t.row(["Query 7", "15.71s"]);
+        t.row(["Query 46", "3m18.00s"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Query"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("Query 46  3m18.00s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

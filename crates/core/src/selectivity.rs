@@ -1,0 +1,74 @@
+//! Query selectivity (thesis Table 4.4): "the proportion of data
+//! retrieved" — measured, as the thesis does, by the size of each
+//! query's result set in megabytes.
+
+use crate::experiment::{DataModel, Environment};
+use crate::store::Store;
+use doclite_bson::codec::encoded_size;
+use doclite_docstore::Result;
+use doclite_tpcds::{QueryId, QueryParams};
+
+/// Selectivity of one query at one scale.
+#[derive(Clone, Debug)]
+pub struct Selectivity {
+    pub query: QueryId,
+    /// Result documents.
+    pub docs: usize,
+    /// Encoded result bytes.
+    pub bytes: usize,
+}
+
+impl Selectivity {
+    /// Result size in MB (the unit of Table 4.4).
+    pub fn megabytes(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Runs a query and measures its result set.
+pub fn measure(
+    env: &Environment,
+    query: QueryId,
+    params: &QueryParams,
+    model: DataModel,
+) -> Result<Selectivity> {
+    let (docs, _) = crate::experiment::run_query_once(env, query, params, model)?;
+    let bytes = docs.iter().map(encoded_size).sum();
+    Ok(Selectivity { query, docs: docs.len(), bytes })
+}
+
+/// Fraction of the source dataset the result represents.
+pub fn fraction_of(selectivity: &Selectivity, store: &dyn Store, source: &str) -> f64 {
+    let total = store.collection_data_size(source);
+    if total == 0 {
+        0.0
+    } else {
+        selectivity.bytes as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{setup_environment, Deployment, ExperimentSpec, SetupOptions};
+    use doclite_sharding::NetworkModel;
+
+    #[test]
+    fn selectivity_is_small_and_scales_with_result() {
+        let spec = ExperimentSpec {
+            id: 3,
+            sf: 0.002,
+            model: DataModel::Denormalized,
+            deployment: Deployment::Standalone,
+        };
+        let opts = SetupOptions { network: NetworkModel::free(), max_chunk_size: 64 * 1024 };
+        let env = setup_environment(&spec, &opts).unwrap();
+        let params = QueryParams::for_scale(0.002);
+        let s = measure(&env, QueryId::Q7, &params, DataModel::Denormalized).unwrap();
+        assert_eq!(s.bytes == 0, s.docs == 0);
+        // Results are a tiny fraction of the source (Table 4.4 reports
+        // fractions of a megabyte against multi-GB datasets).
+        let frac = fraction_of(&s, env.store(), "store_sales_dn");
+        assert!(frac < 0.5, "fraction {frac}");
+    }
+}

@@ -1,0 +1,543 @@
+//! Pipeline execution over a materialized document stream.
+//!
+//! `$out` is not handled here — the executor returns the final stream and
+//! the caller ([`crate::database::Database::aggregate`]) materializes it
+//! into the target collection, because only the database knows how to
+//! create collections.
+
+use super::accum::AccState;
+use super::expr::Expr;
+use super::stage::{GroupId, ProjectField, Stage};
+use crate::error::Result;
+use crate::ordvalue::OrdValue;
+use crate::query::matcher::{compile, matches_compiled};
+use doclite_bson::{Document, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Supplies foreign collections to `$lookup` stages. Implemented by
+/// [`crate::database::Database`]; the sharded router resolves lookups
+/// against its primary shard (MongoDB likewise requires the `from`
+/// collection of a `$lookup` to be unsharded).
+pub trait LookupSource {
+    /// All documents of a collection, or `None` if it does not exist.
+    fn collection_docs(&self, name: &str) -> Option<Vec<Document>>;
+}
+
+/// Runs the stages (excluding any trailing `$out`) over the input.
+/// `$lookup` stages fail without a source; use [`execute_with`].
+pub fn execute(docs: Vec<Document>, stages: &[Stage]) -> Result<Vec<Document>> {
+    execute_with(docs, stages, None)
+}
+
+/// Runs the stages with an optional `$lookup` resolver.
+pub fn execute_with(
+    mut docs: Vec<Document>,
+    stages: &[Stage],
+    source: Option<&dyn LookupSource>,
+) -> Result<Vec<Document>> {
+    for stage in stages {
+        docs = execute_stage(docs, stage, source)?;
+    }
+    Ok(docs)
+}
+
+fn execute_stage(
+    docs: Vec<Document>,
+    stage: &Stage,
+    source: Option<&dyn LookupSource>,
+) -> Result<Vec<Document>> {
+    match stage {
+        Stage::Match(filter) => {
+            let compiled = compile(filter);
+            Ok(docs
+                .into_iter()
+                .filter(|d| matches_compiled(&compiled, d))
+                .collect())
+        }
+        Stage::Limit(n) => {
+            let mut docs = docs;
+            docs.truncate(*n);
+            Ok(docs)
+        }
+        Stage::Skip(n) => Ok(docs.into_iter().skip(*n).collect()),
+        Stage::Sort(spec) => {
+            let mut docs = docs;
+            sort_documents(&mut docs, spec);
+            Ok(docs)
+        }
+        Stage::Count(name) => {
+            let mut d = Document::new();
+            d.set(name.clone(), Value::Int64(docs.len() as i64));
+            Ok(vec![d])
+        }
+        Stage::Unwind(path) => Ok(unwind(docs, path)),
+        Stage::Lookup { from, local_field, foreign_field, as_field } => {
+            let Some(source) = source else {
+                return Err(crate::error::Error::InvalidQuery(
+                    "$lookup requires a database context (use Database::aggregate)".into(),
+                ));
+            };
+            let foreign = source.collection_docs(from).unwrap_or_default();
+            Ok(lookup(docs, &foreign, local_field, foreign_field, as_field))
+        }
+        Stage::Project(fields) => docs.iter().map(|d| project(d, fields)).collect(),
+        Stage::Group { id, fields } => group(docs, id, fields),
+        Stage::Out(_) => Ok(docs), // materialization happens in the caller
+    }
+}
+
+/// Stable multi-key sort under canonical order; missing paths sort as
+/// `Null` (i.e. first ascending), matching MongoDB.
+pub fn sort_documents(docs: &mut [Document], spec: &[(String, i32)]) {
+    docs.sort_by(|a, b| {
+        for (path, dir) in spec {
+            let va = a.get_path(path).unwrap_or(Value::Null);
+            let vb = b.get_path(path).unwrap_or(Value::Null);
+            let mut ord = va.canonical_cmp(&vb);
+            if *dir < 0 {
+                ord = ord.reverse();
+            }
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+}
+
+/// `$lookup`: hash the foreign collection on `foreign_field`, then give
+/// every input document an `as_field` array of its matches. A missing
+/// local field joins as `Null` (matching MongoDB, where null ↔ missing
+/// in lookup equality); an array-valued local field matches any element.
+fn lookup(
+    docs: Vec<Document>,
+    foreign: &[Document],
+    local_field: &str,
+    foreign_field: &str,
+    as_field: &str,
+) -> Vec<Document> {
+    let mut by_key: HashMap<OrdValue, Vec<&Document>> = HashMap::new();
+    for f in foreign {
+        let key = OrdValue(f.get_path(foreign_field).unwrap_or(Value::Null));
+        by_key.entry(key).or_default().push(f);
+    }
+    let empty: Vec<&Document> = Vec::new();
+    docs.into_iter()
+        .map(|mut d| {
+            let local = d.get_path(local_field).unwrap_or(Value::Null);
+            let matches: Vec<&Document> = match &local {
+                Value::Array(items) => {
+                    let mut out = Vec::new();
+                    for item in items {
+                        if let Some(ms) = by_key.get(&OrdValue(item.clone())) {
+                            out.extend(ms.iter().copied());
+                        }
+                    }
+                    out
+                }
+                v => by_key.get(&OrdValue(v.clone())).unwrap_or(&empty).clone(),
+            };
+            d.set(
+                as_field,
+                Value::Array(matches.into_iter().map(|m| Value::Document(m.clone())).collect()),
+            );
+            d
+        })
+        .collect()
+}
+
+fn unwind(docs: Vec<Document>, path: &str) -> Vec<Document> {
+    let path = path.strip_prefix('$').unwrap_or(path);
+    let mut out = Vec::with_capacity(docs.len());
+    for doc in docs {
+        match doc.get_path(path) {
+            Some(Value::Array(items)) => {
+                for item in items {
+                    let mut clone = doc.clone();
+                    clone.set_path(path, item);
+                    out.push(clone);
+                }
+            }
+            // MongoDB 3.0 semantics: missing/null/empty-array drop the doc;
+            // a non-array value passes through unchanged.
+            Some(Value::Null) | None => {}
+            Some(_) => out.push(doc),
+        }
+    }
+    out
+}
+
+fn project(doc: &Document, fields: &[(String, ProjectField)]) -> Result<Document> {
+    let inclusion = fields
+        .iter()
+        .any(|(k, f)| !matches!(f, ProjectField::Exclude) && k != "_id");
+    if inclusion {
+        let mut out = Document::new();
+        // _id is carried along unless explicitly excluded.
+        let id_excluded = fields
+            .iter()
+            .any(|(k, f)| k == "_id" && matches!(f, ProjectField::Exclude));
+        if !id_excluded {
+            if let Some(id) = doc.id() {
+                out.set("_id", id.clone());
+            }
+        }
+        for (key, field) in fields {
+            match field {
+                ProjectField::Exclude => {}
+                ProjectField::Include => {
+                    if let Some(v) = doc.get_path(key) {
+                        out.set_path(key, v);
+                    }
+                }
+                ProjectField::Compute(expr) => {
+                    let v = expr.eval(doc)?;
+                    out.set_path(key, v);
+                }
+            }
+        }
+        Ok(out)
+    } else {
+        // Exclusion mode: copy everything except the listed paths.
+        let mut out = doc.clone();
+        for (key, _) in fields {
+            remove_path(&mut out, key);
+        }
+        Ok(out)
+    }
+}
+
+fn remove_path(doc: &mut Document, path: &str) {
+    match path.split_once('.') {
+        None => {
+            doc.remove(path);
+        }
+        Some((head, rest)) => {
+            if let Some(Value::Document(inner)) = doc.get_mut(head) {
+                remove_path(inner, rest);
+            }
+        }
+    }
+}
+
+fn group(
+    docs: Vec<Document>,
+    id: &GroupId,
+    fields: &[(String, super::accum::Accumulator)],
+) -> Result<Vec<Document>> {
+    // Group keys hash under canonical semantics; insertion order of first
+    // appearance is preserved so output is deterministic.
+    let mut order: Vec<OrdValue> = Vec::new();
+    let mut groups: HashMap<OrdValue, Vec<AccState>> = HashMap::new();
+
+    let id_expr = match id {
+        GroupId::Null => Expr::Literal(Value::Null),
+        GroupId::Expr(e) => e.clone(),
+    };
+
+    for doc in &docs {
+        let key = OrdValue(id_expr.eval(doc)?);
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key)
+                    .or_insert_with(|| fields.iter().map(|(_, a)| AccState::new(a)).collect())
+            }
+        };
+        for (state, (_, spec)) in states.iter_mut().zip(fields) {
+            state.accumulate(spec, doc)?;
+        }
+    }
+
+    // `$group` on empty input with `_id: null` yields no documents in
+    // MongoDB's aggregate() (unlike SQL aggregates without GROUP BY).
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("key recorded in order");
+        let mut d = Document::with_capacity(fields.len() + 1);
+        d.set("_id", key.into_value());
+        for (state, (name, _)) in states.into_iter().zip(fields) {
+            d.set(name.clone(), state.finish());
+        }
+        out.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::accum::Accumulator;
+    use crate::agg::stage::Pipeline;
+    use crate::query::filter::Filter;
+    use doclite_bson::{array, doc};
+
+    fn input() -> Vec<Document> {
+        vec![
+            doc! {"_id" => 1i64, "item" => "a", "qty" => 10i64, "price" => 2.5f64},
+            doc! {"_id" => 2i64, "item" => "b", "qty" => 20i64, "price" => 1.0f64},
+            doc! {"_id" => 3i64, "item" => "a", "qty" => 5i64, "price" => 3.0f64},
+            doc! {"_id" => 4i64, "item" => "c", "qty" => 20i64, "price" => 4.0f64},
+        ]
+    }
+
+    fn run(p: Pipeline) -> Vec<Document> {
+        execute(input(), p.stages()).unwrap()
+    }
+
+    #[test]
+    fn match_limit_skip() {
+        let out = run(Pipeline::new().match_stage(Filter::gte("qty", 10i64)));
+        assert_eq!(out.len(), 3);
+        let out = run(Pipeline::new().skip(1).limit(2));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("_id"), Some(&Value::Int64(2)));
+    }
+
+    #[test]
+    fn group_by_field_with_sum_and_avg() {
+        let out = run(Pipeline::new()
+            .group(
+                GroupId::Expr(Expr::field("item")),
+                [
+                    ("total", Accumulator::sum_field("qty")),
+                    ("avg_price", Accumulator::avg_field("price")),
+                ],
+            )
+            .sort([("_id", 1)]));
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("_id"), Some(&Value::from("a")));
+        assert_eq!(out[0].get("total"), Some(&Value::Int64(15)));
+        assert_eq!(out[0].get("avg_price"), Some(&Value::Double(2.75)));
+    }
+
+    #[test]
+    fn group_null_single_bucket() {
+        let out = run(Pipeline::new().group(GroupId::Null, [("n", Accumulator::count())]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n"), Some(&Value::Int64(4)));
+    }
+
+    #[test]
+    fn group_on_empty_input_yields_nothing() {
+        let out = execute(
+            vec![],
+            Pipeline::new()
+                .group(GroupId::Null, [("n", Accumulator::count())])
+                .stages(),
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn group_by_compound_document_key() {
+        let out = run(Pipeline::new()
+            .group(
+                GroupId::Expr(Expr::Doc(vec![
+                    ("i".into(), Expr::field("item")),
+                    ("q".into(), Expr::field("qty")),
+                ])),
+                [("n", Accumulator::count())],
+            )
+            .sort([("_id.i", 1), ("_id.q", 1)]));
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].get_path("_id.i"), Some(Value::from("a")));
+        assert_eq!(out[0].get_path("_id.q"), Some(Value::Int64(5)));
+    }
+
+    #[test]
+    fn sort_multi_key_directions() {
+        let out = run(Pipeline::new().sort([("qty", -1), ("item", 1)]));
+        let ids: Vec<_> = out.iter().map(|d| d.get("_id").unwrap().clone()).collect();
+        assert_eq!(
+            ids,
+            vec![Value::Int64(2), Value::Int64(4), Value::Int64(1), Value::Int64(3)]
+        );
+    }
+
+    #[test]
+    fn project_inclusion_keeps_id_unless_excluded() {
+        let out = run(Pipeline::new().project([
+            ("item", ProjectField::Include),
+            (
+                "value",
+                ProjectField::Compute(Expr::Multiply(vec![
+                    Expr::field("qty"),
+                    Expr::field("price"),
+                ])),
+            ),
+        ]));
+        assert_eq!(out[0].keys().count(), 3); // _id, item, value
+        assert_eq!(out[0].get("value"), Some(&Value::Double(25.0)));
+
+        let out = run(Pipeline::new().project([
+            ("_id", ProjectField::Exclude),
+            ("item", ProjectField::Include),
+        ]));
+        assert_eq!(out[0].keys().count(), 1);
+    }
+
+    #[test]
+    fn project_exclusion_mode() {
+        let out = run(Pipeline::new().project([("price", ProjectField::Exclude)]));
+        assert!(out[0].get("price").is_none());
+        assert!(out[0].get("qty").is_some());
+        assert!(out[0].get("_id").is_some());
+    }
+
+    #[test]
+    fn count_stage() {
+        let out = run(Pipeline::new()
+            .match_stage(Filter::eq("item", "a"))
+            .count("n"));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n"), Some(&Value::Int64(2)));
+    }
+
+    #[test]
+    fn unwind_expands_arrays_and_drops_missing() {
+        let docs = vec![
+            doc! {"_id" => 1i64, "tags" => array!["x", "y"]},
+            doc! {"_id" => 2i64},
+            doc! {"_id" => 3i64, "tags" => "scalar"},
+            doc! {"_id" => 4i64, "tags" => Value::Array(vec![])},
+        ];
+        let out = execute(docs, Pipeline::new().unwind("$tags").stages()).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("tags"), Some(&Value::from("x")));
+        assert_eq!(out[1].get("tags"), Some(&Value::from("y")));
+        assert_eq!(out[2].get("tags"), Some(&Value::from("scalar")));
+    }
+
+    #[test]
+    fn group_keys_unify_numeric_types() {
+        let docs = vec![
+            doc! {"k" => 1i32, "v" => 1i64},
+            doc! {"k" => 1i64, "v" => 2i64},
+            doc! {"k" => 1.0f64, "v" => 3i64},
+        ];
+        let out = execute(
+            docs,
+            Pipeline::new()
+                .group(
+                    GroupId::Expr(Expr::field("k")),
+                    [("n", Accumulator::count())],
+                )
+                .stages(),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("n"), Some(&Value::Int64(3)));
+    }
+}
+
+#[cfg(test)]
+mod lookup_tests {
+    use super::*;
+    use crate::agg::stage::Pipeline;
+    use crate::database::Database;
+    use crate::query::filter::Filter;
+    use doclite_bson::{array, doc};
+
+    fn db() -> Database {
+        let db = Database::new("t");
+        db.collection("orders")
+            .insert_many([
+                doc! {"_id" => 1i64, "item" => "a", "qty" => 2i64},
+                doc! {"_id" => 2i64, "item" => "b", "qty" => 1i64},
+                doc! {"_id" => 3i64, "item" => "z", "qty" => 5i64},
+                doc! {"_id" => 4i64, "qty" => 9i64}, // missing item
+            ])
+            .unwrap();
+        db.collection("inventory")
+            .insert_many([
+                doc! {"_id" => 1i64, "sku" => "a", "instock" => 120i64},
+                doc! {"_id" => 2i64, "sku" => "b", "instock" => 80i64},
+                doc! {"_id" => 3i64, "sku" => "a", "instock" => 40i64},
+                doc! {"_id" => 4i64, "instock" => 0i64}, // missing sku
+            ])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn lookup_left_outer_joins() {
+        let db = db();
+        let out = db
+            .aggregate(
+                "orders",
+                &Pipeline::new()
+                    .lookup("inventory", "item", "sku", "stock")
+                    .sort([("_id", 1)]),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        // "a" matches two inventory docs.
+        assert_eq!(out[0].get_path("stock").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(out[1].get_path("stock").unwrap().as_array().unwrap().len(), 1);
+        // unmatched item keeps an empty array (left outer join)
+        assert_eq!(out[2].get_path("stock").unwrap().as_array().unwrap().len(), 0);
+        // missing local field joins against the missing-sku doc (null ↔ missing)
+        assert_eq!(out[3].get_path("stock").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn lookup_with_array_local_field_matches_any_element() {
+        let db = db();
+        db.collection("carts")
+            .insert_one(doc! {"_id" => 1i64, "items" => array!["a", "b"]})
+            .unwrap();
+        let out = db
+            .aggregate("carts", &Pipeline::new().lookup("inventory", "items", "sku", "stock"))
+            .unwrap();
+        assert_eq!(out[0].get_path("stock").unwrap().as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn lookup_then_unwind_then_group_is_a_join_aggregate() {
+        let db = db();
+        let out = db
+            .aggregate(
+                "orders",
+                &Pipeline::new()
+                    .match_stage(Filter::exists("item"))
+                    .lookup("inventory", "item", "sku", "stock")
+                    .unwind("$stock")
+                    .group(
+                        GroupId::Expr(Expr::Field("item".into())),
+                        [(
+                            "total_instock",
+                            crate::agg::Accumulator::sum_field("stock.instock"),
+                        )],
+                    )
+                    .sort([("_id", 1)]),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 2); // "z" had no stock → dropped by $unwind
+        assert_eq!(out[0].get("total_instock"), Some(&Value::Int64(160)));
+        assert_eq!(out[1].get("total_instock"), Some(&Value::Int64(80)));
+    }
+
+    #[test]
+    fn lookup_without_database_context_errors() {
+        let coll = crate::collection::Collection::new("c");
+        coll.insert_one(doc! {"a" => 1i64}).unwrap();
+        let err = coll.aggregate(&Pipeline::new().lookup("other", "a", "b", "x"));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn lookup_against_missing_collection_yields_empty_arrays() {
+        let db = db();
+        let out = db
+            .aggregate("orders", &Pipeline::new().lookup("nope", "item", "sku", "stock"))
+            .unwrap();
+        assert!(out
+            .iter()
+            .all(|d| d.get_path("stock").unwrap().as_array().unwrap().is_empty()));
+    }
+}

@@ -1,0 +1,13 @@
+//! The aggregation framework: "data processing pipelines" (thesis
+//! Section 4.1.3.1) whose stages filter, reshape, group, and sort the
+//! documents flowing through them.
+
+pub mod accum;
+pub mod exec;
+pub mod expr;
+pub mod stage;
+
+pub use accum::Accumulator;
+pub use exec::{execute, execute_with, sort_documents, LookupSource};
+pub use expr::Expr;
+pub use stage::{GroupId, Pipeline, ProjectField, Stage};

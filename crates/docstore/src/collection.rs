@@ -1,0 +1,678 @@
+//! Collections: the unit of storage, indexing, and querying.
+
+use crate::agg::{exec, Pipeline, Stage};
+use crate::error::{Error, Result};
+use crate::index::{extract_keys, Index, IndexDef, IndexKind, SortOrder};
+use crate::query::filter::Filter;
+use crate::query::matcher::{compile, matches_compiled};
+use crate::query::planner::{plan, Plan, PlanKind};
+use crate::storage::{DocId, Slab};
+use crate::update::{apply_update, upsert_seed, UpdateResult, UpdateSpec};
+use doclite_bson::{codec::encoded_size, Document, Value, MAX_DOCUMENT_SIZE};
+use parking_lot::RwLock;
+
+/// Options for a `find`: sort, skip, limit, projection.
+#[derive(Clone, Debug, Default)]
+pub struct FindOptions {
+    /// Sort spec: `(path, 1|-1)` pairs.
+    pub sort: Vec<(String, i32)>,
+    /// Documents to skip after sorting.
+    pub skip: usize,
+    /// Maximum documents to return (0 = unlimited).
+    pub limit: usize,
+    /// Paths to include (empty = whole documents).
+    pub projection: Vec<String>,
+}
+
+impl FindOptions {
+    /// Default options (no sort/skip/limit/projection).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sort key.
+    pub fn sort_by(mut self, path: impl Into<String>, dir: i32) -> Self {
+        self.sort.push((path.into(), dir));
+        self
+    }
+
+    /// Sets the limit.
+    pub fn with_limit(mut self, n: usize) -> Self {
+        self.limit = n;
+        self
+    }
+
+    /// Sets the skip.
+    pub fn with_skip(mut self, n: usize) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// Adds a projected path.
+    pub fn include(mut self, path: impl Into<String>) -> Self {
+        self.projection.push(path.into());
+        self
+    }
+}
+
+/// Execution report returned by [`Collection::explain`], in the spirit of
+/// `db.collection.explain()`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Explain {
+    /// `COLLSCAN` or `IXSCAN { <index> }`.
+    pub plan: String,
+    /// Whether an index served the fetch.
+    pub used_index: bool,
+    /// Candidate documents fetched before the residual filter.
+    pub docs_examined: usize,
+    /// Documents that satisfied the full filter.
+    pub docs_returned: usize,
+}
+
+struct Inner {
+    slab: Slab,
+    indexes: Vec<Index>,
+}
+
+/// A collection of documents with secondary indexes. Thread-safe: reads
+/// take a shared lock, writes an exclusive one (the engine-level analogue
+/// of MongoDB's collection-level locking the thesis discusses in its
+/// future-work chapter).
+pub struct Collection {
+    name: String,
+    inner: RwLock<Inner>,
+}
+
+impl Collection {
+    /// Creates an empty collection with the default unique `_id` index.
+    pub fn new(name: impl Into<String>) -> Self {
+        let id_index = Index::new(IndexDef {
+            name: "_id_".to_owned(),
+            fields: vec![("_id".to_owned(), SortOrder::Ascending)],
+            kind: IndexKind::BTree,
+            unique: true,
+        })
+        .expect("_id index definition is valid");
+        Collection {
+            name: name.into(),
+            inner: RwLock::new(Inner { slab: Slab::new(), indexes: vec![id_index] }),
+        }
+    }
+
+    /// The collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.inner.read().slab.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded size of stored documents in bytes.
+    pub fn data_size(&self) -> usize {
+        self.inner.read().slab.data_size()
+    }
+
+    /// Average encoded document size in bytes (0 if empty).
+    pub fn avg_doc_size(&self) -> usize {
+        let inner = self.inner.read();
+        let n = inner.slab.len();
+        if n == 0 {
+            0
+        } else {
+            inner.slab.data_size() / n
+        }
+    }
+
+    /// Inserts one document, assigning an ObjectId `_id` if absent.
+    /// Returns the document's id value.
+    pub fn insert_one(&self, mut doc: Document) -> Result<Value> {
+        let id = doc.ensure_id();
+        let size = encoded_size(&doc);
+        if size > MAX_DOCUMENT_SIZE {
+            return Err(Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE });
+        }
+        let mut inner = self.inner.write();
+        Self::insert_locked(&mut inner, doc)?;
+        Ok(id)
+    }
+
+    /// Inserts many documents; stops at the first error, returning the
+    /// count inserted so far alongside the error.
+    pub fn insert_many(
+        &self,
+        docs: impl IntoIterator<Item = Document>,
+    ) -> std::result::Result<usize, (usize, Error)> {
+        let mut inner = self.inner.write();
+        let mut n = 0;
+        for mut doc in docs {
+            doc.ensure_id();
+            let size = encoded_size(&doc);
+            if size > MAX_DOCUMENT_SIZE {
+                return Err((n, Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE }));
+            }
+            if let Err(e) = Self::insert_locked(&mut inner, doc) {
+                return Err((n, e));
+            }
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn insert_locked(inner: &mut Inner, doc: Document) -> Result<()> {
+        // Validate unique indexes before touching state.
+        for idx in &inner.indexes {
+            if idx.def.unique {
+                for key in extract_keys(&doc, &idx.def)? {
+                    if !idx.lookup_eq(&key).is_empty() {
+                        return Err(Error::DuplicateId(format!("{:?}", key.0)));
+                    }
+                }
+            }
+        }
+        let id = inner.slab.insert(doc);
+        let doc_ref = inner.slab.get(id).expect("just inserted").clone();
+        for idx in &mut inner.indexes {
+            idx.insert(id, &doc_ref)
+                .expect("uniqueness pre-validated");
+        }
+        Ok(())
+    }
+
+    /// Creates an index; backfills existing documents. Creating an index
+    /// that already exists (same definition) is a no-op.
+    pub fn create_index(&self, def: IndexDef) -> Result<()> {
+        def.validate()?;
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.indexes.iter().find(|i| i.def.name == def.name) {
+            if existing.def == def {
+                return Ok(());
+            }
+            return Err(Error::IndexConflict(def.name));
+        }
+        let mut idx = Index::new(def)?;
+        for (id, doc) in inner.slab.iter() {
+            idx.insert(id, doc)?;
+        }
+        inner.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drops an index by name (the `_id_` index cannot be dropped).
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        if name == "_id_" {
+            return Err(Error::InvalidIndex("cannot drop the _id index".into()));
+        }
+        let mut inner = self.inner.write();
+        let pos = inner
+            .indexes
+            .iter()
+            .position(|i| i.def.name == name)
+            .ok_or_else(|| Error::NoSuchIndex(name.to_owned()))?;
+        inner.indexes.remove(pos);
+        Ok(())
+    }
+
+    /// The definitions of all indexes on this collection.
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.inner.read().indexes.iter().map(|i| i.def.clone()).collect()
+    }
+
+    /// Total encoded size of index keys — a stand-in for index memory
+    /// footprint in working-set calculations (thesis Section 2.1.3.2).
+    pub fn index_size(&self) -> usize {
+        let inner = self.inner.read();
+        inner
+            .indexes
+            .iter()
+            .map(|i| i.entry_count() * 16) // entries × (key ref + DocId)
+            .sum()
+    }
+
+    fn fetch_candidates(inner: &Inner, plan: &Plan) -> Vec<DocId> {
+        match &plan.kind {
+            PlanKind::CollScan => inner.slab.iter().map(|(id, _)| id).collect(),
+            PlanKind::IndexEq { index, keys } => {
+                let idx = Self::index_by_name(inner, index);
+                let mut ids = Vec::new();
+                for key in keys {
+                    ids.extend(idx.lookup_eq(key));
+                }
+                ids
+            }
+            PlanKind::IndexRange { index, min, max } => {
+                let idx = Self::index_by_name(inner, index);
+                idx.lookup_range(
+                    min.as_ref().map(|(v, i)| (v, *i)),
+                    max.as_ref().map(|(v, i)| (v, *i)),
+                )
+                .unwrap_or_default()
+            }
+        }
+    }
+
+    fn index_by_name<'a>(inner: &'a Inner, name: &str) -> &'a Index {
+        inner
+            .indexes
+            .iter()
+            .find(|i| i.def.name == name)
+            .expect("planner only names existing indexes")
+    }
+
+    /// Finds documents matching a filter.
+    pub fn find(&self, filter: &Filter) -> Vec<Document> {
+        self.find_with(filter, &FindOptions::default())
+    }
+
+    /// Finds with sort/skip/limit/projection.
+    pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        let inner = self.inner.read();
+        let plan = plan(filter, &inner.indexes);
+        let compiled = compile(filter);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        let mut out: Vec<Document> = ids
+            .into_iter()
+            .filter_map(|id| inner.slab.get(id))
+            .filter(|d| matches_compiled(&compiled, d))
+            .cloned()
+            .collect();
+        drop(inner);
+
+        if !opts.sort.is_empty() {
+            exec::sort_documents(&mut out, &opts.sort);
+        }
+        if opts.skip > 0 {
+            out.drain(..opts.skip.min(out.len()));
+        }
+        if opts.limit > 0 {
+            out.truncate(opts.limit);
+        }
+        if !opts.projection.is_empty() {
+            out = out.iter().map(|d| project_paths(d, &opts.projection)).collect();
+        }
+        out
+    }
+
+    /// Finds the first matching document.
+    pub fn find_one(&self, filter: &Filter) -> Option<Document> {
+        self.find_with(filter, &FindOptions::new().with_limit(1))
+            .into_iter()
+            .next()
+    }
+
+    /// Counts matching documents without materializing them.
+    pub fn count(&self, filter: &Filter) -> usize {
+        let inner = self.inner.read();
+        let plan = plan(filter, &inner.indexes);
+        let compiled = compile(filter);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        ids.into_iter()
+            .filter_map(|id| inner.slab.get(id))
+            .filter(|d| matches_compiled(&compiled, d))
+            .count()
+    }
+
+    /// Explains how a filter would execute, running it to report counts.
+    pub fn explain(&self, filter: &Filter) -> Explain {
+        let inner = self.inner.read();
+        let plan = plan(filter, &inner.indexes);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        let compiled = compile(filter);
+        let docs_examined = ids.len();
+        let docs_returned = ids
+            .into_iter()
+            .filter_map(|id| inner.slab.get(id))
+            .filter(|d| matches_compiled(&compiled, d))
+            .count();
+        Explain {
+            plan: plan.describe(),
+            used_index: plan.uses_index(),
+            docs_examined,
+            docs_returned,
+        }
+    }
+
+    /// Updates matching documents.
+    ///
+    /// The four parameters mirror the thesis's description of the update
+    /// query in Fig 4.7 step 10: selection criteria, modification,
+    /// `upsert`, and `multi`.
+    pub fn update(
+        &self,
+        filter: &Filter,
+        spec: &UpdateSpec,
+        upsert: bool,
+        multi: bool,
+    ) -> Result<UpdateResult> {
+        let mut inner = self.inner.write();
+        let plan = plan(filter, &inner.indexes);
+        let compiled = compile(filter);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        let mut result = UpdateResult::default();
+
+        for id in ids {
+            let Some(doc) = inner.slab.get(id) else { continue };
+            if !matches_compiled(&compiled, doc) {
+                continue;
+            }
+            result.matched += 1;
+            let mut updated = doc.clone();
+            if apply_update(&mut updated, spec)? {
+                let size = encoded_size(&updated);
+                if size > MAX_DOCUMENT_SIZE {
+                    return Err(Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE });
+                }
+                let old = inner
+                    .slab
+                    .replace(id, updated.clone())
+                    .expect("doc exists");
+                for idx in &mut inner.indexes {
+                    idx.remove(id, &old);
+                    idx.insert(id, &updated)?;
+                }
+                result.modified += 1;
+            }
+            if !multi {
+                break;
+            }
+        }
+
+        if result.matched == 0 && upsert {
+            let mut seed = upsert_seed(filter);
+            apply_update(&mut seed, spec)?;
+            let id = seed.ensure_id();
+            Self::insert_locked(&mut inner, seed)?;
+            result.upserted_id = Some(id);
+        }
+        Ok(result)
+    }
+
+    /// Deletes matching documents, returning the count removed.
+    pub fn delete_many(&self, filter: &Filter) -> usize {
+        let mut inner = self.inner.write();
+        let plan = plan(filter, &inner.indexes);
+        let compiled = compile(filter);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        let mut removed = 0;
+        for id in ids {
+            let is_match = inner
+                .slab
+                .get(id)
+                .is_some_and(|d| matches_compiled(&compiled, d));
+            if !is_match {
+                continue;
+            }
+            let old = inner.slab.remove(id).expect("checked above");
+            for idx in &mut inner.indexes {
+                idx.remove(id, &old);
+            }
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Runs an aggregation pipeline. A trailing `$out` stage is ignored
+    /// here (results are returned); use `Database::aggregate` to
+    /// materialize into a collection.
+    ///
+    /// The leading `$match` run is served through the planner, so an
+    /// indexed `$match` avoids a full scan — the optimization MongoDB
+    /// applies and the thesis's queries depend on.
+    pub fn aggregate(&self, pipeline: &Pipeline) -> Result<Vec<Document>> {
+        self.aggregate_with(pipeline, None)
+    }
+
+    /// [`Collection::aggregate`] with a `$lookup` resolver (the database
+    /// that owns the foreign collections).
+    pub fn aggregate_with(
+        &self,
+        pipeline: &Pipeline,
+        source: Option<&dyn exec::LookupSource>,
+    ) -> Result<Vec<Document>> {
+        let stages = pipeline.stages();
+        let body: &[Stage] = match stages.last() {
+            Some(Stage::Out(_)) => &stages[..stages.len() - 1],
+            _ => stages,
+        };
+
+        let inner = self.inner.read();
+        let (docs_in, rest): (Vec<Document>, &[Stage]) = match body.first() {
+            Some(Stage::Match(filter)) => {
+                let plan = plan(filter, &inner.indexes);
+                let compiled = compile(filter);
+                let ids = Self::fetch_candidates(&inner, &plan);
+                let docs = ids
+                    .into_iter()
+                    .filter_map(|id| inner.slab.get(id))
+                    .filter(|d| matches_compiled(&compiled, d))
+                    .cloned()
+                    .collect();
+                (docs, &body[1..])
+            }
+            _ => (
+                inner.slab.iter().map(|(_, d)| d.clone()).collect(),
+                body,
+            ),
+        };
+        drop(inner);
+        exec::execute_with(docs_in, rest, source)
+    }
+
+    /// Visits every document without cloning (shared lock held for the
+    /// duration).
+    pub fn for_each(&self, mut f: impl FnMut(&Document)) {
+        let inner = self.inner.read();
+        for (_, doc) in inner.slab.iter() {
+            f(doc);
+        }
+    }
+
+    /// Clones out all documents.
+    pub fn all_docs(&self) -> Vec<Document> {
+        let inner = self.inner.read();
+        inner.slab.iter().map(|(_, d)| d.clone()).collect()
+    }
+}
+
+fn project_paths(doc: &Document, paths: &[String]) -> Document {
+    let mut out = Document::new();
+    if let Some(id) = doc.id() {
+        out.set("_id", id.clone());
+    }
+    for p in paths {
+        if let Some(v) = doc.get_path(p) {
+            out.set_path(p, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::doc;
+
+    fn seeded() -> Collection {
+        let c = Collection::new("items");
+        c.insert_many((0..100).map(|i| {
+            doc! {"_id" => i as i64, "grp" => (i % 10) as i64, "val" => (i * 2) as i64}
+        }))
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_assigns_object_ids() {
+        let c = Collection::new("t");
+        let id = c.insert_one(doc! {"a" => 1i64}).unwrap();
+        assert!(matches!(id, Value::ObjectId(_)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let c = Collection::new("t");
+        c.insert_one(doc! {"_id" => 1i64}).unwrap();
+        assert!(matches!(
+            c.insert_one(doc! {"_id" => 1i64}),
+            Err(Error::DuplicateId(_))
+        ));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn find_uses_id_index() {
+        let c = seeded();
+        let ex = c.explain(&Filter::eq("_id", 42i64));
+        assert!(ex.used_index);
+        assert_eq!(ex.docs_examined, 1);
+        assert_eq!(ex.docs_returned, 1);
+    }
+
+    #[test]
+    fn secondary_index_backfills_and_serves() {
+        let c = seeded();
+        let before = c.explain(&Filter::eq("grp", 3i64));
+        assert!(!before.used_index);
+        assert_eq!(before.docs_examined, 100);
+
+        c.create_index(IndexDef::single("grp")).unwrap();
+        let after = c.explain(&Filter::eq("grp", 3i64));
+        assert!(after.used_index);
+        assert_eq!(after.docs_examined, 10);
+        assert_eq!(after.docs_returned, 10);
+    }
+
+    #[test]
+    fn create_same_index_twice_is_noop() {
+        let c = seeded();
+        c.create_index(IndexDef::single("grp")).unwrap();
+        c.create_index(IndexDef::single("grp")).unwrap();
+        assert_eq!(c.index_defs().len(), 2); // _id_ + grp_1
+    }
+
+    #[test]
+    fn drop_index_works_but_not_id() {
+        let c = seeded();
+        c.create_index(IndexDef::single("grp")).unwrap();
+        c.drop_index("grp_1").unwrap();
+        assert!(c.drop_index("grp_1").is_err());
+        assert!(c.drop_index("_id_").is_err());
+    }
+
+    #[test]
+    fn find_with_sort_skip_limit_projection() {
+        let c = seeded();
+        let out = c.find_with(
+            &Filter::lt("val", 20i64),
+            &FindOptions::new()
+                .sort_by("val", -1)
+                .with_skip(1)
+                .with_limit(3)
+                .include("val"),
+        );
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].get("val"), Some(&Value::Int64(16)));
+        assert!(out[0].get("grp").is_none());
+        assert!(out[0].get("_id").is_some());
+    }
+
+    #[test]
+    fn update_multi_and_single() {
+        let c = seeded();
+        let r = c
+            .update(&Filter::eq("grp", 1i64), &UpdateSpec::set("flag", true), false, true)
+            .unwrap();
+        assert_eq!(r.matched, 10);
+        assert_eq!(r.modified, 10);
+
+        let r = c
+            .update(&Filter::eq("grp", 2i64), &UpdateSpec::set("flag", true), false, false)
+            .unwrap();
+        assert_eq!(r.matched, 1);
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let c = seeded();
+        c.create_index(IndexDef::single("grp")).unwrap();
+        c.update(&Filter::eq("_id", 5i64), &UpdateSpec::set("grp", 99i64), false, true)
+            .unwrap();
+        let out = c.find(&Filter::eq("grp", 99i64));
+        assert_eq!(out.len(), 1);
+        let ex = c.explain(&Filter::eq("grp", 5i64));
+        assert_eq!(ex.docs_returned, 9); // one moved out of grp 5
+    }
+
+    #[test]
+    fn upsert_creates_from_filter_equalities() {
+        let c = Collection::new("t");
+        let r = c
+            .update(
+                &Filter::eq("k", 7i64),
+                &UpdateSpec::set("v", "new"),
+                true,
+                true,
+            )
+            .unwrap();
+        assert!(r.upserted_id.is_some());
+        let doc = c.find_one(&Filter::eq("k", 7i64)).unwrap();
+        assert_eq!(doc.get("v"), Some(&Value::from("new")));
+    }
+
+    #[test]
+    fn delete_many_removes_and_unindexes() {
+        let c = seeded();
+        c.create_index(IndexDef::single("grp")).unwrap();
+        let n = c.delete_many(&Filter::eq("grp", 0i64));
+        assert_eq!(n, 10);
+        assert_eq!(c.len(), 90);
+        assert!(c.find(&Filter::eq("grp", 0i64)).is_empty());
+    }
+
+    #[test]
+    fn oversized_document_rejected() {
+        let c = Collection::new("t");
+        let big = "x".repeat(MAX_DOCUMENT_SIZE);
+        assert!(matches!(
+            c.insert_one(doc! {"s" => big}),
+            Err(Error::DocumentTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_leading_match_uses_index() {
+        use crate::agg::{Accumulator, GroupId, Pipeline};
+        let c = seeded();
+        c.create_index(IndexDef::single("grp")).unwrap();
+        let out = c
+            .aggregate(
+                &Pipeline::new()
+                    .match_stage(Filter::eq("grp", 4i64))
+                    .group(GroupId::Null, [("total", Accumulator::sum_field("val"))]),
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // grp 4 holds _ids 4,14,…,94; val = 2*_id
+        let expected: i64 = (0..10).map(|i| (4 + 10 * i) * 2).sum();
+        assert_eq!(out[0].get("total"), Some(&Value::Int64(expected)));
+    }
+
+    #[test]
+    fn data_size_accounts_inserts_and_deletes() {
+        let c = Collection::new("t");
+        assert_eq!(c.data_size(), 0);
+        c.insert_one(doc! {"a" => "hello"}).unwrap();
+        let sz = c.data_size();
+        assert!(sz > 0);
+        c.delete_many(&Filter::True);
+        assert_eq!(c.data_size(), 0);
+        assert_eq!(c.avg_doc_size(), 0);
+    }
+}

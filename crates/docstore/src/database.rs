@@ -1,0 +1,165 @@
+//! Databases: named sets of collections, plus `$out` materialization.
+
+use crate::agg::exec::LookupSource;
+use crate::agg::{Pipeline, Stage};
+use crate::collection::Collection;
+use crate::error::{Error, Result};
+use doclite_bson::Document;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A database: a namespace of collections (e.g. `Dataset_1GB` holding the
+/// 24 migrated TPC-DS collections).
+pub struct Database {
+    name: String,
+    collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { name: name.into(), collections: RwLock::new(BTreeMap::new()) }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Gets or creates a collection (MongoDB's implicit-creation
+    /// behaviour on first use).
+    pub fn collection(&self, name: &str) -> Arc<Collection> {
+        if let Some(c) = self.collections.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.collections.write();
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(Collection::new(name))),
+        )
+    }
+
+    /// Gets an existing collection.
+    pub fn get_collection(&self, name: &str) -> Result<Arc<Collection>> {
+        self.collections
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NoSuchCollection(name.to_owned()))
+    }
+
+    /// True if the collection exists.
+    pub fn has_collection(&self, name: &str) -> bool {
+        self.collections.read().contains_key(name)
+    }
+
+    /// Drops a collection; returns whether it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Collection names in sorted order.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Total data size across collections in bytes.
+    pub fn data_size(&self) -> usize {
+        self.collections
+            .read()
+            .values()
+            .map(|c| c.data_size())
+            .sum()
+    }
+
+    /// Runs an aggregation on a collection; a trailing `$out` stage
+    /// replaces the target collection with the results (MongoDB `$out`
+    /// semantics) and the results are also returned.
+    pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
+        let source = self.get_collection(collection)?;
+        let results = source.aggregate_with(pipeline, Some(self))?;
+        if let Some(Stage::Out(target)) = pipeline.stages().last() {
+            self.drop_collection(target);
+            let out = self.collection(target);
+            out.insert_many(results.iter().cloned())
+                .map_err(|(_, e)| e)?;
+        }
+        Ok(results)
+    }
+}
+
+impl LookupSource for Database {
+    fn collection_docs(&self, name: &str) -> Option<Vec<Document>> {
+        self.get_collection(name).ok().map(|c| c.all_docs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::{Accumulator, GroupId, Pipeline};
+    use crate::query::Filter;
+    use doclite_bson::doc;
+
+    #[test]
+    fn implicit_collection_creation() {
+        let db = Database::new("test");
+        assert!(!db.has_collection("a"));
+        db.collection("a").insert_one(doc! {"x" => 1i64}).unwrap();
+        assert!(db.has_collection("a"));
+        assert!(db.get_collection("missing").is_err());
+    }
+
+    #[test]
+    fn collection_handle_is_shared() {
+        let db = Database::new("test");
+        let c1 = db.collection("a");
+        let c2 = db.collection("a");
+        c1.insert_one(doc! {"x" => 1i64}).unwrap();
+        assert_eq!(c2.len(), 1);
+    }
+
+    #[test]
+    fn drop_collection() {
+        let db = Database::new("test");
+        db.collection("a");
+        assert!(db.drop_collection("a"));
+        assert!(!db.drop_collection("a"));
+    }
+
+    #[test]
+    fn aggregate_with_out_materializes() {
+        let db = Database::new("test");
+        let src = db.collection("src");
+        for i in 0..10i64 {
+            src.insert_one(doc! {"k" => i % 2, "v" => i}).unwrap();
+        }
+        let p = Pipeline::new()
+            .group(
+                GroupId::Expr(crate::agg::Expr::field("k")),
+                [("total", Accumulator::sum_field("v"))],
+            )
+            .sort([("_id", 1)])
+            .out("dst");
+        let results = db.aggregate("src", &p).unwrap();
+        assert_eq!(results.len(), 2);
+        let dst = db.get_collection("dst").unwrap();
+        assert_eq!(dst.len(), 2);
+        // $out replaces on re-run rather than appending.
+        db.aggregate("src", &p).unwrap();
+        assert_eq!(db.get_collection("dst").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn database_data_size_sums_collections() {
+        let db = Database::new("test");
+        db.collection("a").insert_one(doc! {"x" => 1i64}).unwrap();
+        db.collection("b").insert_one(doc! {"y" => "abc"}).unwrap();
+        let expected = db.get_collection("a").unwrap().data_size()
+            + db.get_collection("b").unwrap().data_size();
+        assert_eq!(db.data_size(), expected);
+        db.collection("c").find(&Filter::True); // empty collection adds 0
+        assert_eq!(db.data_size(), expected);
+    }
+}

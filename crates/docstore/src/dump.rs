@@ -1,0 +1,224 @@
+//! Dump/restore: length-prefixed binary persistence of collections and
+//! databases (the `mongodump`/`mongorestore` pair), built on the BSON
+//! codec. The paper's workflow reloads datasets repeatedly; dumping a
+//! migrated database once and restoring it is much cheaper than
+//! re-migrating `.dat` files.
+//!
+//! File layout: magic `DLDUMP1\n`, then for each document its
+//! BSON-encoded bytes (each document already carries its own length
+//! prefix, so the stream is self-delimiting).
+
+use crate::collection::Collection;
+use crate::database::Database;
+use doclite_bson::{codec, Document};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"DLDUMP1\n";
+
+/// Writes a collection's documents to a dump file. Returns the count.
+pub fn dump_collection(coll: &Collection, path: &Path) -> io::Result<u64> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    let mut n = 0;
+    let mut err: Option<io::Error> = None;
+    coll.for_each(|doc| {
+        if err.is_some() {
+            return;
+        }
+        match w.write_all(&codec::encode_document(doc)) {
+            Ok(()) => n += 1,
+            Err(e) => err = Some(e),
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+/// Streams documents out of a dump file.
+pub struct DumpReader {
+    r: BufReader<File>,
+}
+
+impl DumpReader {
+    /// Opens a dump file, validating the magic header.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a doclite dump"));
+        }
+        Ok(DumpReader { r })
+    }
+}
+
+impl Iterator for DumpReader {
+    type Item = io::Result<Document>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut len_buf = [0u8; 4];
+        match self.r.read_exact(&mut len_buf) {
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
+            Err(e) => return Some(Err(e)),
+            Ok(()) => {}
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len < 5 {
+            return Some(Err(io::Error::new(io::ErrorKind::InvalidData, "bad length")));
+        }
+        let mut buf = vec![0u8; len];
+        buf[..4].copy_from_slice(&len_buf);
+        if let Err(e) = self.r.read_exact(&mut buf[4..]) {
+            return Some(Err(e));
+        }
+        Some(
+            codec::decode_document(&buf)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        )
+    }
+}
+
+/// Restores a dump file into a collection (documents keep their `_id`s).
+/// Returns the count inserted.
+pub fn restore_collection(coll: &Collection, path: &Path) -> io::Result<u64> {
+    let mut n = 0;
+    let mut batch = Vec::with_capacity(1024);
+    for doc in DumpReader::open(path)? {
+        batch.push(doc?);
+        n += 1;
+        if batch.len() == 1024 {
+            coll.insert_many(std::mem::take(&mut batch))
+                .map_err(|(_, e)| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        }
+    }
+    coll.insert_many(batch)
+        .map_err(|(_, e)| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok(n)
+}
+
+/// Dumps every collection of a database into `<dir>/<collection>.dump`.
+pub fn dump_database(db: &Database, dir: &Path) -> io::Result<Vec<(String, u64)>> {
+    db.collection_names()
+        .into_iter()
+        .map(|name| {
+            let coll = db
+                .get_collection(&name)
+                .map_err(|e| io::Error::new(io::ErrorKind::NotFound, e.to_string()))?;
+            let n = dump_collection(&coll, &dir.join(format!("{name}.dump")))?;
+            Ok((name, n))
+        })
+        .collect()
+}
+
+/// Restores every `*.dump` file in a directory into a database.
+pub fn restore_database(db: &Database, dir: &Path) -> io::Result<Vec<(String, u64)>> {
+    let mut out = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dump"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad dump name"))?
+            .to_owned();
+        let n = restore_collection(&db.collection(&name), &path)?;
+        out.push((name, n));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Filter;
+    use doclite_bson::doc;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("doclite-dump-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn collection_roundtrip_preserves_documents_and_ids() {
+        let dir = tmp("coll");
+        let src = Collection::new("src");
+        src.insert_many((0..500i64).map(|i| doc! {"_id" => i, "v" => i * 3, "s" => format!("row{i}")}))
+            .unwrap();
+        let path = dir.join("src.dump");
+        assert_eq!(dump_collection(&src, &path).unwrap(), 500);
+
+        let dst = Collection::new("dst");
+        assert_eq!(restore_collection(&dst, &path).unwrap(), 500);
+        assert_eq!(dst.len(), 500);
+        let a = src.find(&Filter::eq("_id", 42i64));
+        let b = dst.find(&Filter::eq("_id", 42i64));
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let dir = tmp("db");
+        let db = Database::new("d1");
+        db.collection("a").insert_many((0..10i64).map(|i| doc! {"i" => i})).unwrap();
+        db.collection("b").insert_one(doc! {"x" => "y"}).unwrap();
+        let dumped = dump_database(&db, &dir).unwrap();
+        assert_eq!(dumped.len(), 2);
+
+        let restored_db = Database::new("d2");
+        let restored = restore_database(&restored_db, &dir).unwrap();
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored_db.get_collection("a").unwrap().len(), 10);
+        assert_eq!(restored_db.get_collection("b").unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let dir = tmp("magic");
+        let path = dir.join("x.dump");
+        std::fs::write(&path, b"NOTADUMP").unwrap();
+        assert!(DumpReader::open(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_stream_surfaces_an_error() {
+        let dir = tmp("trunc");
+        let src = Collection::new("src");
+        src.insert_one(doc! {"a" => "long enough to truncate meaningfully"}).unwrap();
+        let path = dir.join("src.dump");
+        dump_collection(&src, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let results: Vec<_> = DumpReader::open(&path).unwrap().collect();
+        assert!(results.iter().any(|r| r.is_err()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_collection_dump_restores_empty() {
+        let dir = tmp("empty");
+        let src = Collection::new("src");
+        let path = dir.join("src.dump");
+        assert_eq!(dump_collection(&src, &path).unwrap(), 0);
+        let dst = Collection::new("dst");
+        assert_eq!(restore_collection(&dst, &path).unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

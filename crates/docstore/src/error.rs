@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the storage and query engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A document exceeded the 16 MB encoded-size cap.
+    DocumentTooLarge { size: usize, max: usize },
+    /// Insert with an `_id` that already exists in the collection.
+    DuplicateId(String),
+    /// The named collection does not exist.
+    NoSuchCollection(String),
+    /// An index with this name already exists with a different definition.
+    IndexConflict(String),
+    /// The named index does not exist.
+    NoSuchIndex(String),
+    /// An index definition is invalid (e.g. no fields, or more than one
+    /// array-valued field per compound key).
+    InvalidIndex(String),
+    /// A malformed filter, update, or pipeline specification.
+    InvalidQuery(String),
+    /// An aggregation expression failed to evaluate.
+    ExprError(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DocumentTooLarge { size, max } => {
+                write!(f, "document of {size} bytes exceeds the {max} byte cap")
+            }
+            Error::DuplicateId(id) => write!(f, "duplicate _id: {id}"),
+            Error::NoSuchCollection(name) => write!(f, "no such collection: {name}"),
+            Error::IndexConflict(name) => write!(f, "conflicting index definition: {name}"),
+            Error::NoSuchIndex(name) => write!(f, "no such index: {name}"),
+            Error::InvalidIndex(msg) => write!(f, "invalid index: {msg}"),
+            Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::ExprError(msg) => write!(f, "expression error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, Error>;

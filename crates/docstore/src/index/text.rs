@@ -1,0 +1,188 @@
+//! Text index: "text indexes support searching for string contents in a
+//! collection" (thesis Section 2.1.2, index type vi).
+//!
+//! A text index tokenizes one string field into lowercase alphanumeric
+//! terms and maintains a term → posting-list map. The `$text` filter
+//! matches documents containing *all* the search terms (MongoDB's
+//! conjunctive behaviour for unquoted terms within a single search
+//! string is OR; the thesis never exercises it, and AND is the variant
+//! useful for the workload's description fields — the difference is
+//! documented here).
+
+use crate::storage::DocId;
+use doclite_bson::{Document, Value};
+use std::collections::HashMap;
+
+/// Lowercases and splits a string into alphanumeric terms.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut terms: Vec<String> = text
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect();
+    terms.sort();
+    terms.dedup();
+    terms
+}
+
+/// The inverted index backing a text index.
+#[derive(Debug, Default)]
+pub struct TextIndex {
+    postings: HashMap<String, Vec<DocId>>,
+    entries: usize,
+}
+
+impl TextIndex {
+    /// Creates an empty text index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn field_terms(doc: &Document, field: &str) -> Vec<String> {
+        match doc.get_path(field) {
+            Some(Value::String(s)) => tokenize(&s),
+            // An array of strings indexes every element's terms.
+            Some(Value::Array(items)) => {
+                let mut terms: Vec<String> = items
+                    .iter()
+                    .filter_map(|v| v.as_str().map(tokenize))
+                    .flatten()
+                    .collect();
+                terms.sort();
+                terms.dedup();
+                terms
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Indexes a document's field.
+    pub fn insert(&mut self, id: DocId, doc: &Document, field: &str) {
+        for term in Self::field_terms(doc, field) {
+            self.postings.entry(term).or_default().push(id);
+            self.entries += 1;
+        }
+    }
+
+    /// Removes a document's entries.
+    pub fn remove(&mut self, id: DocId, doc: &Document, field: &str) {
+        for term in Self::field_terms(doc, field) {
+            if let Some(list) = self.postings.get_mut(&term) {
+                if let Some(pos) = list.iter().position(|&d| d == id) {
+                    list.swap_remove(pos);
+                    self.entries -= 1;
+                }
+                if list.is_empty() {
+                    self.postings.remove(&term);
+                }
+            }
+        }
+    }
+
+    /// Ids of documents containing *all* the query's terms (candidate
+    /// set; the matcher re-verifies).
+    pub fn search(&self, query: &str) -> Vec<DocId> {
+        let terms = tokenize(query);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        // Intersect posting lists, smallest first.
+        let mut lists: Vec<&Vec<DocId>> = match terms
+            .iter()
+            .map(|t| self.postings.get(t))
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(ls) => ls,
+            None => return Vec::new(), // some term matches nothing
+        };
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<DocId> = lists[0].clone();
+        for list in &lists[1..] {
+            let set: std::collections::HashSet<DocId> = list.iter().copied().collect();
+            result.retain(|id| set.contains(id));
+            if result.is_empty() {
+                break;
+            }
+        }
+        result.sort_unstable();
+        result.dedup();
+        result
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of (term, id) entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// All indexed ids (arbitrary order, deduplicated).
+    pub fn all_ids(&self) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self.postings.values().flatten().copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// True if `text` contains every term of `query` (the `$text` match
+/// predicate, usable without an index too).
+pub fn text_matches(text: &str, query: &str) -> bool {
+    let hay = tokenize(text);
+    tokenize(query).iter().all(|t| hay.binary_search(t).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::{array, doc};
+
+    #[test]
+    fn tokenize_lowercases_and_dedups() {
+        assert_eq!(tokenize("The quick, the QUICK fox!"), vec!["fox", "quick", "the"]);
+        assert!(tokenize("  ,,, ").is_empty());
+    }
+
+    #[test]
+    fn insert_search_remove() {
+        let mut idx = TextIndex::new();
+        let d1 = doc! {"desc" => "special national offer"};
+        let d2 = doc! {"desc" => "national economic plan"};
+        idx.insert(1, &d1, "desc");
+        idx.insert(2, &d2, "desc");
+        assert_eq!(idx.search("national"), vec![1, 2]);
+        assert_eq!(idx.search("special national"), vec![1]);
+        assert_eq!(idx.search("ECONOMIC"), vec![2]);
+        assert!(idx.search("missingterm").is_empty());
+        assert!(idx.search("").is_empty());
+        idx.remove(1, &d1, "desc");
+        assert_eq!(idx.search("national"), vec![2]);
+    }
+
+    #[test]
+    fn array_fields_index_every_element() {
+        let mut idx = TextIndex::new();
+        let d = doc! {"tags" => array!["red wine", "oak barrel"]};
+        idx.insert(7, &d, "tags");
+        assert_eq!(idx.search("oak"), vec![7]);
+        assert_eq!(idx.search("wine barrel"), vec![7]);
+    }
+
+    #[test]
+    fn non_string_fields_index_nothing() {
+        let mut idx = TextIndex::new();
+        idx.insert(1, &doc! {"desc" => 42i64}, "desc");
+        assert_eq!(idx.entry_count(), 0);
+        assert!(idx.all_ids().is_empty());
+    }
+
+    #[test]
+    fn text_matches_predicate() {
+        assert!(text_matches("Important issues, live!", "issues important"));
+        assert!(!text_matches("Important issues", "important unrelated"));
+        assert!(text_matches("anything", ""));
+    }
+}

@@ -1,0 +1,48 @@
+//! # doclite-docstore
+//!
+//! An in-process document store reproducing the MongoDB 3.0 semantics the
+//! thesis's experiments exercise: schemaless collections of BSON-like
+//! documents, a unique `_id` index plus secondary B-tree / hashed /
+//! compound / multikey indexes selected under the index-prefix rule, the
+//! match expression language, `$set`-family updates with upsert/multi,
+//! and the aggregation pipeline (`$match`, `$project`, `$group`, `$sort`,
+//! `$limit`, `$skip`, `$unwind`, `$count`, `$out`).
+//!
+//! ```
+//! use doclite_docstore::{Database, Filter, Pipeline, Accumulator, GroupId, Expr, IndexDef};
+//! use doclite_bson::doc;
+//!
+//! let db = Database::new("shop");
+//! let sales = db.collection("sales");
+//! sales.insert_one(doc! {"item" => "apple", "qty" => 5i64}).unwrap();
+//! sales.insert_one(doc! {"item" => "apple", "qty" => 7i64}).unwrap();
+//! sales.create_index(IndexDef::single("item")).unwrap();
+//!
+//! let out = db.aggregate("sales", &Pipeline::new()
+//!     .match_stage(Filter::eq("item", "apple"))
+//!     .group(GroupId::Expr(Expr::field("item")),
+//!            [("total", Accumulator::sum_field("qty"))])).unwrap();
+//! assert_eq!(out[0].get("total"), Some(&doclite_bson::Value::Int64(12)));
+//! ```
+
+pub mod agg;
+pub mod collection;
+pub mod database;
+pub mod dump;
+pub mod error;
+pub mod index;
+pub mod ordvalue;
+pub mod query;
+pub mod storage;
+pub mod update;
+
+pub use agg::{Accumulator, Expr, GroupId, Pipeline, ProjectField, Stage};
+pub use collection::{Collection, Explain, FindOptions};
+pub use database::Database;
+pub use dump::{dump_collection, dump_database, restore_collection, restore_database, DumpReader};
+pub use error::{Error, Result};
+pub use index::{IndexDef, IndexKind, SortOrder};
+pub use ordvalue::{CompoundKey, OrdValue};
+pub use query::{CmpOp, Filter};
+pub use storage::DocId;
+pub use update::{UpdateOp, UpdateResult, UpdateSpec};

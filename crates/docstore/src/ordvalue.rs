@@ -1,0 +1,173 @@
+//! `Ord + Hash` wrapper over [`Value`] under the canonical comparison
+//! semantics, used for B-tree index keys and `$group` hash keys.
+
+use doclite_bson::Value;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// A [`Value`] ordered and hashed under canonical (cross-numeric-type)
+/// semantics: `Int32(1)`, `Int64(1)` and `Double(1.0)` are one key.
+#[derive(Clone, Debug)]
+pub struct OrdValue(pub Value);
+
+impl OrdValue {
+    /// Borrows the wrapped value.
+    pub fn value(&self) -> &Value {
+        &self.0
+    }
+
+    /// Unwraps into the inner value.
+    pub fn into_value(self) -> Value {
+        self.0
+    }
+}
+
+impl From<Value> for OrdValue {
+    fn from(v: Value) -> Self {
+        OrdValue(v)
+    }
+}
+
+impl PartialEq for OrdValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.canonical_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for OrdValue {}
+
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.canonical_cmp(&other.0)
+    }
+}
+
+impl Hash for OrdValue {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        hash_value(&self.0, state);
+    }
+}
+
+fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
+    match v {
+        Value::Null => state.write_u8(0),
+        // All numerics hash through a normalized f64 so cross-type equal
+        // values land in the same bucket (matches canonical_eq).
+        Value::Int32(_) | Value::Int64(_) | Value::Double(_) => {
+            state.write_u8(1);
+            let mut d = v.as_f64().expect("numeric");
+            if d == 0.0 {
+                d = 0.0; // collapse -0.0
+            }
+            if d.is_nan() {
+                state.write_u64(u64::MAX);
+            } else {
+                state.write_u64(d.to_bits());
+            }
+        }
+        Value::String(s) => {
+            state.write_u8(2);
+            s.hash(state);
+        }
+        Value::Document(d) => {
+            state.write_u8(3);
+            for (k, val) in d.iter() {
+                k.hash(state);
+                hash_value(val, state);
+            }
+        }
+        Value::Array(items) => {
+            state.write_u8(4);
+            for item in items {
+                hash_value(item, state);
+            }
+        }
+        Value::Bool(b) => {
+            state.write_u8(5);
+            state.write_u8(u8::from(*b));
+        }
+        Value::ObjectId(oid) => {
+            state.write_u8(6);
+            state.write(oid.bytes());
+        }
+        Value::DateTime(ms) => {
+            state.write_u8(7);
+            state.write_i64(*ms);
+        }
+    }
+}
+
+/// A compound key: one [`OrdValue`] per indexed field, ordered
+/// lexicographically.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CompoundKey(pub Vec<OrdValue>);
+
+impl CompoundKey {
+    /// Builds a key from plain values.
+    pub fn from_values(values: Vec<Value>) -> Self {
+        CompoundKey(values.into_iter().map(OrdValue).collect())
+    }
+
+    /// The key arity.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the key has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+
+    fn hash_of(v: &OrdValue) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_unify() {
+        let a = OrdValue(Value::Int32(5));
+        let b = OrdValue(Value::Int64(5));
+        let c = OrdValue(Value::Double(5.0));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(hash_of(&b), hash_of(&c));
+    }
+
+    #[test]
+    fn negative_zero_unifies_with_zero() {
+        let a = OrdValue(Value::Double(0.0));
+        let b = OrdValue(Value::Double(-0.0));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn usable_as_hashmap_key() {
+        let mut m: HashMap<OrdValue, i32> = HashMap::new();
+        m.insert(OrdValue(Value::Int32(1)), 10);
+        assert_eq!(m.get(&OrdValue(Value::Double(1.0))), Some(&10));
+        assert_eq!(m.get(&OrdValue(Value::from("1"))), None);
+    }
+
+    #[test]
+    fn compound_key_orders_lexicographically() {
+        let a = CompoundKey::from_values(vec![Value::Int32(1), Value::from("b")]);
+        let b = CompoundKey::from_values(vec![Value::Int32(1), Value::from("c")]);
+        let c = CompoundKey::from_values(vec![Value::Int32(2), Value::from("a")]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+}

@@ -1,0 +1,232 @@
+//! The match expression language (`find` filters and `$match` stages).
+//!
+//! Covers the operators the thesis's workload uses — `$eq` (implicit),
+//! `$ne`, `$gt`, `$gte`, `$lt`, `$lte`, `$in`, `$nin`, `$exists`, `$and`,
+//! `$or`, `$nor`, `$not` — over dotted paths with array-any semantics.
+
+use doclite_bson::Value;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Gt,
+    Gte,
+    Lt,
+    Lte,
+}
+
+impl CmpOp {
+    /// Human-readable operator token (`$eq` etc.).
+    pub fn token(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "$eq",
+            CmpOp::Ne => "$ne",
+            CmpOp::Gt => "$gt",
+            CmpOp::Gte => "$gte",
+            CmpOp::Lt => "$lt",
+            CmpOp::Lte => "$lte",
+        }
+    }
+}
+
+/// A match expression tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Filter {
+    /// Matches every document.
+    True,
+    /// `{path: {$op: value}}`.
+    Cmp {
+        path: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `{path: {$in: [..]}}`.
+    In { path: String, values: Vec<Value> },
+    /// `{path: {$nin: [..]}}`.
+    Nin { path: String, values: Vec<Value> },
+    /// `{path: {$exists: bool}}`.
+    Exists { path: String, exists: bool },
+    /// `{$and: [..]}`.
+    And(Vec<Filter>),
+    /// `{$or: [..]}`.
+    Or(Vec<Filter>),
+    /// `{$nor: [..]}`.
+    Nor(Vec<Filter>),
+    /// `{path: {$not: {..}}}` / top-level negation.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// `{path: value}` — implicit equality.
+    pub fn eq(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Cmp { path: path.into(), op: CmpOp::Eq, value: value.into() }
+    }
+
+    /// `{path: {$ne: value}}`.
+    pub fn ne(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Cmp { path: path.into(), op: CmpOp::Ne, value: value.into() }
+    }
+
+    /// `{path: {$gt: value}}`.
+    pub fn gt(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Cmp { path: path.into(), op: CmpOp::Gt, value: value.into() }
+    }
+
+    /// `{path: {$gte: value}}`.
+    pub fn gte(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Cmp { path: path.into(), op: CmpOp::Gte, value: value.into() }
+    }
+
+    /// `{path: {$lt: value}}`.
+    pub fn lt(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Cmp { path: path.into(), op: CmpOp::Lt, value: value.into() }
+    }
+
+    /// `{path: {$lte: value}}`.
+    pub fn lte(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        Filter::Cmp { path: path.into(), op: CmpOp::Lte, value: value.into() }
+    }
+
+    /// `{path: {$gte: lo, $lte: hi}}` — SQL `BETWEEN`.
+    pub fn between(
+        path: impl Into<String>,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Self {
+        let path = path.into();
+        Filter::And(vec![Filter::gte(path.clone(), lo), Filter::lte(path, hi)])
+    }
+
+    /// `{path: {$in: values}}`.
+    pub fn is_in<V: Into<Value>>(
+        path: impl Into<String>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        Filter::In {
+            path: path.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// `{path: {$nin: values}}`.
+    pub fn not_in<V: Into<Value>>(
+        path: impl Into<String>,
+        values: impl IntoIterator<Item = V>,
+    ) -> Self {
+        Filter::Nin {
+            path: path.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// `{path: {$exists: true}}`.
+    pub fn exists(path: impl Into<String>) -> Self {
+        Filter::Exists { path: path.into(), exists: true }
+    }
+
+    /// `{path: {$exists: false}}`.
+    pub fn not_exists(path: impl Into<String>) -> Self {
+        Filter::Exists { path: path.into(), exists: false }
+    }
+
+    /// `$and` of the given filters (flattens nested `$and`s).
+    pub fn and(filters: impl IntoIterator<Item = Filter>) -> Self {
+        let mut flat = Vec::new();
+        for f in filters {
+            match f {
+                Filter::And(inner) => flat.extend(inner),
+                Filter::True => {}
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Filter::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Filter::And(flat),
+        }
+    }
+
+    /// `$or` of the given filters.
+    pub fn or(filters: impl IntoIterator<Item = Filter>) -> Self {
+        let flat: Vec<Filter> = filters.into_iter().collect();
+        match flat.len() {
+            0 => Filter::True,
+            1 => flat.into_iter().next().expect("len checked"),
+            _ => Filter::Or(flat),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Filter) -> Self {
+        Filter::Not(Box::new(f))
+    }
+
+    /// All dotted paths referenced by this filter, in first-mention order
+    /// (used by the planner and by shard-key targeting).
+    pub fn referenced_paths(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Filter::True => {}
+            Filter::Cmp { path, .. }
+            | Filter::In { path, .. }
+            | Filter::Nin { path, .. }
+            | Filter::Exists { path, .. } => {
+                if !out.contains(&path.as_str()) {
+                    out.push(path);
+                }
+            }
+            Filter::And(fs) | Filter::Or(fs) | Filter::Nor(fs) => {
+                for f in fs {
+                    f.collect_paths(out);
+                }
+            }
+            Filter::Not(f) => f.collect_paths(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        let f = Filter::and([Filter::True, Filter::eq("a", 1i64)]);
+        assert_eq!(f, Filter::eq("a", 1i64));
+
+        let f = Filter::and([
+            Filter::and([Filter::eq("a", 1i64), Filter::eq("b", 2i64)]),
+            Filter::eq("c", 3i64),
+        ]);
+        assert!(matches!(f, Filter::And(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn or_of_one_collapses() {
+        let f = Filter::or([Filter::eq("a", 1i64)]);
+        assert_eq!(f, Filter::eq("a", 1i64));
+    }
+
+    #[test]
+    fn between_builds_range() {
+        let f = Filter::between("p", 1i64, 5i64);
+        assert!(matches!(f, Filter::And(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn referenced_paths_dedupes_in_order() {
+        let f = Filter::and([
+            Filter::eq("b", 1i64),
+            Filter::or([Filter::gt("a", 0i64), Filter::lt("b", 9i64)]),
+        ]);
+        assert_eq!(f.referenced_paths(), vec!["b", "a"]);
+    }
+}

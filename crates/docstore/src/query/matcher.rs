@@ -1,0 +1,292 @@
+//! Filter evaluation against documents.
+//!
+//! Semantics follow MongoDB's match rules that the workload depends on:
+//!
+//! * a predicate on a path whose resolved value is an array matches if
+//!   *any element* matches, or if the array as a whole matches (`$eq` on
+//!   whole arrays);
+//! * `{path: null}` matches both explicit nulls and missing fields;
+//! * ordered comparisons (`$gt` …) only match within the same canonical
+//!   type family — a number never `$gt`-matches a string;
+//! * `$ne` / `$nin` are the negations of `$eq` / `$in` (so they *do*
+//!   match documents where the field is missing).
+
+use super::filter::{CmpOp, Filter};
+use crate::ordvalue::OrdValue;
+use doclite_bson::{Document, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+
+/// Evaluates a filter against a document.
+pub fn matches(filter: &Filter, doc: &Document) -> bool {
+    match filter {
+        Filter::True => true,
+        Filter::Cmp { path, op, value } => match_cmp(doc, path, *op, value),
+        Filter::In { path, values } => values
+            .iter()
+            .any(|v| match_cmp(doc, path, CmpOp::Eq, v)),
+        Filter::Nin { path, values } => !values
+            .iter()
+            .any(|v| match_cmp(doc, path, CmpOp::Eq, v)),
+        Filter::Exists { path, exists } => doc.get_path(path).is_some() == *exists,
+        Filter::And(fs) => fs.iter().all(|f| matches(f, doc)),
+        Filter::Or(fs) => fs.iter().any(|f| matches(f, doc)),
+        Filter::Nor(fs) => !fs.iter().any(|f| matches(f, doc)),
+        Filter::Not(f) => !matches(f, doc),
+    }
+}
+
+/// A filter preprocessed for repeated evaluation: `$in`/`$nin` value
+/// lists become ordered sets, turning the thesis's large semi-join `$in`
+/// arrays (Fig 4.8 step ii can pass thousands of keys) from `O(list)`
+/// into `O(log list)` per document.
+#[derive(Clone, Debug)]
+pub enum CompiledFilter {
+    True,
+    Cmp { path: String, op: CmpOp, value: Value },
+    InSet { path: String, set: BTreeSet<OrdValue>, has_null: bool },
+    NinSet { path: String, set: BTreeSet<OrdValue>, has_null: bool },
+    Exists { path: String, exists: bool },
+    And(Vec<CompiledFilter>),
+    Or(Vec<CompiledFilter>),
+    Nor(Vec<CompiledFilter>),
+    Not(Box<CompiledFilter>),
+}
+
+/// Compiles a filter for repeated evaluation.
+pub fn compile(filter: &Filter) -> CompiledFilter {
+    match filter {
+        Filter::True => CompiledFilter::True,
+        Filter::Cmp { path, op, value } => CompiledFilter::Cmp {
+            path: path.clone(),
+            op: *op,
+            value: value.clone(),
+        },
+        Filter::In { path, values } => {
+            let has_null = values.iter().any(Value::is_null);
+            CompiledFilter::InSet {
+                path: path.clone(),
+                set: values.iter().cloned().map(OrdValue).collect(),
+                has_null,
+            }
+        }
+        Filter::Nin { path, values } => {
+            let has_null = values.iter().any(Value::is_null);
+            CompiledFilter::NinSet {
+                path: path.clone(),
+                set: values.iter().cloned().map(OrdValue).collect(),
+                has_null,
+            }
+        }
+        Filter::Exists { path, exists } => {
+            CompiledFilter::Exists { path: path.clone(), exists: *exists }
+        }
+        Filter::And(fs) => CompiledFilter::And(fs.iter().map(compile).collect()),
+        Filter::Or(fs) => CompiledFilter::Or(fs.iter().map(compile).collect()),
+        Filter::Nor(fs) => CompiledFilter::Nor(fs.iter().map(compile).collect()),
+        Filter::Not(f) => CompiledFilter::Not(Box::new(compile(f))),
+    }
+}
+
+/// Evaluates a compiled filter. Semantics are identical to [`matches`]
+/// on the source filter (see the `compiled_matches_agree` property test).
+pub fn matches_compiled(filter: &CompiledFilter, doc: &Document) -> bool {
+    match filter {
+        CompiledFilter::True => true,
+        CompiledFilter::Cmp { path, op, value } => match_cmp(doc, path, *op, value),
+        CompiledFilter::InSet { path, set, has_null } => in_set(doc, path, set, *has_null),
+        CompiledFilter::NinSet { path, set, has_null } => !in_set(doc, path, set, *has_null),
+        CompiledFilter::Exists { path, exists } => doc.get_path(path).is_some() == *exists,
+        CompiledFilter::And(fs) => fs.iter().all(|f| matches_compiled(f, doc)),
+        CompiledFilter::Or(fs) => fs.iter().any(|f| matches_compiled(f, doc)),
+        CompiledFilter::Nor(fs) => !fs.iter().any(|f| matches_compiled(f, doc)),
+        CompiledFilter::Not(f) => !matches_compiled(f, doc),
+    }
+}
+
+fn in_set(doc: &Document, path: &str, set: &BTreeSet<OrdValue>, has_null: bool) -> bool {
+    match doc.get_path(path) {
+        // {$in: [.., null]} matches a missing field, like {path: null}.
+        None => has_null,
+        Some(v) => {
+            if set.contains(&OrdValue(v.clone())) {
+                return true;
+            }
+            if let Value::Array(items) = &v {
+                return items.iter().any(|e| set.contains(&OrdValue(e.clone())));
+            }
+            false
+        }
+    }
+}
+
+fn match_cmp(doc: &Document, path: &str, op: CmpOp, rhs: &Value) -> bool {
+    let resolved = doc.get_path(path);
+    match op {
+        CmpOp::Eq => eq_matches(resolved.as_ref(), rhs),
+        CmpOp::Ne => !eq_matches(resolved.as_ref(), rhs),
+        CmpOp::Gt | CmpOp::Gte | CmpOp::Lt | CmpOp::Lte => {
+            let Some(v) = resolved else { return false };
+            ordered_matches(&v, op, rhs)
+        }
+    }
+}
+
+fn eq_matches(resolved: Option<&Value>, rhs: &Value) -> bool {
+    match resolved {
+        // {path: null} matches a missing field.
+        None => rhs.is_null(),
+        Some(v) => value_eq_any(v, rhs),
+    }
+}
+
+/// Equality with array-any semantics: an array value matches if the whole
+/// array equals `rhs` or any element does.
+fn value_eq_any(v: &Value, rhs: &Value) -> bool {
+    if v.canonical_eq(rhs) {
+        return true;
+    }
+    if let Value::Array(items) = v {
+        return items.iter().any(|e| e.canonical_eq(rhs));
+    }
+    false
+}
+
+fn ordered_matches(v: &Value, op: CmpOp, rhs: &Value) -> bool {
+    if let Value::Array(items) = v {
+        // Array-any semantics; note a whole-array comparison against a
+        // non-array rhs never holds under same-family rules.
+        return items.iter().any(|e| scalar_ordered(e, op, rhs));
+    }
+    scalar_ordered(v, op, rhs)
+}
+
+fn same_family(a: &Value, b: &Value) -> bool {
+    use Value::*;
+    matches!(
+        (a, b),
+        (Int32(_) | Int64(_) | Double(_), Int32(_) | Int64(_) | Double(_))
+            | (String(_), String(_))
+            | (Bool(_), Bool(_))
+            | (DateTime(_), DateTime(_))
+            | (ObjectId(_), ObjectId(_))
+            | (Array(_), Array(_))
+            | (Document(_), Document(_))
+    )
+}
+
+fn scalar_ordered(v: &Value, op: CmpOp, rhs: &Value) -> bool {
+    if !same_family(v, rhs) {
+        return false;
+    }
+    let ord = v.canonical_cmp(rhs);
+    match op {
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Gte => ord != Ordering::Less,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Lte => ord != Ordering::Greater,
+        CmpOp::Eq | CmpOp::Ne => unreachable!("handled by eq_matches"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::{array, doc};
+
+    #[test]
+    fn implicit_eq_and_ne() {
+        let d = doc! {"a" => 5i64};
+        assert!(matches(&Filter::eq("a", 5i32), &d));
+        assert!(!matches(&Filter::eq("a", 6i64), &d));
+        assert!(matches(&Filter::ne("a", 6i64), &d));
+        assert!(matches(&Filter::ne("missing", 6i64), &d));
+    }
+
+    #[test]
+    fn null_matches_missing() {
+        let d = doc! {"a" => Value::Null};
+        assert!(matches(&Filter::eq("a", Value::Null), &d));
+        assert!(matches(&Filter::eq("b", Value::Null), &d));
+        assert!(!matches(&Filter::eq("a", 0i64), &d));
+    }
+
+    #[test]
+    fn range_operators_respect_type_families() {
+        let d = doc! {"n" => 10i64, "s" => "m"};
+        assert!(matches(&Filter::gt("n", 5i64), &d));
+        assert!(matches(&Filter::gte("n", 10.0f64), &d));
+        assert!(!matches(&Filter::gt("n", "a"), &d));
+        assert!(matches(&Filter::lt("s", "z"), &d));
+        assert!(!matches(&Filter::lt("s", 100i64), &d));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let d = doc! {"p" => 0.99f64};
+        assert!(matches(&Filter::between("p", 0.99f64, 1.49f64), &d));
+        let d2 = doc! {"p" => 1.49f64};
+        assert!(matches(&Filter::between("p", 0.99f64, 1.49f64), &d2));
+        let d3 = doc! {"p" => 1.50f64};
+        assert!(!matches(&Filter::between("p", 0.99f64, 1.49f64), &d3));
+    }
+
+    #[test]
+    fn in_and_nin() {
+        let d = doc! {"dow" => 6i64};
+        assert!(matches(&Filter::is_in("dow", [6i64, 0i64]), &d));
+        assert!(!matches(&Filter::is_in("dow", [1i64, 2i64]), &d));
+        assert!(matches(&Filter::not_in("dow", [1i64, 2i64]), &d));
+        // $nin matches missing fields, like $ne.
+        assert!(matches(&Filter::not_in("absent", [1i64]), &d));
+    }
+
+    #[test]
+    fn array_any_semantics() {
+        let d = doc! {"tags" => array!["x", "y"]};
+        assert!(matches(&Filter::eq("tags", "x"), &d));
+        assert!(!matches(&Filter::eq("tags", "z"), &d));
+        // whole-array equality
+        assert!(matches(&Filter::eq("tags", array!["x", "y"]), &d));
+        let nums = doc! {"xs" => array![1i64, 5i64, 9i64]};
+        assert!(matches(&Filter::gt("xs", 8i64), &nums));
+        assert!(!matches(&Filter::gt("xs", 9i64), &nums));
+    }
+
+    #[test]
+    fn exists_checks_resolution() {
+        let d = doc! {"a" => doc!{"b" => 1i64}};
+        assert!(matches(&Filter::exists("a.b"), &d));
+        assert!(matches(&Filter::not_exists("a.c"), &d));
+        assert!(!matches(&Filter::exists("a.c"), &d));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let d = doc! {"dep" => 2i64, "veh" => 1i64};
+        let f = Filter::or([Filter::eq("dep", 2i64), Filter::eq("veh", 3i64)]);
+        assert!(matches(&f, &d));
+        let f = Filter::and([Filter::eq("dep", 2i64), Filter::eq("veh", 3i64)]);
+        assert!(!matches(&f, &d));
+        let f = Filter::Nor(vec![Filter::eq("dep", 3i64), Filter::eq("veh", 3i64)]);
+        assert!(matches(&f, &d));
+        assert!(matches(&Filter::not(Filter::eq("dep", 3i64)), &d));
+    }
+
+    #[test]
+    fn dotted_path_into_embedded_docs() {
+        let d = doc! {"demo" => doc!{"cd_gender" => "M"}};
+        assert!(matches(&Filter::eq("demo.cd_gender", "M"), &d));
+        assert!(!matches(&Filter::eq("demo.cd_gender", "F"), &d));
+    }
+
+    #[test]
+    fn multikey_fanout_through_embedded_array() {
+        let d = doc! {"books" => Value::Array(vec![
+            Value::Document(doc!{"pages" => 100i64}),
+            Value::Document(doc!{"pages" => 500i64}),
+        ])};
+        assert!(matches(&Filter::gt("books.pages", 400i64), &d));
+        assert!(!matches(&Filter::gt("books.pages", 600i64), &d));
+    }
+}

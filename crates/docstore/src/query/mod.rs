@@ -1,0 +1,10 @@
+//! The query subsystem: the match language, its evaluator, and the
+//! index-selecting planner.
+
+pub mod filter;
+pub mod matcher;
+pub mod planner;
+
+pub use filter::{CmpOp, Filter};
+pub use matcher::matches;
+pub use planner::{conjunctive_constraints, plan, PathConstraint, Plan, PlanKind};

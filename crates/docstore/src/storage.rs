@@ -1,0 +1,139 @@
+//! Document slot storage for a collection.
+
+use doclite_bson::{codec::encoded_size, Document};
+
+/// Internal document identifier: a slot number in the collection's record
+/// store. Stable for the life of the document (updates keep the slot).
+pub type DocId = u64;
+
+/// A slab of document slots with free-list reuse and running
+/// encoded-size accounting (feeding chunk-size and load metrics).
+#[derive(Debug, Default)]
+pub struct Slab {
+    slots: Vec<Option<Document>>,
+    free: Vec<DocId>,
+    live: usize,
+    data_size: usize,
+}
+
+impl Slab {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a document, returning its id.
+    pub fn insert(&mut self, doc: Document) -> DocId {
+        self.data_size += encoded_size(&doc);
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = Some(doc);
+            id
+        } else {
+            self.slots.push(Some(doc));
+            (self.slots.len() - 1) as DocId
+        }
+    }
+
+    /// Reads a document by id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.slots.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Replaces a document in place, returning the old one.
+    pub fn replace(&mut self, id: DocId, doc: Document) -> Option<Document> {
+        let slot = self.slots.get_mut(id as usize)?;
+        let old = slot.take()?;
+        self.data_size = self.data_size - encoded_size(&old) + encoded_size(&doc);
+        *slot = Some(doc);
+        Some(old)
+    }
+
+    /// Removes a document by id.
+    pub fn remove(&mut self, id: DocId) -> Option<Document> {
+        let slot = self.slots.get_mut(id as usize)?;
+        let old = slot.take()?;
+        self.data_size -= encoded_size(&old);
+        self.live -= 1;
+        self.free.push(id);
+        Some(old)
+    }
+
+    /// Number of live documents.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live documents.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Sum of encoded sizes of live documents, in bytes.
+    pub fn data_size(&self) -> usize {
+        self.data_size
+    }
+
+    /// Iterates live `(id, document)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|d| (i as DocId, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::doc;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut s = Slab::new();
+        let id = s.insert(doc! {"a" => 1i64});
+        assert_eq!(s.len(), 1);
+        assert!(s.get(id).is_some());
+        assert!(s.remove(id).is_some());
+        assert_eq!(s.len(), 0);
+        assert!(s.get(id).is_none());
+        assert!(s.remove(id).is_none());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut s = Slab::new();
+        let a = s.insert(doc! {"a" => 1i64});
+        s.remove(a);
+        let b = s.insert(doc! {"b" => 2i64});
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn data_size_tracks_inserts_replaces_removes() {
+        let mut s = Slab::new();
+        assert_eq!(s.data_size(), 0);
+        let small = doc! {"a" => 1i32};
+        let large = doc! {"a" => "a much longer string value for sizing"};
+        let id = s.insert(small.clone());
+        let after_insert = s.data_size();
+        assert!(after_insert > 0);
+        s.replace(id, large.clone());
+        assert!(s.data_size() > after_insert);
+        s.replace(id, small);
+        assert_eq!(s.data_size(), after_insert);
+        s.remove(id);
+        assert_eq!(s.data_size(), 0);
+    }
+
+    #[test]
+    fn iter_skips_holes() {
+        let mut s = Slab::new();
+        let a = s.insert(doc! {"i" => 0i64});
+        let _b = s.insert(doc! {"i" => 1i64});
+        let _c = s.insert(doc! {"i" => 2i64});
+        s.remove(a);
+        let ids: Vec<DocId> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+}

@@ -1,0 +1,311 @@
+//! The update language: `$set`, `$unset`, `$inc`, `$push`, whole-document
+//! replacement, and upsert semantics.
+//!
+//! The thesis's `EmbedDocuments` algorithm (Fig 4.7) drives this API: its
+//! step 10 is exactly `update(query, {$set: {fk: dimension_doc}},
+//! upsert:false, multi:true)`.
+
+use crate::error::{Error, Result};
+use crate::query::filter::{CmpOp, Filter};
+use doclite_bson::{Document, Value};
+
+/// A single update operator application.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateOp {
+    /// `{$set: {path: value}}` — creates intermediate documents.
+    Set(String, Value),
+    /// `{$unset: {path: 1}}`.
+    Unset(String),
+    /// `{$inc: {path: n}}` — missing fields start at 0; non-numeric
+    /// targets are an error.
+    Inc(String, f64),
+    /// `{$push: {path: value}}` — missing fields become 1-element arrays;
+    /// non-array targets are an error.
+    Push(String, Value),
+}
+
+/// An update specification: operator list or full replacement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UpdateSpec {
+    /// Apply operators in order.
+    Ops(Vec<UpdateOp>),
+    /// Replace the document body (the stored `_id` is preserved).
+    Replace(Document),
+}
+
+impl UpdateSpec {
+    /// Builder: a single `$set`.
+    pub fn set(path: impl Into<String>, value: impl Into<Value>) -> Self {
+        UpdateSpec::Ops(vec![UpdateOp::Set(path.into(), value.into())])
+    }
+
+    /// Builder: appends another op.
+    pub fn and_set(self, path: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.push_op(UpdateOp::Set(path.into(), value.into()))
+    }
+
+    /// Builder: `$unset`.
+    pub fn and_unset(self, path: impl Into<String>) -> Self {
+        self.push_op(UpdateOp::Unset(path.into()))
+    }
+
+    /// Builder: `$inc`.
+    pub fn and_inc(self, path: impl Into<String>, by: f64) -> Self {
+        self.push_op(UpdateOp::Inc(path.into(), by))
+    }
+
+    /// Builder: `$push`.
+    pub fn and_push(self, path: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.push_op(UpdateOp::Push(path.into(), value.into()))
+    }
+
+    fn push_op(self, op: UpdateOp) -> Self {
+        match self {
+            UpdateSpec::Ops(mut ops) => {
+                ops.push(op);
+                UpdateSpec::Ops(ops)
+            }
+            replace @ UpdateSpec::Replace(_) => replace,
+        }
+    }
+}
+
+/// Outcome of an update call.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UpdateResult {
+    /// Documents matched by the filter.
+    pub matched: usize,
+    /// Documents actually changed.
+    pub modified: usize,
+    /// `_id` of a document created by upsert, if any.
+    pub upserted_id: Option<Value>,
+}
+
+/// Applies an update spec to a document in place. Returns whether the
+/// document changed.
+pub fn apply_update(doc: &mut Document, spec: &UpdateSpec) -> Result<bool> {
+    match spec {
+        UpdateSpec::Replace(body) => {
+            let id = doc.id().cloned();
+            let mut new_doc = body.clone();
+            if let Some(id) = id {
+                // _id is immutable: a replacement keeps the stored id.
+                new_doc.remove("_id");
+                let mut with_id = Document::with_capacity(new_doc.len() + 1);
+                with_id.set("_id", id);
+                for (k, v) in new_doc.into_iter() {
+                    with_id.set(k, v);
+                }
+                let changed = *doc != with_id;
+                *doc = with_id;
+                Ok(changed)
+            } else {
+                let changed = doc != body;
+                *doc = body.clone();
+                Ok(changed)
+            }
+        }
+        UpdateSpec::Ops(ops) => {
+            let mut changed = false;
+            for op in ops {
+                changed |= apply_op(doc, op)?;
+            }
+            Ok(changed)
+        }
+    }
+}
+
+fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<bool> {
+    match op {
+        UpdateOp::Set(path, value) => {
+            if path == "_id" {
+                return Err(Error::InvalidQuery("_id is immutable".into()));
+            }
+            let before = doc.get_path(path);
+            if before.as_ref() == Some(value) {
+                return Ok(false);
+            }
+            if !doc.set_path(path, value.clone()) {
+                return Err(Error::InvalidQuery(format!(
+                    "cannot create field at path {path}: intermediate is not a document"
+                )));
+            }
+            Ok(true)
+        }
+        UpdateOp::Unset(path) => Ok(remove_path(doc, path)),
+        UpdateOp::Inc(path, by) => {
+            let current = doc.get_path(path);
+            let new_value = match current {
+                None => Value::Double(*by),
+                Some(v) => match v.as_f64() {
+                    Some(n) => {
+                        // Preserve integer representation when possible.
+                        let sum = n + by;
+                        if v.is_numeric()
+                            && !matches!(v, Value::Double(_))
+                            && by.fract() == 0.0
+                            && sum.fract() == 0.0
+                            && sum.abs() < i64::MAX as f64
+                        {
+                            Value::Int64(sum as i64)
+                        } else {
+                            Value::Double(sum)
+                        }
+                    }
+                    None => {
+                        return Err(Error::InvalidQuery(format!(
+                            "$inc target {path} is {}",
+                            v.type_name()
+                        )))
+                    }
+                },
+            };
+            if !doc.set_path(path, new_value) {
+                return Err(Error::InvalidQuery(format!("bad $inc path {path}")));
+            }
+            Ok(true)
+        }
+        UpdateOp::Push(path, value) => {
+            match doc.get_path(path) {
+                None => {
+                    if !doc.set_path(path, Value::Array(vec![value.clone()])) {
+                        return Err(Error::InvalidQuery(format!("bad $push path {path}")));
+                    }
+                }
+                Some(Value::Array(mut items)) => {
+                    items.push(value.clone());
+                    doc.set_path(path, Value::Array(items));
+                }
+                Some(other) => {
+                    return Err(Error::InvalidQuery(format!(
+                        "$push target {path} is {}",
+                        other.type_name()
+                    )))
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+fn remove_path(doc: &mut Document, path: &str) -> bool {
+    match path.split_once('.') {
+        None => doc.remove(path).is_some(),
+        Some((head, rest)) => match doc.get_mut(head) {
+            Some(Value::Document(inner)) => remove_path(inner, rest),
+            _ => false,
+        },
+    }
+}
+
+/// Synthesizes the base document for an upsert: the filter's top-level
+/// equality predicates become fields (MongoDB's upsert seeding rule).
+pub fn upsert_seed(filter: &Filter) -> Document {
+    let mut doc = Document::new();
+    seed(filter, &mut doc);
+    doc
+}
+
+fn seed(filter: &Filter, doc: &mut Document) {
+    match filter {
+        Filter::And(fs) => {
+            for f in fs {
+                seed(f, doc);
+            }
+        }
+        Filter::Cmp { path, op: CmpOp::Eq, value } => {
+            doc.set_path(path, value.clone());
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::{array, doc};
+
+    #[test]
+    fn set_replaces_and_reports_nochange() {
+        let mut d = doc! {"a" => 1i64};
+        assert!(apply_update(&mut d, &UpdateSpec::set("a", 2i64)).unwrap());
+        assert!(!apply_update(&mut d, &UpdateSpec::set("a", 2i64)).unwrap());
+        assert_eq!(d.get("a"), Some(&Value::Int64(2)));
+    }
+
+    #[test]
+    fn set_creates_nested_path() {
+        let mut d = Document::new();
+        apply_update(&mut d, &UpdateSpec::set("x.y.z", 1i64)).unwrap();
+        assert_eq!(d.get_path("x.y.z"), Some(Value::Int64(1)));
+    }
+
+    #[test]
+    fn set_id_is_rejected() {
+        let mut d = doc! {"_id" => 1i64};
+        assert!(apply_update(&mut d, &UpdateSpec::set("_id", 2i64)).is_err());
+    }
+
+    #[test]
+    fn unset_nested() {
+        let mut d = doc! {"a" => doc!{"b" => 1i64, "c" => 2i64}};
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Unset("a.b".into())]);
+        assert!(apply_update(&mut d, &spec).unwrap());
+        assert_eq!(d.get_path("a.b"), None);
+        assert_eq!(d.get_path("a.c"), Some(Value::Int64(2)));
+        // unsetting again is a no-op
+        assert!(!apply_update(&mut d, &spec).unwrap());
+    }
+
+    #[test]
+    fn inc_preserves_integers_and_seeds_missing() {
+        let mut d = doc! {"n" => 5i64};
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Inc("n".into(), 2.0)]);
+        apply_update(&mut d, &spec).unwrap();
+        assert_eq!(d.get("n"), Some(&Value::Int64(7)));
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Inc("m".into(), 1.5)]);
+        apply_update(&mut d, &spec).unwrap();
+        assert_eq!(d.get("m"), Some(&Value::Double(1.5)));
+    }
+
+    #[test]
+    fn inc_on_string_errors() {
+        let mut d = doc! {"s" => "x"};
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Inc("s".into(), 1.0)]);
+        assert!(apply_update(&mut d, &spec).is_err());
+    }
+
+    #[test]
+    fn push_appends_or_creates() {
+        let mut d = doc! {"xs" => array![1i64]};
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Push("xs".into(), Value::Int64(2))]);
+        apply_update(&mut d, &spec).unwrap();
+        assert_eq!(d.get("xs"), Some(&array![1i64, 2i64]));
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Push("ys".into(), Value::Int64(9))]);
+        apply_update(&mut d, &spec).unwrap();
+        assert_eq!(d.get("ys"), Some(&array![9i64]));
+    }
+
+    #[test]
+    fn replace_preserves_id() {
+        let mut d = doc! {"_id" => 7i64, "a" => 1i64};
+        let spec = UpdateSpec::Replace(doc! {"b" => 2i64});
+        apply_update(&mut d, &spec).unwrap();
+        assert_eq!(d.get("_id"), Some(&Value::Int64(7)));
+        assert_eq!(d.get("a"), None);
+        assert_eq!(d.get("b"), Some(&Value::Int64(2)));
+    }
+
+    #[test]
+    fn upsert_seed_takes_equalities_only() {
+        let f = Filter::and([
+            Filter::eq("a", 1i64),
+            Filter::gt("b", 5i64),
+            Filter::eq("c.d", "x"),
+        ]);
+        let seed = upsert_seed(&f);
+        assert_eq!(seed.get("a"), Some(&Value::Int64(1)));
+        assert_eq!(seed.get("b"), None);
+        assert_eq!(seed.get_path("c.d"), Some(Value::from("x")));
+    }
+}

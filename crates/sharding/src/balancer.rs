@@ -1,0 +1,186 @@
+//! The balancer: evens chunk counts across shards so "resources such as
+//! RAM and CPU can be utilized effectively" (thesis Section 2.1.3.2).
+
+use crate::chunk::ShardId;
+use crate::router::Mongos;
+use doclite_docstore::Result;
+
+/// A migration performed by one balancing round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Migration {
+    pub collection: String,
+    pub chunk_index: usize,
+    pub from: ShardId,
+    pub to: ShardId,
+    pub docs_moved: usize,
+}
+
+/// Chunk-count balancer. A round repeatedly moves one chunk from the
+/// most-loaded shard to the least-loaded shard until the spread is within
+/// `threshold` (MongoDB's migration threshold is 2 for small clusters;
+/// the default here is 1 so test-size clusters converge tightly).
+#[derive(Clone, Copy, Debug)]
+pub struct Balancer {
+    /// Maximum tolerated difference in chunk counts between the heaviest
+    /// and lightest shard.
+    pub threshold: usize,
+    /// Safety valve on migrations per round.
+    pub max_migrations: usize,
+}
+
+impl Default for Balancer {
+    fn default() -> Self {
+        Balancer { threshold: 1, max_migrations: 1024 }
+    }
+}
+
+impl Balancer {
+    /// Balances one collection, returning the migrations performed.
+    pub fn balance_collection(
+        &self,
+        router: &Mongos,
+        collection: &str,
+    ) -> Result<Vec<Migration>> {
+        let n_shards = router.shards().len();
+        let mut migrations = Vec::new();
+        for _ in 0..self.max_migrations {
+            let Some(meta) = router.config().meta(collection) else { break };
+            // Count chunks per shard over *all* shards, including empty ones.
+            let mut counts = vec![0usize; n_shards];
+            for c in &meta.chunks {
+                counts[c.shard] += 1;
+            }
+            let (max_shard, &max_n) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, n)| **n)
+                .expect("at least one shard");
+            let (min_shard, &min_n) = counts
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| **n)
+                .expect("at least one shard");
+            if max_n.saturating_sub(min_n) <= self.threshold {
+                break;
+            }
+            // Move the first non-jumbo chunk off the heaviest shard.
+            let Some(chunk_index) = meta
+                .chunks
+                .iter()
+                .position(|c| c.shard == max_shard && !c.jumbo)
+            else {
+                break; // only jumbo chunks left; nothing movable
+            };
+            let docs_moved = router.move_chunk(collection, chunk_index, min_shard)?;
+            migrations.push(Migration {
+                collection: collection.to_owned(),
+                chunk_index,
+                from: max_shard,
+                to: min_shard,
+                docs_moved,
+            });
+        }
+        Ok(migrations)
+    }
+
+    /// Balances every sharded collection.
+    pub fn balance_all(&self, router: &Mongos) -> Result<Vec<Migration>> {
+        let mut all = Vec::new();
+        for name in router.config().sharded_collections() {
+            all.extend(self.balance_collection(router, &name)?);
+        }
+        Ok(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigServer;
+    use crate::network::NetworkModel;
+    use crate::shard::Shard;
+    use crate::shardkey::ShardKey;
+    use doclite_bson::doc;
+    use std::sync::Arc;
+
+    fn loaded_router(n_shards: usize, docs: i64) -> Mongos {
+        let shards: Vec<Arc<Shard>> = (0..n_shards)
+            .map(|i| Arc::new(Shard::new(i, "test")))
+            .collect();
+        let r = Mongos::new(shards, Arc::new(ConfigServer::new()), NetworkModel::free());
+        r.config().shard_collection_with_chunk_size(
+            "facts",
+            ShardKey::range(["k"]),
+            0,
+            2 * 1024,
+        );
+        for i in 0..docs {
+            r.insert_one("facts", doc! {"k" => i, "pad" => "p".repeat(40)})
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn balancing_spreads_chunks_within_threshold() {
+        let r = loaded_router(3, 600);
+        let before = r.config().meta("facts").unwrap();
+        assert!(before.chunks.len() >= 3, "need several chunks to balance");
+        // All chunks start on shard 0.
+        assert!(before.chunks.iter().all(|c| c.shard == 0));
+
+        let migrations = Balancer::default().balance_collection(&r, "facts").unwrap();
+        assert!(!migrations.is_empty());
+
+        let after = r.config().meta("facts").unwrap();
+        after.check_invariants().unwrap();
+        let counts = after.chunks_per_shard();
+        let max = counts.values().max().unwrap();
+        let min_over_all_shards = (0..3)
+            .map(|s| counts.get(&s).copied().unwrap_or(0))
+            .min()
+            .unwrap();
+        assert!(max - min_over_all_shards <= 1);
+        // No documents lost.
+        assert_eq!(r.collection_len("facts"), 600);
+    }
+
+    #[test]
+    fn queries_remain_correct_after_balancing() {
+        let r = loaded_router(3, 300);
+        Balancer::default().balance_collection(&r, "facts").unwrap();
+        for probe in [0i64, 50, 299] {
+            let hits = r.find("facts", &doclite_docstore::Filter::eq("k", probe));
+            assert_eq!(hits.len(), 1, "k={probe}");
+        }
+    }
+
+    #[test]
+    fn balanced_cluster_is_a_fixpoint() {
+        let r = loaded_router(2, 400);
+        let b = Balancer::default();
+        b.balance_collection(&r, "facts").unwrap();
+        let again = b.balance_collection(&r, "facts").unwrap();
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn balance_all_covers_every_sharded_collection() {
+        let r = loaded_router(2, 200);
+        r.config().shard_collection_with_chunk_size(
+            "other",
+            ShardKey::range(["k"]),
+            0,
+            1024,
+        );
+        for i in 0..100i64 {
+            r.insert_one("other", doc! {"k" => i, "pad" => "q".repeat(40)})
+                .unwrap();
+        }
+        let migrations = Balancer::default().balance_all(&r).unwrap();
+        let colls: std::collections::HashSet<_> =
+            migrations.iter().map(|m| m.collection.as_str()).collect();
+        assert!(colls.contains("facts"));
+        assert!(colls.contains("other"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Cluster capacity planning: the shard-count calculations of thesis
+//! Section 2.1.3.2, as code.
+//!
+//! "The number of shards in a cluster can be calculated based on the
+//! following factors" — disk storage, RAM vs. working set, disk
+//! throughput (IOPS), and operations per second with a 0.7 sharding
+//! overhead. The thesis sizes its own cluster with the disk and RAM
+//! rules; [`plan_cluster`] reproduces that decision procedure, including
+//! the worked examples' numbers.
+
+/// Bytes helper: 1 GiB.
+pub const GIB: u64 = 1 << 30;
+/// Bytes helper: 1 TiB.
+pub const TIB: u64 = 1 << 40;
+
+/// Sizing inputs for one factor-based calculation.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardingFactors {
+    /// Total application data volume in bytes.
+    pub data_bytes: u64,
+    /// Disk capacity of one shard server in bytes.
+    pub disk_per_shard: u64,
+    /// Working set (indexes + hot documents) in bytes.
+    pub working_set_bytes: u64,
+    /// RAM of one shard server in bytes.
+    pub ram_per_shard: u64,
+    /// RAM the OS and other processes consume on each server
+    /// (the thesis budgets 2 GB).
+    pub ram_overhead: u64,
+    /// Required aggregate disk throughput, IOPS.
+    pub required_iops: u64,
+    /// IOPS one shard's disk delivers.
+    pub iops_per_shard: u64,
+    /// Required operations per second.
+    pub required_ops: u64,
+    /// Single-server operations per second.
+    pub ops_per_shard: u64,
+}
+
+/// The sharding efficiency factor of the thesis's OPS formula:
+/// `G = N * S * 0.7`.
+pub const SHARDING_OVERHEAD: f64 = 0.7;
+
+fn div_ceil_u64(a: u64, b: u64) -> u64 {
+    assert!(b > 0, "divisor must be positive");
+    a.div_ceil(b)
+}
+
+/// Factor i — disk storage: shards so that total disk ≥ data volume.
+pub fn shards_for_disk(data_bytes: u64, disk_per_shard: u64) -> u64 {
+    div_ceil_u64(data_bytes, disk_per_shard).max(1)
+}
+
+/// Factor ii — RAM: shards so that usable RAM covers the working set.
+/// Usable RAM per shard is total RAM minus the OS/application overhead.
+pub fn shards_for_ram(working_set_bytes: u64, ram_per_shard: u64, ram_overhead: u64) -> u64 {
+    let usable = ram_per_shard.saturating_sub(ram_overhead);
+    assert!(usable > 0, "no RAM left after overhead");
+    div_ceil_u64(working_set_bytes, usable).max(1)
+}
+
+/// Factor iii — disk throughput: shards so that total IOPS suffice.
+pub fn shards_for_iops(required_iops: u64, iops_per_shard: u64) -> u64 {
+    div_ceil_u64(required_iops, iops_per_shard).max(1)
+}
+
+/// Factor iv — operations per second with the 0.7 sharding overhead:
+/// `N = G / (S * 0.7)`.
+pub fn shards_for_ops(required_ops: u64, ops_per_shard: u64) -> u64 {
+    assert!(ops_per_shard > 0);
+    ((required_ops as f64) / (ops_per_shard as f64 * SHARDING_OVERHEAD)).ceil() as u64
+}
+
+/// A capacity plan: per-factor requirements and the binding recommendation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClusterPlan {
+    pub by_disk: u64,
+    pub by_ram: u64,
+    pub by_iops: u64,
+    pub by_ops: u64,
+    /// The recommendation: the maximum across factors (every constraint
+    /// must hold).
+    pub shards: u64,
+}
+
+/// Evaluates all four factors.
+pub fn plan_cluster(f: &ShardingFactors) -> ClusterPlan {
+    let by_disk = shards_for_disk(f.data_bytes, f.disk_per_shard);
+    let by_ram = shards_for_ram(f.working_set_bytes, f.ram_per_shard, f.ram_overhead);
+    let by_iops = shards_for_iops(f.required_iops, f.iops_per_shard);
+    let by_ops = shards_for_ops(f.required_ops, f.ops_per_shard);
+    let shards = by_disk.max(by_ram).max(by_iops).max(by_ops);
+    ClusterPlan { by_disk, by_ram, by_iops, by_ops, shards }
+}
+
+/// The thesis's own sizing (Section 3.3): a 9.94 GB dataset on servers
+/// with 8 GB RAM and 2 GB overhead needs ⌈9.94/6⌉ = 2 shards by RAM; the
+/// thesis deploys 3 "to accommodate not only the data but also indexes
+/// and the intermediate and final query collections".
+pub fn thesis_cluster_shards(dataset_bytes: u64) -> u64 {
+    let by_ram = shards_for_ram(dataset_bytes, 8 * GIB, 2 * GIB);
+    by_ram + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_example_from_section_2_1_3_2() {
+        // "Storage size = 1.5TB, shard disk storage = 256GB → ~6 shards"
+        assert_eq!(shards_for_disk(3 * TIB / 2, 256 * GIB), 6);
+    }
+
+    #[test]
+    fn ram_example_from_section_2_1_3_2() {
+        // "Working set = 200GB, server RAM = 64GB → ~4 shards"
+        // (the thesis's example ignores overhead).
+        assert_eq!(shards_for_ram(200 * GIB, 64 * GIB, 0), 4);
+    }
+
+    #[test]
+    fn iops_example_from_section_2_1_3_2() {
+        // "Required IOPS = 12000, shard disk IOPS = 5000 → ~3 shards"
+        assert_eq!(shards_for_iops(12_000, 5_000), 3);
+    }
+
+    #[test]
+    fn ops_formula_uses_0_7_overhead() {
+        // N = G / (S * 0.7): G = 7000, S = 1000 → 10 shards.
+        assert_eq!(shards_for_ops(7_000, 1_000), 10);
+        // Sanity: without overhead it would be 7.
+        assert_eq!(div_ceil_u64(7_000, 1_000), 7);
+    }
+
+    #[test]
+    fn thesis_sizes_its_own_cluster_at_three_shards() {
+        // 9.94 GB dataset, 8 GB servers, 2 GB overhead → 2 by RAM,
+        // 3 deployed.
+        let bytes = (9.94 * GIB as f64) as u64;
+        assert_eq!(shards_for_ram(bytes, 8 * GIB, 2 * GIB), 2);
+        assert_eq!(thesis_cluster_shards(bytes), 3);
+    }
+
+    #[test]
+    fn plan_takes_binding_constraint() {
+        let plan = plan_cluster(&ShardingFactors {
+            data_bytes: 3 * TIB / 2,
+            disk_per_shard: 256 * GIB,
+            working_set_bytes: 200 * GIB,
+            ram_per_shard: 64 * GIB,
+            ram_overhead: 0,
+            required_iops: 12_000,
+            iops_per_shard: 5_000,
+            required_ops: 7_000,
+            ops_per_shard: 1_000,
+        });
+        assert_eq!(plan.by_disk, 6);
+        assert_eq!(plan.by_ram, 4);
+        assert_eq!(plan.by_iops, 3);
+        assert_eq!(plan.by_ops, 10);
+        assert_eq!(plan.shards, 10);
+    }
+
+    #[test]
+    fn minimums_are_one_shard() {
+        assert_eq!(shards_for_disk(1, GIB), 1);
+        assert_eq!(shards_for_ram(1, GIB, 0), 1);
+        assert_eq!(shards_for_iops(1, 1000), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no RAM left")]
+    fn overhead_exceeding_ram_panics() {
+        let _ = shards_for_ram(GIB, GIB, 2 * GIB);
+    }
+}

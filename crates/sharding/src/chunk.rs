@@ -1,0 +1,133 @@
+//! Chunks: contiguous, non-overlapping shard-key ranges (thesis
+//! Section 2.1.3.3, Figures 2.6/2.7).
+
+use doclite_docstore::CompoundKey;
+use std::cmp::Ordering;
+
+/// Identifies a shard within the cluster.
+pub type ShardId = usize;
+
+/// Default maximum chunk size: 64 MB, MongoDB's default the thesis cites.
+pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024 * 1024;
+
+/// A boundary in the chunk keyspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeyBound {
+    /// Below every key.
+    MinKey,
+    /// An actual key value (inclusive as a lower bound, exclusive as an
+    /// upper bound).
+    Key(CompoundKey),
+    /// Above every key.
+    MaxKey,
+}
+
+impl KeyBound {
+    /// Compares the bound against a concrete key, treating the bound as a
+    /// point in the extended keyspace.
+    pub fn cmp_key(&self, key: &CompoundKey) -> Ordering {
+        match self {
+            KeyBound::MinKey => Ordering::Less,
+            KeyBound::MaxKey => Ordering::Greater,
+            KeyBound::Key(k) => k.cmp(key),
+        }
+    }
+}
+
+/// A chunk: the half-open key range `[min, max)` plus its placement and
+/// size accounting.
+#[derive(Clone, Debug)]
+pub struct Chunk {
+    /// Inclusive lower bound.
+    pub min: KeyBound,
+    /// Exclusive upper bound.
+    pub max: KeyBound,
+    /// Owning shard.
+    pub shard: ShardId,
+    /// Approximate data bytes in the chunk.
+    pub bytes: usize,
+    /// Documents in the chunk.
+    pub docs: usize,
+    /// Marked jumbo: over the size cap but unsplittable because every
+    /// document shares one shard-key value (thesis Fig 2.7 discussion).
+    pub jumbo: bool,
+}
+
+impl Chunk {
+    /// The full-keyspace chunk placed on a shard.
+    pub fn full_range(shard: ShardId) -> Self {
+        Chunk { min: KeyBound::MinKey, max: KeyBound::MaxKey, shard, bytes: 0, docs: 0, jumbo: false }
+    }
+
+    /// True if the chunk's range contains the key.
+    pub fn contains(&self, key: &CompoundKey) -> bool {
+        self.min.cmp_key(key) != Ordering::Greater && self.max.cmp_key(key) == Ordering::Greater
+    }
+
+    /// True if the chunk's range intersects `[lo, hi]` (both inclusive;
+    /// `None` = unbounded). Used for range targeting.
+    pub fn intersects(&self, lo: Option<&CompoundKey>, hi: Option<&CompoundKey>) -> bool {
+        // chunk.min <= hi and chunk.max > lo
+        let below_hi = match hi {
+            None => true,
+            Some(hi) => self.min.cmp_key(hi) != Ordering::Greater,
+        };
+        let above_lo = match lo {
+            None => true,
+            Some(lo) => self.max.cmp_key(lo) == Ordering::Greater,
+        };
+        below_hi && above_lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::Value;
+
+    fn k(v: i64) -> CompoundKey {
+        CompoundKey::from_values(vec![Value::Int64(v)])
+    }
+
+    #[test]
+    fn full_range_contains_everything() {
+        let c = Chunk::full_range(0);
+        assert!(c.contains(&k(i64::MIN)));
+        assert!(c.contains(&k(0)));
+        assert!(c.contains(&k(i64::MAX)));
+    }
+
+    #[test]
+    fn half_open_semantics() {
+        let c = Chunk {
+            min: KeyBound::Key(k(10)),
+            max: KeyBound::Key(k(20)),
+            shard: 0,
+            bytes: 0,
+            docs: 0,
+            jumbo: false,
+        };
+        assert!(!c.contains(&k(9)));
+        assert!(c.contains(&k(10)));
+        assert!(c.contains(&k(19)));
+        assert!(!c.contains(&k(20)));
+    }
+
+    #[test]
+    fn intersection() {
+        let c = Chunk {
+            min: KeyBound::Key(k(10)),
+            max: KeyBound::Key(k(20)),
+            shard: 0,
+            bytes: 0,
+            docs: 0,
+            jumbo: false,
+        };
+        assert!(c.intersects(Some(&k(15)), Some(&k(25))));
+        assert!(c.intersects(Some(&k(5)), Some(&k(10)))); // touches lower bound
+        assert!(!c.intersects(Some(&k(20)), Some(&k(30)))); // max is exclusive
+        assert!(c.intersects(None, None));
+        assert!(c.intersects(Some(&k(19)), None));
+        assert!(!c.intersects(Some(&k(99)), None));
+    }
+}

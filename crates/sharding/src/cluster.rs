@@ -1,0 +1,138 @@
+//! Cluster assembly: shards + config server + router in one handle,
+//! mirroring the thesis's deployment (Fig 3.1: three shards, one config
+//! server, one AppServer/QueryRouter).
+
+use crate::balancer::Balancer;
+use crate::config::ConfigServer;
+use crate::network::NetworkModel;
+use crate::router::Mongos;
+use crate::shard::Shard;
+use crate::shardkey::ShardKey;
+use doclite_docstore::Result;
+use std::sync::Arc;
+
+/// A fully wired sharded cluster.
+pub struct ShardedCluster {
+    router: Mongos,
+    balancer: Balancer,
+}
+
+impl ShardedCluster {
+    /// Builds a cluster of `n_shards` shards sharing a database name,
+    /// with the given network model between router and shards. The
+    /// thesis's configuration is `n_shards = 3`.
+    pub fn new(n_shards: usize, db_name: &str, network: NetworkModel) -> Self {
+        let shards: Vec<Arc<Shard>> = (0..n_shards)
+            .map(|i| Arc::new(Shard::new(i, db_name)))
+            .collect();
+        let config = Arc::new(ConfigServer::new());
+        ShardedCluster {
+            router: Mongos::new(shards, config, network),
+            balancer: Balancer::default(),
+        }
+    }
+
+    /// The router (all reads and writes go through it).
+    pub fn router(&self) -> &Mongos {
+        &self.router
+    }
+
+    /// Mutable router access (e.g. to switch scatter mode).
+    pub fn router_mut(&mut self) -> &mut Mongos {
+        &mut self.router
+    }
+
+    /// The balancer.
+    pub fn balancer(&self) -> &Balancer {
+        &self.balancer
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.router.shards().len()
+    }
+
+    /// Shards a collection and creates the supporting shard-key index on
+    /// every shard (MongoDB requires the index to exist).
+    pub fn shard_collection(
+        &self,
+        name: &str,
+        key: ShardKey,
+        max_chunk_size: usize,
+    ) -> Result<()> {
+        use doclite_docstore::IndexDef;
+        let def = match key.partitioning() {
+            crate::shardkey::Partitioning::Range => {
+                IndexDef::compound(key.fields().iter().map(String::as_str))
+            }
+            crate::shardkey::Partitioning::Hashed => IndexDef::hashed(key.fields()[0].clone()),
+        };
+        self.router.create_index(name, def)?;
+        self.router
+            .config()
+            .shard_collection_with_chunk_size(name, key, 0, max_chunk_size);
+        Ok(())
+    }
+
+    /// Runs a balancing round over all sharded collections.
+    pub fn balance(&self) -> Result<usize> {
+        Ok(self.balancer.balance_all(&self.router)?.len())
+    }
+
+    /// Total bytes stored across the cluster.
+    pub fn data_size(&self) -> usize {
+        self.router.shards().iter().map(|s| s.data_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::doc;
+    use doclite_docstore::Filter;
+
+    #[test]
+    fn end_to_end_shard_load_balance_query() {
+        let cluster = ShardedCluster::new(3, "Dataset_test", NetworkModel::free());
+        cluster
+            .shard_collection("facts", ShardKey::range(["k"]), 4 * 1024)
+            .unwrap();
+        for i in 0..500i64 {
+            cluster
+                .router()
+                .insert_one("facts", doc! {"k" => i, "pad" => "x".repeat(30)})
+                .unwrap();
+        }
+        let migrations = cluster.balance().unwrap();
+        assert!(migrations > 0);
+
+        // Every shard ends up holding data.
+        let held: Vec<usize> = cluster
+            .router()
+            .shards()
+            .iter()
+            .map(|s| s.db().get_collection("facts").map(|c| c.len()).unwrap_or(0))
+            .collect();
+        assert!(held.iter().all(|&n| n > 0), "distribution: {held:?}");
+
+        // Targeted query touches one shard; broadcast returns everything.
+        let t = cluster
+            .router()
+            .explain_targeting("facts", &Filter::eq("k", 250i64));
+        assert!(t.is_targeted());
+        assert_eq!(cluster.router().find("facts", &Filter::True).len(), 500);
+        assert!(cluster.data_size() > 0);
+    }
+
+    #[test]
+    fn shard_key_index_created_on_all_shards() {
+        let cluster = ShardedCluster::new(2, "d", NetworkModel::free());
+        cluster
+            .shard_collection("c", ShardKey::hashed("k"), 1024)
+            .unwrap();
+        for s in cluster.router().shards() {
+            let defs = s.db().collection("c").index_defs();
+            assert!(defs.iter().any(|d| d.name == "k_hashed"), "{defs:?}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The config server: cluster metadata mapping chunks to shards
+//! (thesis Section 2.1.3.1 component ii).
+
+use crate::chunk::{Chunk, KeyBound, ShardId, DEFAULT_CHUNK_SIZE};
+use crate::shardkey::ShardKey;
+use doclite_docstore::CompoundKey;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Sharding metadata for one collection: the shard key and the ordered,
+/// contiguous chunk list.
+#[derive(Clone, Debug)]
+pub struct CollectionMeta {
+    pub key: ShardKey,
+    pub chunks: Vec<Chunk>,
+    /// Maximum chunk size in bytes before a split is attempted.
+    pub max_chunk_size: usize,
+}
+
+impl CollectionMeta {
+    /// Index of the chunk containing a key.
+    pub fn chunk_for(&self, key: &CompoundKey) -> usize {
+        // Chunks are sorted by min and contiguous; binary search on min.
+        let mut lo = 0usize;
+        let mut hi = self.chunks.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.chunks[mid].min.cmp_key(key) != std::cmp::Ordering::Greater {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        debug_assert!(self.chunks[lo].contains(key), "chunk map must cover keyspace");
+        lo
+    }
+
+    /// Shards owning chunks that intersect `[lo, hi]` (inclusive,
+    /// `None` = unbounded), deduplicated.
+    pub fn shards_for_range(
+        &self,
+        lo: Option<&CompoundKey>,
+        hi: Option<&CompoundKey>,
+    ) -> Vec<ShardId> {
+        let mut out: Vec<ShardId> = Vec::new();
+        for c in &self.chunks {
+            if c.intersects(lo, hi) && !out.contains(&c.shard) {
+                out.push(c.shard);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All shards holding at least one chunk.
+    pub fn all_shards(&self) -> Vec<ShardId> {
+        let mut out: Vec<ShardId> = self.chunks.iter().map(|c| c.shard).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Chunk count per shard (for the balancer).
+    pub fn chunks_per_shard(&self) -> BTreeMap<ShardId, usize> {
+        let mut m = BTreeMap::new();
+        for c in &self.chunks {
+            *m.entry(c.shard).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Verifies the chunk-map invariants: sorted, contiguous, covering.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.chunks.is_empty() {
+            return Err("empty chunk map".into());
+        }
+        if self.chunks.first().expect("non-empty").min != KeyBound::MinKey {
+            return Err("first chunk must start at MinKey".into());
+        }
+        if self.chunks.last().expect("non-empty").max != KeyBound::MaxKey {
+            return Err("last chunk must end at MaxKey".into());
+        }
+        for w in self.chunks.windows(2) {
+            if w[0].max != w[1].min {
+                return Err(format!("gap/overlap between chunks: {:?} vs {:?}", w[0].max, w[1].min));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The config server: per-collection sharding metadata. In the paper's
+/// cluster this is a dedicated `mongod`; here it is an in-process
+/// metadata service the router consults on every operation.
+#[derive(Default)]
+pub struct ConfigServer {
+    collections: RwLock<BTreeMap<String, CollectionMeta>>,
+}
+
+impl ConfigServer {
+    /// Creates an empty config server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a collection as sharded, with a single full-range chunk
+    /// on `initial_shard`.
+    pub fn shard_collection(
+        &self,
+        name: impl Into<String>,
+        key: ShardKey,
+        initial_shard: ShardId,
+    ) {
+        self.shard_collection_with_chunk_size(name, key, initial_shard, DEFAULT_CHUNK_SIZE);
+    }
+
+    /// As [`Self::shard_collection`] but with a custom split threshold —
+    /// the experiments use small thresholds so scaled-down datasets still
+    /// split into multi-chunk distributions.
+    pub fn shard_collection_with_chunk_size(
+        &self,
+        name: impl Into<String>,
+        key: ShardKey,
+        initial_shard: ShardId,
+        max_chunk_size: usize,
+    ) {
+        let meta = CollectionMeta {
+            key,
+            chunks: vec![Chunk::full_range(initial_shard)],
+            max_chunk_size,
+        };
+        self.collections.write().insert(name.into(), meta);
+    }
+
+    /// True if the collection is sharded.
+    pub fn is_sharded(&self, name: &str) -> bool {
+        self.collections.read().contains_key(name)
+    }
+
+    /// Snapshot of a collection's metadata.
+    pub fn meta(&self, name: &str) -> Option<CollectionMeta> {
+        self.collections.read().get(name).cloned()
+    }
+
+    /// Names of all sharded collections.
+    pub fn sharded_collections(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Mutates a collection's metadata under the config lock.
+    pub fn with_meta_mut<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut CollectionMeta) -> R,
+    ) -> Option<R> {
+        let mut map = self.collections.write();
+        map.get_mut(name).map(f)
+    }
+
+    /// Splits a chunk at `split_key`: `[min, split)` stays, `[split, max)`
+    /// becomes a new chunk on the same shard. Byte/doc accounting is
+    /// divided according to `left_fraction`.
+    pub fn split_chunk(
+        &self,
+        collection: &str,
+        chunk_index: usize,
+        split_key: CompoundKey,
+        left_fraction: f64,
+    ) -> bool {
+        self.with_meta_mut(collection, |meta| {
+            let Some(chunk) = meta.chunks.get(chunk_index) else { return false };
+            // The split point must fall strictly inside the chunk.
+            if !chunk.contains(&split_key)
+                || chunk.min.cmp_key(&split_key) == std::cmp::Ordering::Equal
+            {
+                return false;
+            }
+            let mut left = chunk.clone();
+            let mut right = chunk.clone();
+            left.max = KeyBound::Key(split_key.clone());
+            right.min = KeyBound::Key(split_key);
+            let lf = left_fraction.clamp(0.0, 1.0);
+            left.bytes = (chunk.bytes as f64 * lf) as usize;
+            left.docs = (chunk.docs as f64 * lf) as usize;
+            right.bytes = chunk.bytes - left.bytes;
+            right.docs = chunk.docs - left.docs;
+            left.jumbo = false;
+            right.jumbo = false;
+            meta.chunks.splice(chunk_index..=chunk_index, [left, right]);
+            true
+        })
+        .unwrap_or(false)
+    }
+
+    /// Reassigns a chunk to a different shard (the metadata half of a
+    /// chunk migration).
+    pub fn move_chunk(&self, collection: &str, chunk_index: usize, to: ShardId) -> bool {
+        self.with_meta_mut(collection, |meta| {
+            if let Some(c) = meta.chunks.get_mut(chunk_index) {
+                c.shard = to;
+                true
+            } else {
+                false
+            }
+        })
+        .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::Value;
+
+    fn k(v: i64) -> CompoundKey {
+        CompoundKey::from_values(vec![Value::Int64(v)])
+    }
+
+    fn setup() -> ConfigServer {
+        let cfg = ConfigServer::new();
+        cfg.shard_collection("c", ShardKey::range(["k"]), 0);
+        cfg
+    }
+
+    #[test]
+    fn initial_single_chunk_covers_keyspace() {
+        let cfg = setup();
+        let meta = cfg.meta("c").unwrap();
+        assert_eq!(meta.chunks.len(), 1);
+        meta.check_invariants().unwrap();
+        assert_eq!(meta.chunk_for(&k(i64::MIN)), 0);
+        assert_eq!(meta.chunk_for(&k(i64::MAX)), 0);
+    }
+
+    #[test]
+    fn split_preserves_invariants_and_routing() {
+        let cfg = setup();
+        cfg.with_meta_mut("c", |m| {
+            m.chunks[0].bytes = 100;
+            m.chunks[0].docs = 10;
+        });
+        assert!(cfg.split_chunk("c", 0, k(50), 0.4));
+        let meta = cfg.meta("c").unwrap();
+        assert_eq!(meta.chunks.len(), 2);
+        meta.check_invariants().unwrap();
+        assert_eq!(meta.chunk_for(&k(49)), 0);
+        assert_eq!(meta.chunk_for(&k(50)), 1);
+        assert_eq!(meta.chunks[0].bytes + meta.chunks[1].bytes, 100);
+        assert_eq!(meta.chunks[0].docs, 4);
+    }
+
+    #[test]
+    fn split_at_chunk_min_is_rejected() {
+        let cfg = setup();
+        assert!(cfg.split_chunk("c", 0, k(10), 0.5));
+        // splitting the right chunk exactly at its min would create an
+        // empty chunk
+        assert!(!cfg.split_chunk("c", 1, k(10), 0.5));
+    }
+
+    #[test]
+    fn range_targeting_picks_intersecting_shards() {
+        let cfg = setup();
+        cfg.split_chunk("c", 0, k(100), 0.5);
+        cfg.split_chunk("c", 1, k(200), 0.5);
+        cfg.move_chunk("c", 1, 1);
+        cfg.move_chunk("c", 2, 2);
+        let meta = cfg.meta("c").unwrap();
+        assert_eq!(meta.shards_for_range(Some(&k(120)), Some(&k(150))), vec![1]);
+        assert_eq!(meta.shards_for_range(Some(&k(50)), Some(&k(150))), vec![0, 1]);
+        assert_eq!(meta.shards_for_range(None, None), vec![0, 1, 2]);
+        assert_eq!(meta.all_shards(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn chunks_per_shard_counts() {
+        let cfg = setup();
+        cfg.split_chunk("c", 0, k(10), 0.5);
+        cfg.move_chunk("c", 1, 1);
+        let meta = cfg.meta("c").unwrap();
+        let counts = meta.chunks_per_shard();
+        assert_eq!(counts[&0], 1);
+        assert_eq!(counts[&1], 1);
+    }
+}

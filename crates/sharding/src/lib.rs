@@ -1,0 +1,45 @@
+//! # doclite-sharding
+//!
+//! The sharded-cluster substrate of the reproduction: shard keys with
+//! range and hashed partitioning, chunks with splitting and jumbo
+//! detection, a config server holding the chunk→shard map, a `mongos`
+//! query router with targeted vs. scatter-gather execution, a
+//! chunk-count balancer, and a network cost model standing in for the
+//! paper's EC2 cluster links.
+//!
+//! ```
+//! use doclite_sharding::{ShardedCluster, ShardKey, NetworkModel};
+//! use doclite_bson::doc;
+//! use doclite_docstore::Filter;
+//!
+//! let cluster = ShardedCluster::new(3, "Dataset_1GB", NetworkModel::free());
+//! cluster.shard_collection("store_sales", ShardKey::range(["ss_ticket_number"]), 1 << 16).unwrap();
+//! cluster.router().insert_one("store_sales", doc! {"ss_ticket_number" => 1i64}).unwrap();
+//! assert!(cluster.router()
+//!     .explain_targeting("store_sales", &Filter::eq("ss_ticket_number", 1i64))
+//!     .is_targeted());
+//! ```
+
+pub mod balancer;
+pub mod capacity;
+pub mod chunk;
+pub mod cluster;
+pub mod config;
+pub mod network;
+pub mod replica;
+pub mod router;
+pub mod shard;
+pub mod shardkey;
+pub mod targeting;
+
+pub use balancer::{Balancer, Migration};
+pub use capacity::{plan_cluster, ClusterPlan, ShardingFactors};
+pub use chunk::{Chunk, KeyBound, ShardId, DEFAULT_CHUNK_SIZE};
+pub use cluster::ShardedCluster;
+pub use config::{CollectionMeta, ConfigServer};
+pub use network::{NetMode, NetStats, NetworkModel};
+pub use replica::{MemberState, ReadPreference, ReplicaSet, WriteConcern};
+pub use router::{Mongos, ScatterMode};
+pub use shard::Shard;
+pub use shardkey::{Partitioning, ShardKey};
+pub use targeting::{target, Targeting};

@@ -1,0 +1,231 @@
+//! The simulated network between router and shards.
+//!
+//! **Substitution for the paper's AWS cluster.** The thesis ran a 5-node
+//! EC2 cluster; router↔shard traffic crossed a real network. Here the
+//! shards are in-process, so this model injects the two costs that made
+//! the thesis's scatter-gather queries slow (Section 4.3): a per-exchange
+//! round-trip latency and a per-byte transfer cost.
+//!
+//! Two modes:
+//!
+//! * [`NetMode::Sleep`] — actually sleep, so wall-clock measurements
+//!   (criterion benches) include network time;
+//! * [`NetMode::Account`] — accumulate the time into a counter, so report
+//!   binaries can run fast and add simulated network time to measured CPU
+//!   time deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How network costs are applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetMode {
+    /// Block the calling thread for the computed duration.
+    Sleep,
+    /// Only accumulate into the stats counters.
+    Account,
+}
+
+/// Network cost parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// One request/response exchange between router and a shard.
+    pub round_trip: Duration,
+    /// Payload bandwidth in bytes per second.
+    pub bytes_per_sec: u64,
+    /// Application mode.
+    pub mode: NetMode,
+}
+
+impl NetworkModel {
+    /// A zero-cost network (stand-alone behaviour).
+    pub fn free() -> Self {
+        NetworkModel { round_trip: Duration::ZERO, bytes_per_sec: u64::MAX, mode: NetMode::Account }
+    }
+
+    /// Costs loosely calibrated to the paper's EC2 LAN (same-AZ):
+    /// 100 µs RTT, 1 Gbit/s effective bandwidth.
+    pub fn lan() -> Self {
+        NetworkModel {
+            round_trip: Duration::from_micros(100),
+            bytes_per_sec: 125_000_000,
+            mode: NetMode::Account,
+        }
+    }
+
+    /// Switches to sleeping mode (for wall-clock benches).
+    pub fn sleeping(mut self) -> Self {
+        self.mode = NetMode::Sleep;
+        self
+    }
+
+    /// The modelled duration of one exchange carrying `bytes`.
+    pub fn cost(&self, bytes: usize) -> Duration {
+        let transfer = if self.bytes_per_sec == u64::MAX {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(
+                (bytes as u128 * 1_000_000_000 / self.bytes_per_sec as u128) as u64,
+            )
+        };
+        self.round_trip + transfer
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::lan()
+    }
+}
+
+/// Thread-safe accumulation of simulated network activity.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    exchanges: AtomicU64,
+    bytes: AtomicU64,
+    nanos: AtomicU64,
+    /// Peak per-operation parallel time (see [`NetStats::charge_parallel`]).
+    parallel_nanos: AtomicU64,
+}
+
+impl NetStats {
+    /// Creates zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges one router↔shard exchange of `bytes`, sleeping if the
+    /// model says so. Returns the modelled duration.
+    pub fn charge(&self, model: &NetworkModel, bytes: usize) -> Duration {
+        let d = model.cost(bytes);
+        self.exchanges.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.parallel_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        if model.mode == NetMode::Sleep && d > Duration::ZERO {
+            std::thread::sleep(d);
+        }
+        d
+    }
+
+    /// Charges a scatter-gather step that contacts several shards *in
+    /// parallel*: serial counters record the sum, but the parallel clock
+    /// advances only by the slowest leg.
+    pub fn charge_parallel(&self, model: &NetworkModel, legs: &[usize]) -> Duration {
+        if legs.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for &bytes in legs {
+            let d = model.cost(bytes);
+            total += d;
+            if d > max {
+                max = d;
+            }
+            self.exchanges.fetch_add(1, Ordering::Relaxed);
+            self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+        self.nanos.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        self.parallel_nanos
+            .fetch_add(max.as_nanos() as u64, Ordering::Relaxed);
+        if model.mode == NetMode::Sleep && max > Duration::ZERO {
+            std::thread::sleep(max);
+        }
+        max
+    }
+
+    /// Total exchanges so far.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total serialized network time.
+    pub fn serial_time(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Network time assuming parallel scatter legs overlap.
+    pub fn parallel_time(&self) -> Duration {
+        Duration::from_nanos(self.parallel_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Resets all counters (between experiments).
+    pub fn reset(&self) {
+        self.exchanges.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+        self.parallel_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_combines_latency_and_transfer() {
+        let m = NetworkModel {
+            round_trip: Duration::from_micros(100),
+            bytes_per_sec: 1_000_000,
+            mode: NetMode::Account,
+        };
+        // 1000 bytes at 1 MB/s = 1 ms
+        assert_eq!(m.cost(1000), Duration::from_micros(1100));
+        assert_eq!(m.cost(0), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn free_network_is_zero_cost() {
+        let m = NetworkModel::free();
+        assert_eq!(m.cost(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let stats = NetStats::new();
+        let m = NetworkModel::lan();
+        stats.charge(&m, 1000);
+        stats.charge(&m, 2000);
+        assert_eq!(stats.exchanges(), 2);
+        assert_eq!(stats.bytes(), 3000);
+        // 2 round-trips at 100 µs plus 3000 bytes of transfer.
+        assert!(stats.serial_time() >= Duration::from_micros(200));
+        stats.reset();
+        assert_eq!(stats.exchanges(), 0);
+        assert_eq!(stats.serial_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn parallel_charge_takes_max_leg() {
+        let stats = NetStats::new();
+        let m = NetworkModel {
+            round_trip: Duration::from_millis(1),
+            bytes_per_sec: u64::MAX,
+            mode: NetMode::Account,
+        };
+        stats.charge_parallel(&m, &[10, 10, 10]);
+        assert_eq!(stats.exchanges(), 3);
+        assert_eq!(stats.parallel_time(), Duration::from_millis(1));
+        assert_eq!(stats.serial_time(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn sleep_mode_blocks() {
+        let stats = NetStats::new();
+        let m = NetworkModel {
+            round_trip: Duration::from_millis(5),
+            bytes_per_sec: u64::MAX,
+            mode: NetMode::Sleep,
+        };
+        let t0 = std::time::Instant::now();
+        stats.charge(&m, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,362 @@
+//! Replica sets: "a feature of MongoDB that ensures redundancy by
+//! storing the same data on multiple servers" (thesis Section 2.1.3.1 —
+//! a shard may be "either a single mongod instance or a replica set";
+//! Fig 2.5's production cluster replicates every shard).
+//!
+//! This implementation keeps the thesis-relevant semantics: synchronous
+//! statement replication from primary to healthy secondaries under a
+//! write concern, read preferences, primary failover by election of the
+//! lowest-id healthy member, and resynchronization of recovered members.
+
+use doclite_bson::Document;
+use doclite_docstore::{Database, Error, Filter, FindOptions, Result, UpdateResult, UpdateSpec};
+use parking_lot::RwLock;
+
+/// Health of one replica-set member.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemberState {
+    /// Serving reads/writes.
+    Up,
+    /// Crashed or partitioned; receives no traffic and misses writes.
+    Down,
+}
+
+/// Where reads are served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReadPreference {
+    /// From the primary (MongoDB's default; always up to date).
+    #[default]
+    Primary,
+    /// From a healthy secondary if one exists (may trail the primary
+    /// while a member resyncs).
+    Secondary,
+}
+
+/// How many members must acknowledge a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WriteConcern {
+    /// Primary only.
+    #[default]
+    W1,
+    /// Strict majority of the configured member count.
+    Majority,
+    /// Every configured member (fails while any member is down).
+    All,
+}
+
+struct Member {
+    db: Database,
+    state: MemberState,
+}
+
+/// A replica set: one primary plus secondaries holding copies of the
+/// data.
+pub struct ReplicaSet {
+    name: String,
+    members: RwLock<Vec<Member>>,
+    primary: RwLock<usize>,
+}
+
+impl ReplicaSet {
+    /// Creates a set with `n` members (`n ≥ 1`); member 0 starts as
+    /// primary.
+    pub fn new(name: impl Into<String>, n: usize) -> Self {
+        assert!(n >= 1, "replica set needs at least one member");
+        let name = name.into();
+        let members = (0..n)
+            .map(|i| Member {
+                db: Database::new(format!("{name}_m{i}")),
+                state: MemberState::Up,
+            })
+            .collect();
+        ReplicaSet { name, members: RwLock::new(members), primary: RwLock::new(0) }
+    }
+
+    /// The set name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of configured members.
+    pub fn member_count(&self) -> usize {
+        self.members.read().len()
+    }
+
+    /// Index of the current primary.
+    pub fn primary_index(&self) -> usize {
+        *self.primary.read()
+    }
+
+    /// Health of a member.
+    pub fn member_state(&self, index: usize) -> MemberState {
+        self.members.read()[index].state
+    }
+
+    /// Healthy member count.
+    pub fn healthy_members(&self) -> usize {
+        self.members
+            .read()
+            .iter()
+            .filter(|m| m.state == MemberState::Up)
+            .count()
+    }
+
+    fn acknowledged(&self, concern: WriteConcern) -> Result<()> {
+        let total = self.member_count();
+        let healthy = self.healthy_members();
+        let needed = match concern {
+            WriteConcern::W1 => 1,
+            WriteConcern::Majority => total / 2 + 1,
+            WriteConcern::All => total,
+        };
+        if healthy < needed {
+            return Err(Error::InvalidQuery(format!(
+                "write concern not satisfiable: {healthy} healthy of {total}, need {needed}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs a closure against the primary and every healthy secondary
+    /// (synchronous statement replication).
+    fn replicate<R>(
+        &self,
+        concern: WriteConcern,
+        f: impl Fn(&Database) -> Result<R>,
+    ) -> Result<R> {
+        self.acknowledged(concern)?;
+        let members = self.members.read();
+        let primary = *self.primary.read();
+        if members[primary].state != MemberState::Up {
+            return Err(Error::InvalidQuery("no primary available".into()));
+        }
+        let result = f(&members[primary].db)?;
+        for (i, m) in members.iter().enumerate() {
+            if i != primary && m.state == MemberState::Up {
+                f(&m.db)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Inserts one document under a write concern.
+    pub fn insert_one(
+        &self,
+        collection: &str,
+        doc: Document,
+        concern: WriteConcern,
+    ) -> Result<()> {
+        // ensure_id first so every member stores the same _id.
+        let mut doc = doc;
+        doc.ensure_id();
+        self.replicate(concern, |db| {
+            db.collection(collection).insert_one(doc.clone()).map(|_| ())
+        })
+    }
+
+    /// Updates under a write concern.
+    pub fn update(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        spec: &UpdateSpec,
+        upsert: bool,
+        multi: bool,
+        concern: WriteConcern,
+    ) -> Result<UpdateResult> {
+        self.replicate(concern, |db| {
+            db.collection(collection).update(filter, spec, upsert, multi)
+        })
+    }
+
+    /// Deletes under a write concern; returns the primary's count.
+    pub fn delete_many(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        concern: WriteConcern,
+    ) -> Result<usize> {
+        self.replicate(concern, |db| {
+            Ok(db
+                .get_collection(collection)
+                .map(|c| c.delete_many(filter))
+                .unwrap_or(0))
+        })
+    }
+
+    /// Reads under a read preference.
+    pub fn find_with(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+        pref: ReadPreference,
+    ) -> Vec<Document> {
+        let members = self.members.read();
+        let primary = *self.primary.read();
+        let target = match pref {
+            ReadPreference::Primary => primary,
+            ReadPreference::Secondary => members
+                .iter()
+                .enumerate()
+                .find(|(i, m)| *i != primary && m.state == MemberState::Up)
+                .map(|(i, _)| i)
+                .unwrap_or(primary),
+        };
+        match members[target].db.get_collection(collection) {
+            Ok(c) => c.find_with(filter, opts),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Reads with default options.
+    pub fn find(&self, collection: &str, filter: &Filter, pref: ReadPreference) -> Vec<Document> {
+        self.find_with(collection, filter, &FindOptions::default(), pref)
+    }
+
+    /// Marks a member down. If it was the primary, the lowest-index
+    /// healthy member is elected (returns the new primary, or `None` if
+    /// the set lost quorum entirely).
+    pub fn fail_member(&self, index: usize) -> Option<usize> {
+        let mut members = self.members.write();
+        members[index].state = MemberState::Down;
+        let mut primary = self.primary.write();
+        if *primary == index {
+            let next = members
+                .iter()
+                .position(|m| m.state == MemberState::Up)?;
+            *primary = next;
+        }
+        Some(*primary)
+    }
+
+    /// Brings a member back up, resynchronizing its data from the
+    /// current primary (initial-sync semantics: its state is replaced by
+    /// a copy of the primary's).
+    pub fn recover_member(&self, index: usize) {
+        let mut members = self.members.write();
+        let primary = *self.primary.read();
+        if index == primary {
+            members[index].state = MemberState::Up;
+            return;
+        }
+        // Rebuild the member's database from the primary.
+        let fresh = Database::new(format!("{}_m{index}", self.name));
+        for name in members[primary].db.collection_names() {
+            let docs = members[primary]
+                .db
+                .get_collection(&name)
+                .map(|c| c.all_docs())
+                .unwrap_or_default();
+            let coll = fresh.collection(&name);
+            coll.insert_many(docs).ok();
+        }
+        members[index].db = fresh;
+        members[index].state = MemberState::Up;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::doc;
+
+    fn seeded(n: usize) -> ReplicaSet {
+        let rs = ReplicaSet::new("rs0", n);
+        for i in 0..10i64 {
+            rs.insert_one("c", doc! {"k" => i}, WriteConcern::All).unwrap();
+        }
+        rs
+    }
+
+    #[test]
+    fn writes_replicate_to_all_members() {
+        let rs = seeded(3);
+        let members = rs.members.read();
+        for m in members.iter() {
+            assert_eq!(m.db.get_collection("c").unwrap().len(), 10);
+        }
+    }
+
+    #[test]
+    fn replicated_docs_share_ids() {
+        let rs = seeded(2);
+        let a = rs.find("c", &Filter::eq("k", 3i64), ReadPreference::Primary);
+        let b = rs.find("c", &Filter::eq("k", 3i64), ReadPreference::Secondary);
+        assert_eq!(a, b);
+        assert_eq!(a[0].id(), b[0].id());
+    }
+
+    #[test]
+    fn secondary_reads_serve_from_secondary() {
+        let rs = seeded(3);
+        // Make the primary diverge by writing with W1 while secondaries
+        // are down — simpler: fail secondaries, write, recover, then the
+        // recovered member is resynced and identical again.
+        assert_eq!(
+            rs.find("c", &Filter::True, ReadPreference::Secondary).len(),
+            10
+        );
+    }
+
+    #[test]
+    fn failover_elects_new_primary_and_keeps_data() {
+        let rs = seeded(3);
+        assert_eq!(rs.primary_index(), 0);
+        let new_primary = rs.fail_member(0).unwrap();
+        assert_eq!(new_primary, 1);
+        // Reads and writes continue.
+        assert_eq!(rs.find("c", &Filter::True, ReadPreference::Primary).len(), 10);
+        rs.insert_one("c", doc! {"k" => 99i64}, WriteConcern::Majority).unwrap();
+        assert_eq!(rs.find("c", &Filter::eq("k", 99i64), ReadPreference::Primary).len(), 1);
+    }
+
+    #[test]
+    fn write_concern_all_fails_with_a_member_down() {
+        let rs = seeded(3);
+        rs.fail_member(2);
+        let err = rs.insert_one("c", doc! {"k" => 100i64}, WriteConcern::All);
+        assert!(err.is_err());
+        // Majority still succeeds (2 of 3).
+        rs.insert_one("c", doc! {"k" => 100i64}, WriteConcern::Majority).unwrap();
+    }
+
+    #[test]
+    fn majority_fails_when_quorum_lost() {
+        let rs = seeded(3);
+        rs.fail_member(1);
+        rs.fail_member(2);
+        assert!(rs
+            .insert_one("c", doc! {"k" => 1i64}, WriteConcern::Majority)
+            .is_err());
+        // W1 still works on the surviving primary.
+        rs.insert_one("c", doc! {"k" => 1i64}, WriteConcern::W1).unwrap();
+    }
+
+    #[test]
+    fn recovered_member_resyncs_missed_writes() {
+        let rs = seeded(3);
+        rs.fail_member(2);
+        for i in 100..110i64 {
+            rs.insert_one("c", doc! {"k" => i}, WriteConcern::Majority).unwrap();
+        }
+        rs.recover_member(2);
+        assert_eq!(rs.healthy_members(), 3);
+        let member2_len = rs.members.read()[2].db.get_collection("c").unwrap().len();
+        assert_eq!(member2_len, 20);
+    }
+
+    #[test]
+    fn total_failure_leaves_no_primary() {
+        let rs = seeded(2);
+        rs.fail_member(1);
+        assert_eq!(rs.fail_member(0), None);
+        assert!(rs.insert_one("c", doc! {"k" => 1i64}, WriteConcern::W1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_set_panics() {
+        let _ = ReplicaSet::new("rs0", 0);
+    }
+}

@@ -1,0 +1,742 @@
+//! The query router (`mongos`, thesis Section 2.1.3.1 component iii):
+//! routes reads and writes to the right shards, gathers and merges
+//! results, and triggers chunk splits.
+
+use crate::chunk::{KeyBound, ShardId};
+use crate::config::ConfigServer;
+use crate::network::{NetStats, NetworkModel};
+use crate::shard::Shard;
+use crate::targeting::{target, Targeting};
+use doclite_bson::{codec::encoded_size, Document};
+use doclite_docstore::agg::exec;
+use doclite_docstore::{
+    CompoundKey, Error, Filter, FindOptions, IndexDef, Pipeline, Result, Stage, UpdateResult,
+    UpdateSpec,
+};
+use std::sync::Arc;
+
+/// Whether scatter-gather legs run concurrently (one thread per shard,
+/// as a real mongos overlaps shard I/O) or one after another (the
+/// baseline the thesis's future-work section contrasts against).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ScatterMode {
+    #[default]
+    Parallel,
+    Sequential,
+}
+
+/// The router. All application traffic flows through here, as in the
+/// thesis's AppServer/QueryRouter node.
+pub struct Mongos {
+    shards: Vec<Arc<Shard>>,
+    config: Arc<ConfigServer>,
+    network: NetworkModel,
+    stats: Arc<NetStats>,
+    scatter: ScatterMode,
+    /// Unsharded collections live on this shard (MongoDB's "primary
+    /// shard" for a database).
+    primary: ShardId,
+}
+
+impl Mongos {
+    /// Creates a router over the given shards and config server.
+    pub fn new(
+        shards: Vec<Arc<Shard>>,
+        config: Arc<ConfigServer>,
+        network: NetworkModel,
+    ) -> Self {
+        assert!(!shards.is_empty(), "cluster needs at least one shard");
+        Mongos {
+            shards,
+            config,
+            network,
+            stats: Arc::new(NetStats::new()),
+            scatter: ScatterMode::default(),
+            primary: 0,
+        }
+    }
+
+    /// Sets the scatter-gather execution mode.
+    pub fn set_scatter_mode(&mut self, mode: ScatterMode) {
+        self.scatter = mode;
+    }
+
+    /// Network statistics accumulated by this router.
+    pub fn net_stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The network model in force.
+    pub fn network(&self) -> &NetworkModel {
+        &self.network
+    }
+
+    /// The shards behind the router.
+    pub fn shards(&self) -> &[Arc<Shard>] {
+        &self.shards
+    }
+
+    /// The config server.
+    pub fn config(&self) -> &ConfigServer {
+        &self.config
+    }
+
+    fn shard(&self, id: ShardId) -> &Arc<Shard> {
+        &self.shards[id]
+    }
+
+    /// Routes and stores one document without charging the network;
+    /// returns the bytes written. Triggers a chunk split when the target
+    /// chunk crosses the size threshold.
+    fn insert_routed(&self, collection: &str, doc: Document) -> Result<usize> {
+        let bytes = encoded_size(&doc);
+        match self.config.meta(collection) {
+            None => {
+                self.shard(self.primary)
+                    .db()
+                    .collection(collection)
+                    .insert_one(doc)?;
+            }
+            Some(meta) => {
+                let key = meta.key.extract(&doc);
+                let chunk_idx = meta.chunk_for(&key);
+                let shard_id = meta.chunks[chunk_idx].shard;
+                self.shard(shard_id)
+                    .db()
+                    .collection(collection)
+                    .insert_one(doc)?;
+                let needs_split = self
+                    .config
+                    .with_meta_mut(collection, |m| {
+                        let c = &mut m.chunks[chunk_idx];
+                        c.bytes += bytes;
+                        c.docs += 1;
+                        c.bytes > m.max_chunk_size && !c.jumbo
+                    })
+                    .unwrap_or(false);
+                if needs_split {
+                    self.try_split(collection, chunk_idx);
+                }
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Inserts one document, routing by shard key (or to the primary
+    /// shard for unsharded collections).
+    pub fn insert_one(&self, collection: &str, doc: Document) -> Result<()> {
+        let bytes = self.insert_routed(collection, doc)?;
+        self.stats.charge(&self.network, bytes);
+        Ok(())
+    }
+
+    /// Batch size of one driver write batch: documents travel to the
+    /// cluster in groups, so the network is charged one exchange per
+    /// [`Self::WRITE_BATCH`] documents rather than per document (the Java
+    /// driver the thesis used batches the same way).
+    pub const WRITE_BATCH: usize = 1000;
+
+    /// Inserts many documents with batched network accounting.
+    pub fn insert_many(
+        &self,
+        collection: &str,
+        docs: impl IntoIterator<Item = Document>,
+    ) -> Result<usize> {
+        let mut n = 0usize;
+        let mut pending_bytes = 0usize;
+        for doc in docs {
+            pending_bytes += self.insert_routed(collection, doc)?;
+            n += 1;
+            if n % Self::WRITE_BATCH == 0 {
+                self.stats.charge(&self.network, pending_bytes);
+                pending_bytes = 0;
+            }
+        }
+        if pending_bytes > 0 || n == 0 {
+            self.stats.charge(&self.network, pending_bytes);
+        }
+        Ok(n)
+    }
+
+    /// Attempts to split a chunk at the median shard-key value of its
+    /// resident documents. If every document shares one key value the
+    /// chunk is marked **jumbo** and left alone (thesis Fig 2.7).
+    fn try_split(&self, collection: &str, chunk_idx: usize) {
+        let Some(meta) = self.config.meta(collection) else { return };
+        let Some(chunk) = meta.chunks.get(chunk_idx) else { return };
+        let shard = self.shard(chunk.shard);
+        let Ok(coll) = shard.db().get_collection(collection) else { return };
+
+        // Collect the chunk's resident keys from the owning shard.
+        let mut keys: Vec<CompoundKey> = Vec::new();
+        coll.for_each(|doc| {
+            let key = meta.key.extract(doc);
+            if chunk.contains(&key) {
+                keys.push(key);
+            }
+        });
+        // One metadata round-trip to the shard for the split vector.
+        self.stats.charge(&self.network, keys.len() * 16);
+        if keys.len() < 2 {
+            return;
+        }
+        keys.sort();
+        let median = keys[keys.len() / 2].clone();
+        if keys.first() == keys.last() {
+            // Unsplittable: same shard-key value throughout.
+            self.config.with_meta_mut(collection, |m| {
+                if let Some(c) = m.chunks.get_mut(chunk_idx) {
+                    c.jumbo = true;
+                }
+            });
+            return;
+        }
+        // If the median equals the minimum, advance to the first greater
+        // key so the left chunk is non-empty.
+        let split_key = if KeyBound::Key(median.clone()) == chunk.min
+            || chunk.min.cmp_key(&median) == std::cmp::Ordering::Equal
+        {
+            match keys.iter().find(|k| **k > median) {
+                Some(k) => k.clone(),
+                None => {
+                    self.config.with_meta_mut(collection, |m| {
+                        if let Some(c) = m.chunks.get_mut(chunk_idx) {
+                            c.jumbo = true;
+                        }
+                    });
+                    return;
+                }
+            }
+        } else {
+            median
+        };
+        let left = keys.iter().filter(|k| **k < split_key).count();
+        let left_fraction = left as f64 / keys.len() as f64;
+        self.config
+            .split_chunk(collection, chunk_idx, split_key, left_fraction);
+    }
+
+    /// Routes a find: targeted when the filter pins the shard key,
+    /// scatter-gather otherwise. Results from all legs are merged, then
+    /// sort/skip/limit/projection apply on the router.
+    pub fn find_with(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+    ) -> Vec<Document> {
+        let shard_ids = self.route(collection, filter);
+        let legs = self.gather(collection, filter, &shard_ids);
+        let mut docs: Vec<Document> = legs.into_iter().flatten().collect();
+        if !opts.sort.is_empty() {
+            exec::sort_documents(&mut docs, &opts.sort);
+        }
+        if opts.skip > 0 {
+            docs.drain(..opts.skip.min(docs.len()));
+        }
+        if opts.limit > 0 {
+            docs.truncate(opts.limit);
+        }
+        docs
+    }
+
+    /// `find` with default options.
+    pub fn find(&self, collection: &str, filter: &Filter) -> Vec<Document> {
+        self.find_with(collection, filter, &FindOptions::default())
+    }
+
+    /// The routing decision for a filter (exposed for tests/benches and
+    /// explain-style reporting).
+    pub fn explain_targeting(&self, collection: &str, filter: &Filter) -> Targeting {
+        match self.config.meta(collection) {
+            None => Targeting::Targeted(vec![self.primary]),
+            Some(meta) => target(&meta, filter),
+        }
+    }
+
+    fn route(&self, collection: &str, filter: &Filter) -> Vec<ShardId> {
+        let t = self.explain_targeting(collection, filter);
+        let shards = t.shards().to_vec();
+        if shards.is_empty() {
+            vec![self.primary]
+        } else {
+            shards
+        }
+    }
+
+    /// Runs `find(filter)` on each shard (parallel or sequential per
+    /// [`ScatterMode`]) and charges one network leg per shard, sized by
+    /// that shard's result payload.
+    fn gather(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        shard_ids: &[ShardId],
+    ) -> Vec<Vec<Document>> {
+        let run = |id: ShardId| -> Vec<Document> {
+            match self.shard(id).db().get_collection(collection) {
+                Ok(coll) => coll.find(filter),
+                Err(_) => Vec::new(),
+            }
+        };
+        let results: Vec<Vec<Document>> = match self.scatter {
+            ScatterMode::Sequential => shard_ids.iter().map(|&id| run(id)).collect(),
+            ScatterMode::Parallel => std::thread::scope(|s| {
+                let handles: Vec<_> = shard_ids
+                    .iter()
+                    .map(|&id| s.spawn(move || run(id)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard leg panicked"))
+                    .collect()
+            }),
+        };
+        let leg_bytes: Vec<usize> = results
+            .iter()
+            .map(|docs| docs.iter().map(encoded_size).sum())
+            .collect();
+        match self.scatter {
+            ScatterMode::Parallel => {
+                self.stats.charge_parallel(&self.network, &leg_bytes);
+            }
+            ScatterMode::Sequential => {
+                for b in leg_bytes {
+                    self.stats.charge(&self.network, b);
+                }
+            }
+        }
+        results
+    }
+
+    /// Counts matching documents across the targeted shards.
+    pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        let shard_ids = self.route(collection, filter);
+        let mut n = 0;
+        for id in shard_ids {
+            if let Ok(coll) = self.shard(id).db().get_collection(collection) {
+                n += coll.count(filter);
+            }
+            self.stats.charge(&self.network, 16);
+        }
+        n
+    }
+
+    /// Routes an update to the shards its filter targets.
+    pub fn update(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        spec: &UpdateSpec,
+        upsert: bool,
+        multi: bool,
+    ) -> Result<UpdateResult> {
+        let shard_ids = self.route(collection, filter);
+        let mut total = UpdateResult::default();
+        for id in &shard_ids {
+            let coll = self.shard(*id).db().collection(collection);
+            let r = coll.update(filter, spec, false, multi)?;
+            self.stats.charge(&self.network, 64);
+            total.matched += r.matched;
+            total.modified += r.modified;
+            if !multi && total.matched > 0 {
+                break;
+            }
+        }
+        if total.matched == 0 && upsert {
+            // Upsert lands on the shard owning the seed document's key.
+            let seed = doclite_docstore::update::upsert_seed(filter);
+            let shard_id = match self.config.meta(collection) {
+                Some(meta) => {
+                    let key = meta.key.extract(&seed);
+                    meta.chunks[meta.chunk_for(&key)].shard
+                }
+                None => self.primary,
+            };
+            let coll = self.shard(shard_id).db().collection(collection);
+            let r = coll.update(filter, spec, true, multi)?;
+            self.stats.charge(&self.network, 64);
+            total.upserted_id = r.upserted_id;
+        }
+        Ok(total)
+    }
+
+    /// Routes a delete.
+    pub fn delete_many(&self, collection: &str, filter: &Filter) -> usize {
+        let shard_ids = self.route(collection, filter);
+        let mut n = 0;
+        for id in shard_ids {
+            if let Ok(coll) = self.shard(id).db().get_collection(collection) {
+                n += coll.delete_many(filter);
+            }
+            self.stats.charge(&self.network, 16);
+        }
+        n
+    }
+
+    /// Creates an index on every shard's copy of the collection.
+    pub fn create_index(&self, collection: &str, def: IndexDef) -> Result<()> {
+        for shard in &self.shards {
+            shard.db().collection(collection).create_index(def.clone())?;
+            self.stats.charge(&self.network, 64);
+        }
+        Ok(())
+    }
+
+    /// Runs an aggregation pipeline against a (possibly sharded)
+    /// collection.
+    ///
+    /// Mirroring MongoDB 3.0's split execution: the leading `$match`
+    /// run is pushed down to the targeted shards; the surviving documents
+    /// travel to the router, which executes the remaining stages and
+    /// materializes any `$out` target on the primary shard. This transfer
+    /// of intermediate data is precisely the "expensive process" of
+    /// aggregating from multiple nodes the thesis measures.
+    pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
+        let stages = pipeline.stages();
+        let leading: Vec<&Filter> = pipeline.leading_matches();
+        let push_down = Filter::and(leading.iter().map(|f| (*f).clone()));
+        let rest = &stages[leading.len()..];
+        let (rest, out_target): (&[Stage], Option<&str>) = match rest.last() {
+            Some(Stage::Out(name)) => (&rest[..rest.len() - 1], Some(name)),
+            _ => (rest, None),
+        };
+
+        let shard_ids = self.route(collection, &push_down);
+        let legs = self.gather(collection, &push_down, &shard_ids);
+        let merged: Vec<Document> = legs.into_iter().flatten().collect();
+        // $lookup resolves against the primary shard, where unsharded
+        // collections live (MongoDB requires the from-collection of a
+        // $lookup to be unsharded).
+        let results =
+            exec::execute_with(merged, rest, Some(self.shard(self.primary).db()))?;
+
+        if let Some(name) = out_target {
+            let out_bytes: usize = results.iter().map(encoded_size).sum();
+            let db = self.shard(self.primary).db();
+            db.drop_collection(name);
+            db.collection(name)
+                .insert_many(results.iter().cloned())
+                .map_err(|(_, e)| e)?;
+            self.stats.charge(&self.network, out_bytes);
+        }
+        Ok(results)
+    }
+
+    /// Total documents stored for a collection across shards.
+    pub fn collection_len(&self, collection: &str) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.db()
+                    .get_collection(collection)
+                    .map(|c| c.len())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Total data bytes stored for a collection across shards.
+    pub fn collection_data_size(&self, collection: &str) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.db()
+                    .get_collection(collection)
+                    .map(|c| c.data_size())
+                    .unwrap_or(0)
+            })
+            .sum()
+    }
+
+    /// Shards an *existing, populated* collection: gathers its documents
+    /// from wherever they live (the primary shard for a previously
+    /// unsharded collection), registers the shard-key metadata, and
+    /// re-routes every document through the normal insert path so chunks
+    /// split and distribute as if the data had been loaded sharded.
+    ///
+    /// This backs the thesis's future-work scenario (Section 5.2): "the
+    /// denormalized data model can be deployed on the sharded cluster".
+    pub fn reshard_collection(
+        &self,
+        collection: &str,
+        key: crate::shardkey::ShardKey,
+        max_chunk_size: usize,
+    ) -> Result<usize> {
+        // Gather all documents currently stored anywhere.
+        let mut docs: Vec<Document> = Vec::new();
+        for shard in &self.shards {
+            if let Ok(coll) = shard.db().get_collection(collection) {
+                docs.extend(coll.all_docs());
+            }
+            shard.db().drop_collection(collection);
+        }
+        // Shard-key index plus metadata, then reload through the router.
+        let def = match key.partitioning() {
+            crate::shardkey::Partitioning::Range => {
+                IndexDef::compound(key.fields().iter().map(String::as_str))
+            }
+            crate::shardkey::Partitioning::Hashed => IndexDef::hashed(key.fields()[0].clone()),
+        };
+        self.create_index(collection, def)?;
+        self.config
+            .shard_collection_with_chunk_size(collection, key, self.primary, max_chunk_size);
+        self.insert_many(collection, docs)
+    }
+
+    /// Physically relocates a chunk's documents and updates metadata —
+    /// the data-movement half of a balancer migration.
+    pub fn move_chunk(&self, collection: &str, chunk_idx: usize, to: ShardId) -> Result<usize> {
+        let meta = self
+            .config
+            .meta(collection)
+            .ok_or_else(|| Error::NoSuchCollection(collection.to_owned()))?;
+        let chunk = meta
+            .chunks
+            .get(chunk_idx)
+            .ok_or_else(|| Error::InvalidQuery(format!("no chunk {chunk_idx}")))?
+            .clone();
+        if chunk.shard == to {
+            return Ok(0);
+        }
+        let src = self.shard(chunk.shard).db().collection(collection);
+        let dst = self.shard(to).db().collection(collection);
+
+        // Identify resident documents of this chunk.
+        let mut moving: Vec<Document> = Vec::new();
+        src.for_each(|doc| {
+            if chunk.contains(&meta.key.extract(doc)) {
+                moving.push(doc.clone());
+            }
+        });
+        let bytes: usize = moving.iter().map(encoded_size).sum();
+        let n = moving.len();
+        for doc in &moving {
+            let id = doc.id().expect("stored docs have _id").clone();
+            src.delete_many(&Filter::eq("_id", id));
+        }
+        dst.insert_many(moving).map_err(|(_, e)| e)?;
+        // Source→destination transfer plus two metadata round-trips.
+        self.stats.charge(&self.network, bytes);
+        self.stats.charge(&self.network, 64);
+        self.config.move_chunk(collection, chunk_idx, to);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shardkey::ShardKey;
+    use doclite_bson::doc;
+
+    fn cluster(n: usize) -> Mongos {
+        let shards: Vec<Arc<Shard>> = (0..n).map(|i| Arc::new(Shard::new(i, "test"))).collect();
+        Mongos::new(shards, Arc::new(ConfigServer::new()), NetworkModel::free())
+    }
+
+    #[test]
+    fn unsharded_collections_live_on_primary() {
+        let r = cluster(3);
+        r.insert_one("dims", doc! {"a" => 1i64}).unwrap();
+        assert_eq!(r.shards()[0].db().get_collection("dims").unwrap().len(), 1);
+        assert!(r.shards()[1].db().get_collection("dims").is_err());
+        assert_eq!(r.find("dims", &Filter::True).len(), 1);
+    }
+
+    #[test]
+    fn sharded_insert_routes_and_splits() {
+        let r = cluster(3);
+        r.config().shard_collection_with_chunk_size(
+            "facts",
+            ShardKey::range(["k"]),
+            0,
+            4 * 1024, // tiny threshold to force splits
+        );
+        for i in 0..500i64 {
+            r.insert_one("facts", doc! {"k" => i, "pad" => "x".repeat(40)})
+                .unwrap();
+        }
+        let meta = r.config().meta("facts").unwrap();
+        assert!(meta.chunks.len() > 1, "expected splits, got 1 chunk");
+        meta.check_invariants().unwrap();
+        assert_eq!(r.collection_len("facts"), 500);
+    }
+
+    #[test]
+    fn jumbo_chunk_detected_for_single_valued_key() {
+        let r = cluster(2);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::range(["k"]), 0, 2 * 1024);
+        for _ in 0..200 {
+            r.insert_one("facts", doc! {"k" => 36i64, "pad" => "y".repeat(40)})
+                .unwrap();
+        }
+        let meta = r.config().meta("facts").unwrap();
+        assert!(meta.chunks.iter().any(|c| c.jumbo), "expected a jumbo chunk");
+    }
+
+    #[test]
+    fn targeted_vs_broadcast_find() {
+        let r = cluster(3);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::range(["k"]), 0, 2 * 1024);
+        for i in 0..300i64 {
+            r.insert_one("facts", doc! {"k" => i, "v" => i * 2, "pad" => "z".repeat(30)})
+                .unwrap();
+        }
+        // rebalance a bit so multiple shards hold chunks
+        let n_chunks = r.config().meta("facts").unwrap().chunks.len();
+        for (i, to) in (0..n_chunks).zip([0usize, 1, 2].iter().cycle()) {
+            r.move_chunk("facts", i, *to).unwrap();
+        }
+
+        let t = r.explain_targeting("facts", &Filter::eq("k", 5i64));
+        assert!(t.is_targeted());
+        assert_eq!(t.shards().len(), 1);
+        assert_eq!(r.find("facts", &Filter::eq("k", 5i64)).len(), 1);
+
+        let t = r.explain_targeting("facts", &Filter::eq("v", 10i64));
+        assert!(!t.is_targeted());
+        assert_eq!(r.find("facts", &Filter::eq("v", 10i64)).len(), 1);
+        assert_eq!(r.collection_len("facts"), 300);
+    }
+
+    #[test]
+    fn scatter_modes_agree() {
+        let mut r = cluster(3);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::hashed("k"), 0, 1024);
+        for i in 0..200i64 {
+            r.insert_one("facts", doc! {"k" => i, "grp" => i % 3}).unwrap();
+        }
+        let f = Filter::eq("grp", 1i64);
+        let parallel = r.find("facts", &f).len();
+        r.set_scatter_mode(ScatterMode::Sequential);
+        let sequential = r.find("facts", &f).len();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn aggregate_pushes_match_down_and_materializes_out() {
+        use doclite_docstore::{Accumulator, GroupId};
+        let r = cluster(2);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::range(["k"]), 0, 1024);
+        for i in 0..100i64 {
+            r.insert_one("facts", doc! {"k" => i, "grp" => i % 5, "v" => 1i64})
+                .unwrap();
+        }
+        let p = Pipeline::new()
+            .match_stage(Filter::lt("k", 50i64))
+            .group(
+                GroupId::Expr(doclite_docstore::Expr::field("grp")),
+                [("n", Accumulator::sum_field("v"))],
+            )
+            .sort([("_id", 1)])
+            .out("agg_out");
+        let results = r.aggregate("facts", &p).unwrap();
+        assert_eq!(results.len(), 5);
+        assert_eq!(
+            results[0].get("n"),
+            Some(&doclite_bson::Value::Int64(10))
+        );
+        let out = r.shards()[0].db().get_collection("agg_out").unwrap();
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn update_and_delete_route() {
+        let r = cluster(2);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::range(["k"]), 0, 1024);
+        for i in 0..50i64 {
+            r.insert_one("facts", doc! {"k" => i}).unwrap();
+        }
+        let res = r
+            .update(
+                "facts",
+                &Filter::eq("k", 7i64),
+                &UpdateSpec::set("flag", true),
+                false,
+                true,
+            )
+            .unwrap();
+        assert_eq!(res.modified, 1);
+        assert_eq!(r.delete_many("facts", &Filter::eq("k", 7i64)), 1);
+        assert_eq!(r.collection_len("facts"), 49);
+    }
+
+    #[test]
+    fn create_index_reaches_every_shard() {
+        let r = cluster(3);
+        r.config()
+            .shard_collection("facts", ShardKey::range(["k"]), 0);
+        r.insert_one("facts", doc! {"k" => 1i64}).unwrap();
+        r.create_index("facts", IndexDef::single("v")).unwrap();
+        for s in r.shards() {
+            let defs = s.db().collection("facts").index_defs();
+            assert!(defs.iter().any(|d| d.name == "v_1"));
+        }
+    }
+
+    #[test]
+    fn move_chunk_relocates_documents() {
+        let r = cluster(2);
+        r.config()
+            .shard_collection("facts", ShardKey::range(["k"]), 0);
+        for i in 0..20i64 {
+            r.insert_one("facts", doc! {"k" => i}).unwrap();
+        }
+        let moved = r.move_chunk("facts", 0, 1).unwrap();
+        assert_eq!(moved, 20);
+        assert_eq!(r.shards()[0].db().get_collection("facts").unwrap().len(), 0);
+        assert_eq!(r.shards()[1].db().get_collection("facts").unwrap().len(), 20);
+        // routing follows the metadata
+        assert_eq!(r.find("facts", &Filter::eq("k", 3i64)).len(), 1);
+    }
+
+    #[test]
+    fn network_stats_accumulate_per_leg() {
+        let r = cluster(3);
+        r.config()
+            .shard_collection("facts", ShardKey::range(["k"]), 0);
+        r.insert_one("facts", doc! {"k" => 1i64}).unwrap();
+        let before = r.net_stats().exchanges();
+        r.find("facts", &Filter::eq("nonkey", 0i64)); // broadcast: 1 leg per chunk-holding shard
+        assert!(r.net_stats().exchanges() > before);
+    }
+}
+
+#[cfg(test)]
+mod reshard_tests {
+    use super::*;
+    use crate::config::ConfigServer;
+    use crate::network::NetworkModel;
+    use crate::shard::Shard;
+    use crate::shardkey::ShardKey;
+    use doclite_bson::doc;
+
+    #[test]
+    fn reshard_existing_collection_redistributes_and_preserves_data() {
+        let shards: Vec<Arc<Shard>> = (0..3).map(|i| Arc::new(Shard::new(i, "t"))).collect();
+        let r = Mongos::new(shards, Arc::new(ConfigServer::new()), NetworkModel::free());
+        // Load unsharded (lands on the primary).
+        for i in 0..400i64 {
+            r.insert_one("dn", doc! {"k" => i, "pad" => "p".repeat(40)}).unwrap();
+        }
+        assert_eq!(r.shards()[0].db().get_collection("dn").unwrap().len(), 400);
+
+        let n = r
+            .reshard_collection("dn", ShardKey::range(["k"]), 4 * 1024)
+            .unwrap();
+        assert_eq!(n, 400);
+        let meta = r.config().meta("dn").unwrap();
+        assert!(meta.chunks.len() > 1, "resharding should split chunks");
+        meta.check_invariants().unwrap();
+        assert_eq!(r.collection_len("dn"), 400);
+        // Targeted routing now works on the new key.
+        assert!(r.explain_targeting("dn", &Filter::eq("k", 7i64)).is_targeted());
+        assert_eq!(r.find("dn", &Filter::eq("k", 7i64)).len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! A shard: one `mongod` instance holding a slice of the data
+//! (thesis Section 2.1.3.1 component i).
+
+use crate::chunk::ShardId;
+use doclite_docstore::Database;
+
+/// A shard wraps a full document-store engine, exactly as each cluster
+/// node in the paper ran its own `mongod`.
+pub struct Shard {
+    id: ShardId,
+    name: String,
+    db: Database,
+}
+
+impl Shard {
+    /// Creates a shard with a conventional name (`Shard1`, `Shard2`, … —
+    /// the node names of thesis Table 3.4).
+    pub fn new(id: ShardId, db_name: &str) -> Self {
+        Shard { id, name: format!("Shard{}", id + 1), db: Database::new(db_name) }
+    }
+
+    /// The shard id.
+    pub fn id(&self) -> ShardId {
+        self.id
+    }
+
+    /// The shard's node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shard-local database engine.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Bytes of data stored on this shard.
+    pub fn data_size(&self) -> usize {
+        self.db.data_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::doc;
+
+    #[test]
+    fn shard_names_follow_thesis_convention() {
+        assert_eq!(Shard::new(0, "d").name(), "Shard1");
+        assert_eq!(Shard::new(2, "d").name(), "Shard3");
+    }
+
+    #[test]
+    fn shard_wraps_engine() {
+        let s = Shard::new(0, "d");
+        s.db().collection("c").insert_one(doc! {"a" => 1i64}).unwrap();
+        assert_eq!(s.db().get_collection("c").unwrap().len(), 1);
+        assert!(s.data_size() > 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Shard keys: the indexed field(s) that determine data placement
+//! (thesis Section 2.1.3.3).
+
+use doclite_bson::{Document, Value};
+use doclite_docstore::index::hashed::hash_key;
+use doclite_docstore::CompoundKey;
+
+/// How shard-key values map onto the chunk keyspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Partitioning {
+    /// Range-based: documents with nearby shard-key values live in the
+    /// same chunk (good for range queries; risks jumbo chunks on skew).
+    Range,
+    /// Hash-based: chunks cover ranges of the 64-bit hash of the key, so
+    /// nearby values scatter (even distribution; no efficient ranges).
+    Hashed,
+}
+
+/// A shard key: one or more fields plus the partitioning strategy.
+/// Hashed keys are single-field, as in MongoDB.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardKey {
+    fields: Vec<String>,
+    partitioning: Partitioning,
+}
+
+impl ShardKey {
+    /// A range-partitioned key over the given fields.
+    pub fn range<I, S>(fields: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let fields: Vec<String> = fields.into_iter().map(Into::into).collect();
+        assert!(!fields.is_empty(), "shard key needs at least one field");
+        ShardKey { fields, partitioning: Partitioning::Range }
+    }
+
+    /// A hash-partitioned key over a single field.
+    pub fn hashed(field: impl Into<String>) -> Self {
+        ShardKey { fields: vec![field.into()], partitioning: Partitioning::Hashed }
+    }
+
+    /// The key fields.
+    pub fn fields(&self) -> &[String] {
+        &self.fields
+    }
+
+    /// The partitioning strategy.
+    pub fn partitioning(&self) -> Partitioning {
+        self.partitioning
+    }
+
+    /// Extracts the *chunk keyspace* key for a document: the raw field
+    /// values for range partitioning, or the 64-bit hash (stored as
+    /// `Int64`, exactly like MongoDB's hashed shard keys) for hashed.
+    /// Missing fields key as `Null`.
+    pub fn extract(&self, doc: &Document) -> CompoundKey {
+        match self.partitioning {
+            Partitioning::Range => CompoundKey::from_values(
+                self.fields
+                    .iter()
+                    .map(|f| doc.get_path(f).unwrap_or(Value::Null))
+                    .collect(),
+            ),
+            Partitioning::Hashed => {
+                let v = doc.get_path(&self.fields[0]).unwrap_or(Value::Null);
+                CompoundKey::from_values(vec![Value::Int64(hash_key(&v) as i64)])
+            }
+        }
+    }
+
+    /// Maps a raw shard-key *value* (not a document) into the chunk
+    /// keyspace — used for query targeting.
+    pub fn keyspace_value(&self, values: &[Value]) -> CompoundKey {
+        match self.partitioning {
+            Partitioning::Range => CompoundKey::from_values(values.to_vec()),
+            Partitioning::Hashed => {
+                CompoundKey::from_values(vec![Value::Int64(hash_key(&values[0]) as i64)])
+            }
+        }
+    }
+
+    /// True if range queries on the key can be targeted (range
+    /// partitioning only — hashed scatters ranges across chunks).
+    pub fn supports_range_targeting(&self) -> bool {
+        self.partitioning == Partitioning::Range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doclite_bson::doc;
+
+    #[test]
+    fn range_key_extracts_raw_values() {
+        let k = ShardKey::range(["a", "b"]);
+        let key = k.extract(&doc! {"a" => 1i64, "b" => "x"});
+        assert_eq!(key.0[0].value(), &Value::Int64(1));
+        assert_eq!(key.0[1].value(), &Value::from("x"));
+    }
+
+    #[test]
+    fn missing_fields_key_as_null() {
+        let k = ShardKey::range(["a"]);
+        let key = k.extract(&doc! {"b" => 1i64});
+        assert_eq!(key.0[0].value(), &Value::Null);
+    }
+
+    #[test]
+    fn hashed_key_is_int64_hash() {
+        let k = ShardKey::hashed("a");
+        let key = k.extract(&doc! {"a" => 42i64});
+        assert!(matches!(key.0[0].value(), Value::Int64(_)));
+        // deterministic
+        assert_eq!(key, k.extract(&doc! {"a" => 42i64}));
+        // equal raw values of different numeric types hash identically
+        assert_eq!(key, k.extract(&doc! {"a" => 42.0f64}));
+    }
+
+    #[test]
+    fn hashed_scatters_nearby_values() {
+        let k = ShardKey::hashed("a");
+        let k1 = k.extract(&doc! {"a" => 1i64});
+        let k2 = k.extract(&doc! {"a" => 2i64});
+        let (Value::Int64(h1), Value::Int64(h2)) = (k1.0[0].value(), k2.0[0].value()) else {
+            panic!("hashed keys are Int64")
+        };
+        assert!(h1.abs_diff(*h2) > 1 << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn empty_key_panics() {
+        let _ = ShardKey::range(Vec::<String>::new());
+    }
+}

@@ -1,0 +1,202 @@
+//! Query targeting: deciding which shards must serve a filter.
+//!
+//! This is the mechanism behind the thesis's key observation
+//! (Section 4.3 item iii): "If a query includes a shard key, the mongos
+//! routes the query to a specific shard rather than broadcasting the
+//! query to all the shards in the cluster."
+
+use crate::chunk::ShardId;
+use crate::config::CollectionMeta;
+use crate::shardkey::Partitioning;
+use doclite_bson::Value;
+use doclite_docstore::query::planner::conjunctive_constraints;
+use doclite_docstore::{CompoundKey, Filter};
+
+/// The routing decision for one operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Targeting {
+    /// The filter pins the shard key; only these shards are contacted.
+    Targeted(Vec<ShardId>),
+    /// The filter does not constrain the shard key; every shard holding a
+    /// chunk is contacted (scatter-gather).
+    Broadcast(Vec<ShardId>),
+}
+
+impl Targeting {
+    /// The shards to contact.
+    pub fn shards(&self) -> &[ShardId] {
+        match self {
+            Targeting::Targeted(s) | Targeting::Broadcast(s) => s,
+        }
+    }
+
+    /// True if the router avoided a broadcast.
+    pub fn is_targeted(&self) -> bool {
+        matches!(self, Targeting::Targeted(_))
+    }
+}
+
+/// Cap on `$in`-set expansion during targeting, mirroring the planner's.
+const MAX_TARGET_POINTS: usize = 1024;
+
+/// Computes the routing decision for a filter against a sharded
+/// collection's metadata.
+pub fn target(meta: &CollectionMeta, filter: &Filter) -> Targeting {
+    let constraints = conjunctive_constraints(filter);
+    let fields = meta.key.fields();
+
+    // Case 1: equality on every shard-key field → point-target chunks.
+    let eq_sets: Option<Vec<&Vec<Value>>> = fields
+        .iter()
+        .map(|f| constraints.get(f.as_str()).and_then(|c| c.eq_set.as_ref()))
+        .collect();
+    if let Some(eq_sets) = eq_sets {
+        let combos: usize = eq_sets.iter().map(|s| s.len()).product();
+        if combos > 0 && combos <= MAX_TARGET_POINTS {
+            let mut shards: Vec<ShardId> = Vec::new();
+            for combo in cartesian(&eq_sets) {
+                let key = meta.key.keyspace_value(&combo);
+                let chunk = &meta.chunks[meta.chunk_for(&key)];
+                if !shards.contains(&chunk.shard) {
+                    shards.push(chunk.shard);
+                }
+            }
+            shards.sort_unstable();
+            return Targeting::Targeted(shards);
+        }
+    }
+
+    // Case 2: a range on the leading shard-key field — only meaningful
+    // for range partitioning (hashed scatters ranges, thesis 2.1.3.3).
+    if meta.key.partitioning() == Partitioning::Range {
+        if let Some(c) = constraints.get(fields[0].as_str()) {
+            let lo = c
+                .min
+                .as_ref()
+                .map(|(v, _)| CompoundKey::from_values(vec![v.clone()]));
+            let hi = c
+                .max
+                .as_ref()
+                .map(|(v, _)| CompoundKey::from_values(vec![v.clone()]));
+            if lo.is_some() || hi.is_some() {
+                // Upper bound: extend with a MaxKey-ish suffix so keys with
+                // extra components under the same first value stay inside.
+                // Using first-component-only bounds is conservative for
+                // compound keys (may include an extra chunk, never misses).
+                let shards = meta.shards_for_range(lo.as_ref(), hi_extended(hi).as_ref());
+                return Targeting::Targeted(shards);
+            }
+        }
+    }
+
+    Targeting::Broadcast(meta.all_shards())
+}
+
+/// For an inclusive upper bound on the first component of a compound key,
+/// widen the bound so larger suffixes are included: compare on a key one
+/// component long sorts *before* any two-component key with equal head,
+/// which would wrongly exclude chunks. We append a maximal sentinel.
+fn hi_extended(hi: Option<CompoundKey>) -> Option<CompoundKey> {
+    hi.map(|mut k| {
+        // DateTime(i64::MAX) is the maximal scalar in canonical order.
+        k.0.push(doclite_docstore::OrdValue(Value::DateTime(i64::MAX)));
+        k
+    })
+}
+
+fn cartesian(sets: &[&Vec<Value>]) -> Vec<Vec<Value>> {
+    let mut combos: Vec<Vec<Value>> = vec![Vec::new()];
+    for set in sets {
+        let mut next = Vec::with_capacity(combos.len() * set.len());
+        for prefix in &combos {
+            for v in set.iter() {
+                let mut c = prefix.clone();
+                c.push(v.clone());
+                next.push(c);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigServer;
+    use crate::shardkey::ShardKey;
+
+    fn k(v: i64) -> CompoundKey {
+        CompoundKey::from_values(vec![Value::Int64(v)])
+    }
+
+    /// chunks: (-inf,100)→0, [100,200)→1, [200,+inf)→2
+    fn range_meta() -> CollectionMeta {
+        let cfg = ConfigServer::new();
+        cfg.shard_collection("c", ShardKey::range(["k"]), 0);
+        cfg.split_chunk("c", 0, k(100), 0.5);
+        cfg.split_chunk("c", 1, k(200), 0.5);
+        cfg.move_chunk("c", 1, 1);
+        cfg.move_chunk("c", 2, 2);
+        cfg.meta("c").unwrap()
+    }
+
+    #[test]
+    fn equality_targets_one_shard() {
+        let meta = range_meta();
+        let t = target(&meta, &Filter::eq("k", 150i64));
+        assert_eq!(t, Targeting::Targeted(vec![1]));
+    }
+
+    #[test]
+    fn in_set_targets_union_of_shards() {
+        let meta = range_meta();
+        let t = target(&meta, &Filter::is_in("k", [50i64, 250i64]));
+        assert_eq!(t, Targeting::Targeted(vec![0, 2]));
+    }
+
+    #[test]
+    fn range_targets_intersecting_chunks() {
+        let meta = range_meta();
+        let t = target(&meta, &Filter::between("k", 120i64, 180i64));
+        assert_eq!(t, Targeting::Targeted(vec![1]));
+        let t = target(&meta, &Filter::gte("k", 150i64));
+        assert_eq!(t, Targeting::Targeted(vec![1, 2]));
+        let t = target(&meta, &Filter::lt("k", 150i64));
+        assert_eq!(t, Targeting::Targeted(vec![0, 1]));
+    }
+
+    #[test]
+    fn unrelated_filter_broadcasts() {
+        let meta = range_meta();
+        let t = target(&meta, &Filter::eq("other", 1i64));
+        assert_eq!(t, Targeting::Broadcast(vec![0, 1, 2]));
+        assert!(!t.is_targeted());
+    }
+
+    #[test]
+    fn or_on_shard_key_broadcasts() {
+        // $or cannot be targeted conservatively through conjunctive
+        // constraint extraction.
+        let meta = range_meta();
+        let f = Filter::or([Filter::eq("k", 1i64), Filter::eq("k", 250i64)]);
+        assert!(!target(&meta, &f).is_targeted());
+    }
+
+    #[test]
+    fn hashed_equality_targets_but_range_broadcasts() {
+        let cfg = ConfigServer::new();
+        cfg.shard_collection("c", ShardKey::hashed("k"), 0);
+        // split hash space at 0 and move upper half to shard 1
+        cfg.split_chunk("c", 0, k(0), 0.5);
+        cfg.move_chunk("c", 1, 1);
+        let meta = cfg.meta("c").unwrap();
+
+        let t = target(&meta, &Filter::eq("k", 42i64));
+        assert!(t.is_targeted());
+        assert_eq!(t.shards().len(), 1);
+
+        let t = target(&meta, &Filter::between("k", 0i64, 100i64));
+        assert!(!t.is_targeted(), "ranges cannot target hashed keys");
+    }
+}

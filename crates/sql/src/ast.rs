@@ -1,0 +1,291 @@
+//! The SQL AST for the analytical select-from-where template
+//! (thesis Section 4.1.3: "All the queries used for the purpose of this
+//! thesis implement the select-from-where template").
+
+/// Binary operators (arithmetic, comparison, boolean).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Neq,
+    Lt,
+    Lte,
+    Gt,
+    Gte,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Lte | BinOp::Gt | BinOp::Gte
+        )
+    }
+}
+
+/// A scalar SQL expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SqlExpr {
+    /// `col` or `alias.col`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    String(String),
+    /// `NULL`.
+    Null,
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// `expr BETWEEN low AND high`.
+    Between {
+        expr: Box<SqlExpr>,
+        low: Box<SqlExpr>,
+        high: Box<SqlExpr>,
+    },
+    /// `expr IN (e1, e2, …)`.
+    InList {
+        expr: Box<SqlExpr>,
+        list: Vec<SqlExpr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull { expr: Box<SqlExpr>, negated: bool },
+    /// `CASE WHEN c THEN v … [ELSE e] END`.
+    Case {
+        whens: Vec<(SqlExpr, SqlExpr)>,
+        else_expr: Option<Box<SqlExpr>>,
+    },
+    /// Aggregate or scalar function call, e.g. `avg(x)`, `sum(…)`.
+    Func { name: String, args: Vec<SqlExpr> },
+    /// `CAST(expr AS type)`.
+    Cast { expr: Box<SqlExpr>, ty: String },
+    /// `<n> days` — the interval form in TPC-DS date arithmetic.
+    IntervalDays(Box<SqlExpr>),
+}
+
+impl SqlExpr {
+    /// Shorthand for an unqualified column.
+    pub fn col(name: impl Into<String>) -> Self {
+        SqlExpr::Column { qualifier: None, name: name.into() }
+    }
+
+    /// Shorthand for a qualified column.
+    pub fn qcol(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
+        SqlExpr::Column { qualifier: Some(qualifier.into()), name: name.into() }
+    }
+
+    /// Shorthand for a binary node.
+    pub fn binary(op: BinOp, left: SqlExpr, right: SqlExpr) -> Self {
+        SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
+    }
+
+    /// True if the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Func { name, .. } => {
+                matches!(name.to_ascii_lowercase().as_str(), "sum" | "avg" | "min" | "max" | "count")
+            }
+            SqlExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            SqlExpr::Not(e) | SqlExpr::Cast { expr: e, .. } | SqlExpr::IntervalDays(e) => {
+                e.contains_aggregate()
+            }
+            SqlExpr::Between { expr, low, high } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            SqlExpr::InList { expr, list } => {
+                expr.contains_aggregate() || list.iter().any(SqlExpr::contains_aggregate)
+            }
+            SqlExpr::IsNull { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Case { whens, else_expr } => {
+                whens.iter().any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+            _ => false,
+        }
+    }
+
+    /// Collects every column reference in the expression.
+    pub fn columns(&self) -> Vec<(&Option<String>, &str)> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+        match self {
+            SqlExpr::Column { qualifier, name } => out.push((qualifier, name)),
+            SqlExpr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            SqlExpr::Not(e) | SqlExpr::Cast { expr: e, .. } | SqlExpr::IntervalDays(e) => {
+                e.collect_columns(out)
+            }
+            SqlExpr::Between { expr, low, high } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            SqlExpr::InList { expr, list } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
+            SqlExpr::IsNull { expr, .. } => expr.collect_columns(out),
+            SqlExpr::Case { whens, else_expr } => {
+                for (c, v) in whens {
+                    c.collect_columns(out);
+                    v.collect_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_columns(out);
+                }
+            }
+            SqlExpr::Func { args, .. } => {
+                for a in args {
+                    a.collect_columns(out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// An expression with an optional alias.
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+/// One item of the FROM list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FromItem {
+    /// A base table with an optional alias.
+    Table { name: String, alias: Option<String> },
+    /// A derived table: `(SELECT …) alias`.
+    Subquery { query: Box<SelectStmt>, alias: String },
+}
+
+impl FromItem {
+    /// The name the rest of the query refers to this source by.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            FromItem::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            FromItem::Subquery { alias, .. } => alias,
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OrderItem {
+    pub expr: SqlExpr,
+    pub ascending: bool,
+}
+
+/// A SELECT statement.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SelectStmt {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub order_by: Vec<OrderItem>,
+}
+
+impl SelectStmt {
+    /// Base table names referenced (recursing into derived tables).
+    pub fn base_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for f in &self.from {
+            match f {
+                FromItem::Table { name, .. } => out.push(name.as_str()),
+                FromItem::Subquery { query, .. } => out.extend(query.base_tables()),
+            }
+        }
+        out
+    }
+
+    /// True if any select item carries an aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| match i {
+            SelectItem::Star => false,
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_detects_nested() {
+        let e = SqlExpr::binary(
+            BinOp::Add,
+            SqlExpr::Func { name: "sum".into(), args: vec![SqlExpr::col("x")] },
+            SqlExpr::Number(1.0),
+        );
+        assert!(e.contains_aggregate());
+        assert!(!SqlExpr::col("x").contains_aggregate());
+        let cast = SqlExpr::Cast { expr: Box::new(SqlExpr::col("d")), ty: "date".into() };
+        assert!(!cast.contains_aggregate());
+    }
+
+    #[test]
+    fn columns_collects_qualified_refs() {
+        let e = SqlExpr::binary(
+            BinOp::Eq,
+            SqlExpr::qcol("d1", "d_date_sk"),
+            SqlExpr::col("ss_sold_date_sk"),
+        );
+        let cols = e.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].1, "d_date_sk");
+        assert_eq!(cols[0].0.as_deref(), Some("d1"));
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = FromItem::Table { name: "date_dim".into(), alias: Some("d1".into()) };
+        assert_eq!(t.binding_name(), "d1");
+        let t = FromItem::Table { name: "store".into(), alias: None };
+        assert_eq!(t.binding_name(), "store");
+    }
+
+    #[test]
+    fn base_tables_recurse_into_subqueries() {
+        let inner = SelectStmt {
+            from: vec![FromItem::Table { name: "store_sales".into(), alias: None }],
+            ..Default::default()
+        };
+        let outer = SelectStmt {
+            from: vec![
+                FromItem::Subquery { query: Box::new(inner), alias: "dn".into() },
+                FromItem::Table { name: "customer".into(), alias: None },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(outer.base_tables(), vec!["store_sales", "customer"]);
+    }
+}

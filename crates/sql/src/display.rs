@@ -1,0 +1,270 @@
+//! Canonical SQL rendering of the AST (unparse). `parse(render(ast))`
+//! reproduces the AST — the roundtrip the parser tests rely on.
+
+use crate::ast::{BinOp, FromItem, OrderItem, SelectItem, SelectStmt, SqlExpr};
+use std::fmt;
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Neq => "<>",
+            BinOp::Lt => "<",
+            BinOp::Lte => "<=",
+            BinOp::Gt => ">",
+            BinOp::Gte => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        })
+    }
+}
+
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Eq | BinOp::Neq | BinOp::Lt | BinOp::Lte | BinOp::Gt | BinOp::Gte => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+    }
+}
+
+fn expr_precedence(e: &SqlExpr) -> u8 {
+    match e {
+        SqlExpr::Binary { op, .. } => precedence(*op),
+        SqlExpr::Between { .. } | SqlExpr::InList { .. } | SqlExpr::IsNull { .. } => 3,
+        SqlExpr::Not(_) => 2,
+        _ => 6,
+    }
+}
+
+fn write_child(f: &mut fmt::Formatter<'_>, child: &SqlExpr, parent_prec: u8) -> fmt::Result {
+    if expr_precedence(child) < parent_prec {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column { qualifier: Some(q), name } => write!(f, "{q}.{name}"),
+            SqlExpr::Column { qualifier: None, name } => f.write_str(name),
+            SqlExpr::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            SqlExpr::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            SqlExpr::Null => f.write_str("null"),
+            SqlExpr::Binary { op, left, right } => {
+                let p = precedence(*op);
+                write_child(f, left, p)?;
+                write!(f, " {op} ")?;
+                // Right operand binds tighter for left-associative ops.
+                if expr_precedence(right) <= p
+                    && matches!(op, BinOp::Sub | BinOp::Div)
+                {
+                    write!(f, "({right})")
+                } else {
+                    write_child(f, right, p)
+                }
+            }
+            SqlExpr::Not(e) => {
+                write!(f, "not ")?;
+                write_child(f, e, 2)
+            }
+            SqlExpr::Between { expr, low, high } => {
+                write_child(f, expr, 4)?;
+                write!(f, " between ")?;
+                write_child(f, low, 4)?;
+                write!(f, " and ")?;
+                write_child(f, high, 4)
+            }
+            SqlExpr::InList { expr, list } => {
+                write_child(f, expr, 4)?;
+                write!(f, " in (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            SqlExpr::IsNull { expr, negated } => {
+                write_child(f, expr, 4)?;
+                write!(f, " is {}null", if *negated { "not " } else { "" })
+            }
+            SqlExpr::Case { whens, else_expr } => {
+                write!(f, "case")?;
+                for (c, v) in whens {
+                    write!(f, " when {c} then {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " else {e}")?;
+                }
+                write!(f, " end")
+            }
+            SqlExpr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            SqlExpr::Cast { expr, ty } => write!(f, "cast({expr} as {ty})"),
+            SqlExpr::IntervalDays(e) => {
+                write_child(f, e, 6)?;
+                write!(f, " days")
+            }
+        }
+    }
+}
+
+fn needs_quoting(alias: &str) -> bool {
+    alias.is_empty()
+        || !alias
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        || alias.chars().next().is_some_and(|c| c.is_ascii_digit())
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => f.write_str("*"),
+            SelectItem::Expr { expr, alias: None } => write!(f, "{expr}"),
+            SelectItem::Expr { expr, alias: Some(a) } => {
+                if needs_quoting(a) {
+                    write!(f, "{expr} as \"{a}\"")
+                } else {
+                    write!(f, "{expr} as {a}")
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for FromItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromItem::Table { name, alias: None } => f.write_str(name),
+            FromItem::Table { name, alias: Some(a) } => write!(f, "{name} {a}"),
+            FromItem::Subquery { query, alias } => write!(f, "({query}) {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.expr, if self.ascending { "" } else { " desc" })
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " from ")?;
+        for (i, from) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{from}")?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " group by ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " order by ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    fn roundtrip(sql: &str) {
+        let ast = parse(sql).unwrap();
+        let rendered = ast.to_string();
+        let reparsed =
+            parse(&rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        assert_eq!(ast, reparsed, "roundtrip changed the AST:\n{rendered}");
+    }
+
+    #[test]
+    fn roundtrips_basic_selects() {
+        roundtrip("select a, b.c as x from t1, t2 u where a = 1 and b.c <> 'z'");
+        roundtrip("select * from t where p between 0.99 and 1.49 order by a desc, b");
+        roundtrip("select k, avg(v) as m from t group by k order by m");
+    }
+
+    #[test]
+    fn roundtrips_case_and_quoted_alias() {
+        roundtrip(
+            r#"select sum(case when a - b <= 30 then 1 else 0 end) as "30 days" from t"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_date_arithmetic_and_in() {
+        roundtrip(
+            "select * from t where d between (cast('2002-05-29' as date) - 30 days) \
+             and (cast('2002-05-29' as date) + 30 days) and y in (1998, 1998+1)",
+        );
+    }
+
+    #[test]
+    fn roundtrips_derived_table() {
+        roundtrip("select x from (select a as x, sum(b) as s from t group by a) dn where x = 1");
+    }
+
+    #[test]
+    fn parenthesization_preserves_precedence() {
+        // or(and(a,b), c) vs and(a, or(b,c)) must render differently.
+        let a = parse("select * from t where a = 1 and b = 2 or c = 3").unwrap();
+        let b = parse("select * from t where a = 1 and (b = 2 or c = 3)").unwrap();
+        assert_ne!(a, b);
+        roundtrip("select * from t where a = 1 and (b = 2 or c = 3)");
+        roundtrip("select * from t where not (a = 1 or b = 2)");
+        roundtrip("select (1 + 2) * 3 as x, 1 - (2 - 3) as y, 8 / (4 / 2) as z from t");
+    }
+
+    #[test]
+    fn string_escaping() {
+        roundtrip("select * from t where s = 'it''s'");
+    }
+}

@@ -1,0 +1,20 @@
+//! # doclite-sql
+//!
+//! A lexer, AST, and recursive-descent parser for the analytical
+//! select-from-where SQL subset the TPC-DS workload queries use:
+//! aggregate functions, `CASE WHEN`, `BETWEEN`, `IN` lists, derived
+//! tables, qualified columns, `CAST(… AS date)` with `± N days` interval
+//! arithmetic, `GROUP BY`, and `ORDER BY`.
+//!
+//! The thesis translates these queries into document-store operations
+//! (Section 4.1.3); the translator lives in `doclite-core` and consumes
+//! this crate's [`SelectStmt`].
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, FromItem, OrderItem, SelectItem, SelectStmt, SqlExpr};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,532 @@
+//! Recursive-descent parser for the analytical SQL subset.
+
+use crate::ast::{BinOp, FromItem, OrderItem, SelectItem, SelectStmt, SqlExpr};
+use crate::lexer::{lex, LexError, Token};
+use std::fmt;
+
+/// A parse error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { message: e.to_string() }
+    }
+}
+
+/// Parses one SELECT statement from SQL text.
+pub fn parse(sql: &str) -> Result<SelectStmt, ParseError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.select_stmt()?;
+    p.eat_if(&Token::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(p.err(format!("trailing tokens starting at {}", p.peek_desc())));
+    }
+    Ok(stmt)
+}
+
+/// Keywords that terminate an alias-less expression list.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "and", "or", "not", "in", "between", "as",
+    "case", "when", "then", "else", "end", "cast", "is", "null", "by", "asc", "desc", "having",
+    "limit", "on", "join", "inner", "left", "right", "union",
+];
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        self.peek().map_or("<eof>".to_owned(), |t| t.to_string())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        if self.eat_if(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek_desc())))
+        }
+    }
+
+    /// True if the next token is the keyword (case-insensitive).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw}, found {}", self.peek_desc())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(Token::QuotedIdent(s)) => Ok(s),
+            other => Err(self.err(format!(
+                "expected identifier, found {}",
+                other.map_or("<eof>".to_owned(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    // -------- statement --------
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        self.expect_kw("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat_if(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.from_item()?];
+        while self.eat_if(&Token::Comma) {
+            from.push(self.from_item()?);
+        }
+        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            order_by.push(self.order_item()?);
+            while self.eat_if(&Token::Comma) {
+                order_by.push(self.order_item()?);
+            }
+        }
+        Ok(SelectStmt { items, from, where_clause, group_by, order_by })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat_if(&Token::Star) {
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        let alias = self.maybe_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.ident()?));
+        }
+        match self.peek() {
+            Some(Token::Ident(s)) if !is_reserved(s) => {
+                let alias = s.clone();
+                self.pos += 1;
+                Ok(Some(alias))
+            }
+            Some(Token::QuotedIdent(s)) => {
+                let alias = s.clone();
+                self.pos += 1;
+                Ok(Some(alias))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn from_item(&mut self) -> Result<FromItem, ParseError> {
+        if self.eat_if(&Token::LParen) {
+            let query = self.select_stmt()?;
+            self.expect(&Token::RParen)?;
+            let alias = self
+                .maybe_alias()?
+                .ok_or_else(|| self.err("derived table requires an alias"))?;
+            return Ok(FromItem::Subquery { query: Box::new(query), alias });
+        }
+        let name = self.ident()?;
+        let alias = self.maybe_alias()?;
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn order_item(&mut self) -> Result<OrderItem, ParseError> {
+        let expr = self.expr()?;
+        let ascending = if self.eat_kw("desc") {
+            false
+        } else {
+            self.eat_kw("asc");
+            true
+        };
+        Ok(OrderItem { expr, ascending })
+    }
+
+    // -------- expressions --------
+
+    fn expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = SqlExpr::binary(BinOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = SqlExpr::binary(BinOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.eat_kw("not") {
+            return Ok(SqlExpr::Not(Box::new(self.not_expr()?)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<SqlExpr, ParseError> {
+        let left = self.additive()?;
+        if let Some(op) = self.comparison_op() {
+            let right = self.additive()?;
+            return Ok(SqlExpr::binary(op, left, right));
+        }
+        if self.eat_kw("between") {
+            let low = self.additive()?;
+            self.expect_kw("and")?;
+            let high = self.additive()?;
+            return Ok(SqlExpr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen)?;
+            let mut list = vec![self.expr()?];
+            while self.eat_if(&Token::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(SqlExpr::InList { expr: Box::new(left), list });
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull { expr: Box::new(left), negated });
+        }
+        Ok(left)
+    }
+
+    fn comparison_op(&mut self) -> Option<BinOp> {
+        let op = match self.peek()? {
+            Token::Eq => BinOp::Eq,
+            Token::Neq => BinOp::Neq,
+            Token::Lt => BinOp::Lt,
+            Token::Lte => BinOp::Lte,
+            Token::Gt => BinOp::Gt,
+            Token::Gte => BinOp::Gte,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    fn additive(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let mut right = self.multiplicative()?;
+            // `<date expr> - 30 days`: the `days` keyword promotes the
+            // operand to an interval (TPC-DS date arithmetic).
+            if self.eat_kw("days") || self.eat_kw("day") {
+                right = SqlExpr::IntervalDays(Box::new(right));
+            }
+            left = SqlExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.primary()?;
+            left = SqlExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(SqlExpr::Number(n))
+            }
+            Some(Token::StringLit(s)) => {
+                self.pos += 1;
+                Ok(SqlExpr::String(s))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.primary()?;
+                Ok(SqlExpr::binary(BinOp::Sub, SqlExpr::Number(0.0), inner))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(id)) => {
+                if id.eq_ignore_ascii_case("case") {
+                    return self.case_expr();
+                }
+                if id.eq_ignore_ascii_case("cast") {
+                    return self.cast_expr();
+                }
+                if id.eq_ignore_ascii_case("null") {
+                    self.pos += 1;
+                    return Ok(SqlExpr::Null);
+                }
+                self.pos += 1;
+                // Function call?
+                if self.peek() == Some(&Token::LParen) && !is_reserved(&id) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        if self.eat_if(&Token::Star) {
+                            // count(*)
+                            args.push(SqlExpr::Number(1.0));
+                        } else {
+                            args.push(self.expr()?);
+                            while self.eat_if(&Token::Comma) {
+                                args.push(self.expr()?);
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(SqlExpr::Func { name: id.to_ascii_lowercase(), args });
+                }
+                // Qualified column?
+                if self.eat_if(&Token::Dot) {
+                    let name = self.ident()?;
+                    return Ok(SqlExpr::qcol(id, name));
+                }
+                Ok(SqlExpr::col(id))
+            }
+            other => Err(self.err(format!(
+                "expected expression, found {}",
+                other.map_or("<eof>".to_owned(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.expect_kw("case")?;
+        let mut whens = Vec::new();
+        while self.eat_kw("when") {
+            let cond = self.expr()?;
+            self.expect_kw("then")?;
+            let value = self.expr()?;
+            whens.push((cond, value));
+        }
+        if whens.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN"));
+        }
+        let else_expr = if self.eat_kw("else") { Some(Box::new(self.expr()?)) } else { None };
+        self.expect_kw("end")?;
+        Ok(SqlExpr::Case { whens, else_expr })
+    }
+
+    fn cast_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.expect_kw("cast")?;
+        self.expect(&Token::LParen)?;
+        let expr = self.expr()?;
+        self.expect_kw("as")?;
+        let ty = self.ident()?;
+        self.expect(&Token::RParen)?;
+        Ok(SqlExpr::Cast { expr: Box::new(expr), ty: ty.to_ascii_lowercase() })
+    }
+}
+
+fn is_reserved(s: &str) -> bool {
+    RESERVED.iter().any(|k| k.eq_ignore_ascii_case(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let s = parse("select a, b.c x from t1, t2 alias where a = 1 and b.c <> 'z'").unwrap();
+        assert_eq!(s.items.len(), 2);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Expr { alias: Some(a), .. } if a == "x"
+        ));
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[1].binding_name(), "alias");
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn aggregates_group_order() {
+        let s = parse(
+            "select k, avg(v) a1, sum(v) s1 from t group by k order by k desc, a1",
+        )
+        .unwrap();
+        assert!(s.has_aggregates());
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 2);
+        assert!(!s.order_by[0].ascending);
+        assert!(s.order_by[1].ascending);
+    }
+
+    #[test]
+    fn case_when_and_quoted_alias() {
+        let s = parse(
+            r#"select sum(case when a - b <= 30 then 1 else 0 end) as "30 days" from t"#,
+        )
+        .unwrap();
+        let SelectItem::Expr { expr, alias } = &s.items[0] else { panic!() };
+        assert_eq!(alias.as_deref(), Some("30 days"));
+        assert!(expr.contains_aggregate());
+    }
+
+    #[test]
+    fn between_in_and_date_arithmetic() {
+        let s = parse(
+            "select * from t where p between 0.99 and 1.49 \
+             and d between (cast('2002-05-29' as date) - 30 days) and (cast('2002-05-29' as date) + 30 days) \
+             and y in (1998, 1998+1, 1998+2)",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap();
+        // Check an IntervalDays node landed somewhere.
+        fn has_interval(e: &SqlExpr) -> bool {
+            match e {
+                SqlExpr::IntervalDays(_) => true,
+                SqlExpr::Binary { left, right, .. } => has_interval(left) || has_interval(right),
+                SqlExpr::Between { expr, low, high } => {
+                    has_interval(expr) || has_interval(low) || has_interval(high)
+                }
+                _ => false,
+            }
+        }
+        assert!(has_interval(&w));
+    }
+
+    #[test]
+    fn derived_table_with_alias() {
+        let s = parse(
+            "select x from (select a x, sum(b) s from t group by a) dn, u where x = u.k",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 2);
+        assert!(matches!(&s.from[0], FromItem::Subquery { alias, .. } if alias == "dn"));
+        assert_eq!(s.base_tables(), vec!["t", "u"]);
+    }
+
+    #[test]
+    fn star_and_semicolon() {
+        let s = parse("select * from t;").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("select from t").is_err());
+        assert!(parse("select a t").is_err()); // missing FROM
+        assert!(parse("select a from t where").is_err());
+        assert!(parse("select a from (select b from u)").is_err()); // no alias
+        assert!(parse("select case end from t").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a = 1 or b = 2 and c = 3  →  or(a=1, and(b=2, c=3))
+        let s = parse("select * from t where a = 1 or b = 2 and c = 3").unwrap();
+        let SqlExpr::Binary { op: BinOp::Or, right, .. } = s.where_clause.unwrap() else {
+            panic!("expected top-level OR")
+        };
+        assert!(matches!(*right, SqlExpr::Binary { op: BinOp::And, .. }));
+        // arithmetic: 1 + 2 * 3 → add(1, mul(2, 3))
+        let s = parse("select 1 + 2 * 3 x from t").unwrap();
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        assert!(matches!(
+            expr,
+            SqlExpr::Binary { op: BinOp::Add, right, .. }
+                if matches!(**right, SqlExpr::Binary { op: BinOp::Mul, .. })
+        ));
+    }
+
+    #[test]
+    fn unary_minus() {
+        let s = parse("select -5 x from t").unwrap();
+        let SelectItem::Expr { expr, .. } = &s.items[0] else { panic!() };
+        assert!(matches!(expr, SqlExpr::Binary { op: BinOp::Sub, .. }));
+    }
+}

@@ -1,0 +1,88 @@
+//! The parser must accept all four thesis queries exactly as the
+//! tpcds catalog emits them (dsqgen-style text).
+
+use doclite_sql::{parse, SelectStmt};
+use doclite_tpcds::{sql_text, QueryId, QueryParams};
+
+fn parsed(q: QueryId) -> SelectStmt {
+    let p = QueryParams::for_scale(1.0);
+    let sql = sql_text(q, &p);
+    parse(&sql).unwrap_or_else(|e| panic!("{q}: {e}\n{sql}"))
+}
+
+#[test]
+fn query_7_shape() {
+    let s = parsed(QueryId::Q7);
+    assert_eq!(s.from.len(), 5);
+    assert_eq!(s.items.len(), 5); // i_item_id + 4 aggregates
+    assert!(s.has_aggregates());
+    assert_eq!(s.group_by.len(), 1);
+    assert_eq!(s.order_by.len(), 1);
+    assert_eq!(
+        s.base_tables(),
+        vec!["store_sales", "customer_demographics", "date_dim", "item", "promotion"]
+    );
+}
+
+#[test]
+fn query_21_shape() {
+    let s = parsed(QueryId::Q21);
+    // outer: select * from (subquery) x where … order by …
+    assert_eq!(s.from.len(), 1);
+    assert!(matches!(&s.from[0], doclite_sql::FromItem::Subquery { alias, .. } if alias == "x"));
+    assert_eq!(s.base_tables(), vec!["inventory", "warehouse", "item", "date_dim"]);
+    assert!(s.where_clause.is_some());
+    assert_eq!(s.order_by.len(), 2);
+}
+
+#[test]
+fn query_46_shape() {
+    let s = parsed(QueryId::Q46);
+    assert_eq!(s.from.len(), 3); // dn, customer, customer_address current_addr
+    assert_eq!(s.items.len(), 7);
+    assert_eq!(
+        s.base_tables(),
+        vec![
+            "store_sales",
+            "date_dim",
+            "store",
+            "household_demographics",
+            "customer_address",
+            "customer",
+            "customer_address"
+        ]
+    );
+}
+
+#[test]
+fn query_50_shape() {
+    let s = parsed(QueryId::Q50);
+    assert_eq!(s.from.len(), 5);
+    assert_eq!(s.items.len(), 15); // 10 store columns + 5 day buckets
+    assert_eq!(s.group_by.len(), 10);
+    assert_eq!(s.order_by.len(), 7);
+    // The bucketed aggregates carry quoted aliases.
+    let aliases: Vec<_> = s
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            doclite_sql::SelectItem::Expr { alias: Some(a), .. } => Some(a.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(aliases.contains(&"30 days"));
+    assert!(aliases.contains(&">120 days"));
+}
+
+#[test]
+fn workload_queries_roundtrip_through_display() {
+    let p = QueryParams::for_scale(1.0);
+    for q in QueryId::ALL {
+        let ast = parsed(q);
+        let rendered = ast.to_string();
+        let reparsed = parse(&rendered).unwrap_or_else(|e| panic!("{q}: {e}\n{rendered}"));
+        assert_eq!(ast, reparsed, "{q}: display/parse roundtrip changed the AST");
+        // And the original text still parses to the same AST.
+        assert_eq!(parse(&sql_text(q, &p)).unwrap(), ast, "{q}");
+    }
+}

@@ -1,0 +1,137 @@
+//! `.dat` file IO: the pipe-delimited flat files dsdgen emits and the
+//! thesis's migration algorithm consumes (Section 4.1.1: "Each column
+//! value for every record is delimited by the '|' operator").
+
+use crate::gen::{Cell, Generator};
+use crate::schema::TableId;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The `.dat` file path for a table under a directory.
+pub fn dat_path(dir: &Path, table: TableId) -> PathBuf {
+    dir.join(format!("{}.dat", table.name()))
+}
+
+/// Writes one table's rows to `<dir>/<table>.dat`. Returns the number of
+/// rows written.
+pub fn write_table(dir: &Path, gen: &Generator, table: TableId) -> io::Result<u64> {
+    std::fs::create_dir_all(dir)?;
+    let file = File::create(dat_path(dir, table))?;
+    let mut w = BufWriter::new(file);
+    let mut n = 0;
+    for row in gen.rows(table) {
+        write_row(&mut w, &row)?;
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+fn write_row(w: &mut impl Write, row: &[Cell]) -> io::Result<()> {
+    for (i, cell) in row.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b"|")?;
+        }
+        w.write_all(cell.to_dat_field().as_bytes())?;
+    }
+    w.write_all(b"\n")
+}
+
+/// Writes all 24 tables; returns `(table, rows)` per table.
+pub fn write_all(dir: &Path, gen: &Generator) -> io::Result<Vec<(TableId, u64)>> {
+    TableId::ALL
+        .iter()
+        .map(|&t| write_table(dir, gen, t).map(|n| (t, n)))
+        .collect()
+}
+
+/// A streaming reader over a `.dat` file's lines, each split on `|`.
+/// Empty fields are surfaced as `None` (SQL NULL).
+pub struct DatReader {
+    lines: io::Lines<BufReader<File>>,
+}
+
+impl DatReader {
+    /// Opens `<dir>/<table>.dat`.
+    pub fn open(dir: &Path, table: TableId) -> io::Result<Self> {
+        Self::open_path(&dat_path(dir, table))
+    }
+
+    /// Opens an arbitrary `.dat` file.
+    pub fn open_path(path: &Path) -> io::Result<Self> {
+        Ok(DatReader { lines: BufReader::new(File::open(path)?).lines() })
+    }
+}
+
+impl Iterator for DatReader {
+    type Item = io::Result<Vec<Option<String>>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let line = self.lines.next()?;
+        Some(line.map(|l| {
+            l.split('|')
+                .map(|f| if f.is_empty() { None } else { Some(f.to_owned()) })
+                .collect()
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::table_def;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("doclite-dat-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_small_table() {
+        let dir = tmpdir("roundtrip");
+        let gen = Generator::new(0.001);
+        let n = write_table(&dir, &gen, TableId::Warehouse).unwrap();
+        assert_eq!(n, gen.row_count(TableId::Warehouse));
+
+        let def = table_def(TableId::Warehouse);
+        let rows: Vec<_> = DatReader::open(&dir, TableId::Warehouse)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(rows.len() as u64, n);
+        for (i, fields) in rows.iter().enumerate() {
+            assert_eq!(fields.len(), def.columns.len(), "row {i}");
+            // PK column is never empty.
+            assert!(fields[0].is_some());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nulls_become_empty_fields() {
+        let dir = tmpdir("nulls");
+        let gen = Generator::new(0.002);
+        write_table(&dir, &gen, TableId::StoreSales).unwrap();
+        let has_null = DatReader::open(&dir, TableId::StoreSales)
+            .unwrap()
+            .map(|r| r.unwrap())
+            .any(|fields| fields.iter().any(Option::is_none));
+        assert!(has_null, "expected some NULL fields in store_sales");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_all_covers_24_tables() {
+        let dir = tmpdir("all");
+        let gen = Generator::new(0.0005);
+        let written = write_all(&dir, &gen).unwrap();
+        assert_eq!(written.len(), 24);
+        for (t, n) in &written {
+            assert_eq!(*n, gen.row_count(*t), "{t}");
+            assert!(dat_path(&dir, *t).exists(), "{t}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,201 @@
+//! Calendar utilities: proleptic Gregorian date arithmetic and the
+//! TPC-DS date surrogate-key convention.
+//!
+//! dsdgen numbers `d_date_sk` as a Julian day; `2415022` corresponds to
+//! the first `date_dim` row. We anchor `DATE_SK_EPOCH = 2415021` at
+//! 1900-01-01 so `d_date_sk = 2415021 + days_since_1900_01_01`, giving
+//! the familiar key values (1998-01-01 → 2450815, 2002-05-29 → 2452424
+//! in this numbering).
+
+/// The `d_date_sk` assigned to 1900-01-01.
+pub const DATE_SK_EPOCH: i64 = 2_415_021;
+
+/// A calendar date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date {
+    pub year: i32,
+    pub month: u32,
+    pub day: u32,
+}
+
+impl Date {
+    /// Builds a date, panicking on out-of-range components.
+    pub fn new(year: i32, month: u32, day: u32) -> Self {
+        assert!((1..=12).contains(&month), "month {month}");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day {day}");
+        Date { year, month, day }
+    }
+
+    /// Parses `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u32 = parts.next()?.parse().ok()?;
+        let day: u32 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || !(1..=12).contains(&month) {
+            return None;
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+
+    /// Renders as `YYYY-MM-DD`.
+    pub fn to_iso(self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn days_from_civil(self) -> i64 {
+        days_from_civil(self.year, self.month, self.day)
+    }
+
+    /// Days since 1900-01-01.
+    pub fn days_since_1900(self) -> i64 {
+        self.days_from_civil() - days_from_civil(1900, 1, 1)
+    }
+
+    /// The TPC-DS surrogate key for this date.
+    pub fn date_sk(self) -> i64 {
+        DATE_SK_EPOCH + self.days_since_1900()
+    }
+
+    /// The date for a surrogate key.
+    pub fn from_date_sk(sk: i64) -> Self {
+        let days = sk - DATE_SK_EPOCH + days_from_civil(1900, 1, 1);
+        let (y, m, d) = civil_from_days(days);
+        Date { year: y, month: m, day: d }
+    }
+
+    /// Day of week, 0 = Sunday … 6 = Saturday (TPC-DS `d_dow`).
+    pub fn day_of_week(self) -> u32 {
+        // 1970-01-01 was a Thursday (dow 4).
+        let days = self.days_from_civil();
+        ((days % 7 + 7 + 4) % 7) as u32
+    }
+
+    /// Adds (or subtracts) days.
+    pub fn plus_days(self, n: i64) -> Self {
+        let (y, m, d) = civil_from_days(self.days_from_civil() + n);
+        Date { year: y, month: m, day: d }
+    }
+
+    /// Day of year, 1-based.
+    pub fn day_of_year(self) -> u32 {
+        (self.days_from_civil() - days_from_civil(self.year, 1, 1) + 1) as u32
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_iso())
+    }
+}
+
+/// True for Gregorian leap years.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Days in a month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("month {month}"),
+    }
+}
+
+/// Howard Hinnant's `days_from_civil`: days since 1970-01-01.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11]
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_across_centuries() {
+        for days in (-40_000..80_000).step_by(37) {
+            let (y, m, d) = civil_from_days(days);
+            assert_eq!(days_from_civil(y, m, d), days);
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(Date::new(1970, 1, 1).day_of_week(), 4); // Thursday
+        assert_eq!(Date::new(2002, 5, 29).day_of_week(), 3); // Wednesday
+        assert_eq!(Date::new(1998, 10, 4).day_of_week(), 0); // Sunday
+    }
+
+    #[test]
+    fn date_sk_anchoring() {
+        assert_eq!(Date::new(1900, 1, 1).date_sk(), DATE_SK_EPOCH);
+        let sk = Date::new(2002, 5, 29).date_sk();
+        assert_eq!(Date::from_date_sk(sk), Date::new(2002, 5, 29));
+        // Year 2000 keys land in the 2.45M range like real dsdgen output.
+        assert!(Date::new(2000, 1, 1).date_sk() > 2_450_000);
+        assert!(Date::new(2000, 1, 1).date_sk() < 2_460_000);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(1996));
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1999, 2), 28);
+    }
+
+    #[test]
+    fn parse_and_render() {
+        let d = Date::parse("2002-05-29").unwrap();
+        assert_eq!(d, Date::new(2002, 5, 29));
+        assert_eq!(d.to_iso(), "2002-05-29");
+        assert!(Date::parse("2002-13-01").is_none());
+        assert!(Date::parse("2002-02-30").is_none());
+        assert!(Date::parse("garbage").is_none());
+    }
+
+    #[test]
+    fn plus_days_and_day_of_year() {
+        let d = Date::new(2002, 5, 29);
+        assert_eq!(d.plus_days(30), Date::new(2002, 6, 28));
+        assert_eq!(d.plus_days(-30), Date::new(2002, 4, 29));
+        assert_eq!(Date::new(2000, 12, 31).day_of_year(), 366);
+        assert_eq!(Date::new(2001, 1, 1).day_of_year(), 1);
+    }
+}

@@ -1,0 +1,25 @@
+//! # doclite-tpcds
+//!
+//! The TPC-DS substrate of the reproduction: the full 24-table retail
+//! snowflake schema with its PK/FK catalog, a deterministic seeded data
+//! generator whose row counts reproduce thesis Table 3.6 at SF1/SF5 and
+//! scale continuously elsewhere, pipe-delimited `.dat` file IO (the
+//! dsdgen output format the migration algorithm consumes), calendar
+//! utilities for the `d_date_sk` surrogate-key convention, and the
+//! four-query workload catalog (Q7, Q21, Q46, Q50) with per-scale
+//! parameters and SQL text.
+
+pub mod counts;
+pub mod dat;
+pub mod dates;
+pub mod gen;
+pub mod queries;
+pub mod schema;
+pub mod text;
+
+pub use counts::{row_count, INVENTORY_WEEKS, TABLE_3_6};
+pub use dat::{dat_path, write_all, write_table, DatReader};
+pub use dates::{Date, DATE_SK_EPOCH};
+pub use gen::{Cell, Generator};
+pub use queries::{sql_text, QueryId, QueryParams};
+pub use schema::{foreign_keys, foreign_keys_of, table_def, ColumnType, ForeignKey, TableDef, TableId};

@@ -1,0 +1,864 @@
+//! The TPC-DS schema catalog: all 24 tables (7 fact + 17 dimension) of
+//! the retail snowflake schema (thesis Section 3.4), with column types
+//! and the primary-/foreign-key relationships the migration and
+//! query-translation algorithms consume.
+
+use std::fmt;
+
+/// Logical column types (the subset TPC-DS uses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// Integer surrogate keys, counts, identifiers.
+    Integer,
+    /// Fixed-point money/price values (stored as doubles in documents).
+    Decimal,
+    /// Fixed or variable width strings.
+    Char,
+    /// Calendar dates rendered `YYYY-MM-DD`.
+    Date,
+}
+
+/// One column of a table.
+#[derive(Clone, Debug)]
+pub struct Column {
+    pub name: &'static str,
+    pub ty: ColumnType,
+    pub nullable: bool,
+}
+
+/// Identifies the 24 TPC-DS tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TableId {
+    CallCenter,
+    CatalogPage,
+    CatalogReturns,
+    CatalogSales,
+    Customer,
+    CustomerAddress,
+    CustomerDemographics,
+    DateDim,
+    HouseholdDemographics,
+    IncomeBand,
+    Inventory,
+    Item,
+    Promotion,
+    Reason,
+    ShipMode,
+    Store,
+    StoreReturns,
+    StoreSales,
+    TimeDim,
+    Warehouse,
+    WebPage,
+    WebReturns,
+    WebSales,
+    WebSite,
+}
+
+impl TableId {
+    /// All tables, in the alphabetical order of Table 3.6.
+    pub const ALL: [TableId; 24] = [
+        TableId::CallCenter,
+        TableId::CatalogPage,
+        TableId::CatalogReturns,
+        TableId::CatalogSales,
+        TableId::Customer,
+        TableId::CustomerAddress,
+        TableId::CustomerDemographics,
+        TableId::DateDim,
+        TableId::HouseholdDemographics,
+        TableId::IncomeBand,
+        TableId::Inventory,
+        TableId::Item,
+        TableId::Promotion,
+        TableId::Reason,
+        TableId::ShipMode,
+        TableId::Store,
+        TableId::StoreReturns,
+        TableId::StoreSales,
+        TableId::TimeDim,
+        TableId::Warehouse,
+        TableId::WebPage,
+        TableId::WebReturns,
+        TableId::WebSales,
+        TableId::WebSite,
+    ];
+
+    /// The seven fact tables.
+    pub const FACTS: [TableId; 7] = [
+        TableId::CatalogReturns,
+        TableId::CatalogSales,
+        TableId::Inventory,
+        TableId::StoreReturns,
+        TableId::StoreSales,
+        TableId::WebReturns,
+        TableId::WebSales,
+    ];
+
+    /// The SQL/collection name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TableId::CallCenter => "call_center",
+            TableId::CatalogPage => "catalog_page",
+            TableId::CatalogReturns => "catalog_returns",
+            TableId::CatalogSales => "catalog_sales",
+            TableId::Customer => "customer",
+            TableId::CustomerAddress => "customer_address",
+            TableId::CustomerDemographics => "customer_demographics",
+            TableId::DateDim => "date_dim",
+            TableId::HouseholdDemographics => "household_demographics",
+            TableId::IncomeBand => "income_band",
+            TableId::Inventory => "inventory",
+            TableId::Item => "item",
+            TableId::Promotion => "promotion",
+            TableId::Reason => "reason",
+            TableId::ShipMode => "ship_mode",
+            TableId::Store => "store",
+            TableId::StoreReturns => "store_returns",
+            TableId::StoreSales => "store_sales",
+            TableId::TimeDim => "time_dim",
+            TableId::Warehouse => "warehouse",
+            TableId::WebPage => "web_page",
+            TableId::WebReturns => "web_returns",
+            TableId::WebSales => "web_sales",
+            TableId::WebSite => "web_site",
+        }
+    }
+
+    /// Parses a table name.
+    pub fn from_name(name: &str) -> Option<TableId> {
+        TableId::ALL.iter().copied().find(|t| t.name() == name)
+    }
+
+    /// True for the fact tables.
+    pub fn is_fact(self) -> bool {
+        TableId::FACTS.contains(&self)
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A foreign-key edge: `table.column → ref_table.ref_column`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    pub table: TableId,
+    pub column: &'static str,
+    pub ref_table: TableId,
+    pub ref_column: &'static str,
+}
+
+/// A table definition.
+#[derive(Clone, Debug)]
+pub struct TableDef {
+    pub id: TableId,
+    pub columns: Vec<Column>,
+    /// Primary-key column name(s).
+    pub primary_key: Vec<&'static str>,
+}
+
+impl TableDef {
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&'static str> {
+        self.columns.iter().map(|c| c.name).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+}
+
+macro_rules! cols {
+    ( $( ($name:literal, $ty:ident, $null:expr) ),+ $(,)? ) => {
+        vec![ $( Column { name: $name, ty: ColumnType::$ty, nullable: $null } ),+ ]
+    };
+}
+
+/// Builds the definition of one table (full TPC-DS v1.1 column lists).
+pub fn table_def(id: TableId) -> TableDef {
+    use TableId::*;
+    let (columns, primary_key): (Vec<Column>, Vec<&'static str>) = match id {
+        StoreSales => (
+            cols![
+                ("ss_sold_date_sk", Integer, true),
+                ("ss_sold_time_sk", Integer, true),
+                ("ss_item_sk", Integer, false),
+                ("ss_customer_sk", Integer, true),
+                ("ss_cdemo_sk", Integer, true),
+                ("ss_hdemo_sk", Integer, true),
+                ("ss_addr_sk", Integer, true),
+                ("ss_store_sk", Integer, true),
+                ("ss_promo_sk", Integer, true),
+                ("ss_ticket_number", Integer, false),
+                ("ss_quantity", Integer, true),
+                ("ss_wholesale_cost", Decimal, true),
+                ("ss_list_price", Decimal, true),
+                ("ss_sales_price", Decimal, true),
+                ("ss_ext_discount_amt", Decimal, true),
+                ("ss_ext_sales_price", Decimal, true),
+                ("ss_ext_wholesale_cost", Decimal, true),
+                ("ss_ext_list_price", Decimal, true),
+                ("ss_ext_tax", Decimal, true),
+                ("ss_coupon_amt", Decimal, true),
+                ("ss_net_paid", Decimal, true),
+                ("ss_net_paid_inc_tax", Decimal, true),
+                ("ss_net_profit", Decimal, true),
+            ],
+            vec!["ss_item_sk", "ss_ticket_number"],
+        ),
+        StoreReturns => (
+            cols![
+                ("sr_returned_date_sk", Integer, true),
+                ("sr_return_time_sk", Integer, true),
+                ("sr_item_sk", Integer, false),
+                ("sr_customer_sk", Integer, true),
+                ("sr_cdemo_sk", Integer, true),
+                ("sr_hdemo_sk", Integer, true),
+                ("sr_addr_sk", Integer, true),
+                ("sr_store_sk", Integer, true),
+                ("sr_reason_sk", Integer, true),
+                ("sr_ticket_number", Integer, false),
+                ("sr_return_quantity", Integer, true),
+                ("sr_return_amt", Decimal, true),
+                ("sr_return_tax", Decimal, true),
+                ("sr_return_amt_inc_tax", Decimal, true),
+                ("sr_fee", Decimal, true),
+                ("sr_return_ship_cost", Decimal, true),
+                ("sr_refunded_cash", Decimal, true),
+                ("sr_reversed_charge", Decimal, true),
+                ("sr_store_credit", Decimal, true),
+                ("sr_net_loss", Decimal, true),
+            ],
+            vec!["sr_item_sk", "sr_ticket_number"],
+        ),
+        Inventory => (
+            cols![
+                ("inv_date_sk", Integer, false),
+                ("inv_item_sk", Integer, false),
+                ("inv_warehouse_sk", Integer, false),
+                ("inv_quantity_on_hand", Integer, true),
+            ],
+            vec!["inv_date_sk", "inv_item_sk", "inv_warehouse_sk"],
+        ),
+        CatalogSales => (
+            cols![
+                ("cs_sold_date_sk", Integer, true),
+                ("cs_sold_time_sk", Integer, true),
+                ("cs_ship_date_sk", Integer, true),
+                ("cs_bill_customer_sk", Integer, true),
+                ("cs_bill_cdemo_sk", Integer, true),
+                ("cs_bill_hdemo_sk", Integer, true),
+                ("cs_bill_addr_sk", Integer, true),
+                ("cs_ship_customer_sk", Integer, true),
+                ("cs_ship_cdemo_sk", Integer, true),
+                ("cs_ship_hdemo_sk", Integer, true),
+                ("cs_ship_addr_sk", Integer, true),
+                ("cs_call_center_sk", Integer, true),
+                ("cs_catalog_page_sk", Integer, true),
+                ("cs_ship_mode_sk", Integer, true),
+                ("cs_warehouse_sk", Integer, true),
+                ("cs_item_sk", Integer, false),
+                ("cs_promo_sk", Integer, true),
+                ("cs_order_number", Integer, false),
+                ("cs_quantity", Integer, true),
+                ("cs_wholesale_cost", Decimal, true),
+                ("cs_list_price", Decimal, true),
+                ("cs_sales_price", Decimal, true),
+                ("cs_ext_discount_amt", Decimal, true),
+                ("cs_ext_sales_price", Decimal, true),
+                ("cs_ext_wholesale_cost", Decimal, true),
+                ("cs_ext_list_price", Decimal, true),
+                ("cs_ext_tax", Decimal, true),
+                ("cs_coupon_amt", Decimal, true),
+                ("cs_ext_ship_cost", Decimal, true),
+                ("cs_net_paid", Decimal, true),
+                ("cs_net_paid_inc_tax", Decimal, true),
+                ("cs_net_paid_inc_ship", Decimal, true),
+                ("cs_net_paid_inc_ship_tax", Decimal, true),
+                ("cs_net_profit", Decimal, true),
+            ],
+            vec!["cs_item_sk", "cs_order_number"],
+        ),
+        CatalogReturns => (
+            cols![
+                ("cr_returned_date_sk", Integer, true),
+                ("cr_returned_time_sk", Integer, true),
+                ("cr_item_sk", Integer, false),
+                ("cr_refunded_customer_sk", Integer, true),
+                ("cr_refunded_cdemo_sk", Integer, true),
+                ("cr_refunded_hdemo_sk", Integer, true),
+                ("cr_refunded_addr_sk", Integer, true),
+                ("cr_returning_customer_sk", Integer, true),
+                ("cr_returning_cdemo_sk", Integer, true),
+                ("cr_returning_hdemo_sk", Integer, true),
+                ("cr_returning_addr_sk", Integer, true),
+                ("cr_call_center_sk", Integer, true),
+                ("cr_catalog_page_sk", Integer, true),
+                ("cr_ship_mode_sk", Integer, true),
+                ("cr_warehouse_sk", Integer, true),
+                ("cr_reason_sk", Integer, true),
+                ("cr_order_number", Integer, false),
+                ("cr_return_quantity", Integer, true),
+                ("cr_return_amount", Decimal, true),
+                ("cr_return_tax", Decimal, true),
+                ("cr_return_amt_inc_tax", Decimal, true),
+                ("cr_fee", Decimal, true),
+                ("cr_return_ship_cost", Decimal, true),
+                ("cr_refunded_cash", Decimal, true),
+                ("cr_reversed_charge", Decimal, true),
+                ("cr_store_credit", Decimal, true),
+                ("cr_net_loss", Decimal, true),
+            ],
+            vec!["cr_item_sk", "cr_order_number"],
+        ),
+        WebSales => (
+            cols![
+                ("ws_sold_date_sk", Integer, true),
+                ("ws_sold_time_sk", Integer, true),
+                ("ws_ship_date_sk", Integer, true),
+                ("ws_item_sk", Integer, false),
+                ("ws_bill_customer_sk", Integer, true),
+                ("ws_bill_cdemo_sk", Integer, true),
+                ("ws_bill_hdemo_sk", Integer, true),
+                ("ws_bill_addr_sk", Integer, true),
+                ("ws_ship_customer_sk", Integer, true),
+                ("ws_ship_cdemo_sk", Integer, true),
+                ("ws_ship_hdemo_sk", Integer, true),
+                ("ws_ship_addr_sk", Integer, true),
+                ("ws_web_page_sk", Integer, true),
+                ("ws_web_site_sk", Integer, true),
+                ("ws_ship_mode_sk", Integer, true),
+                ("ws_warehouse_sk", Integer, true),
+                ("ws_promo_sk", Integer, true),
+                ("ws_order_number", Integer, false),
+                ("ws_quantity", Integer, true),
+                ("ws_wholesale_cost", Decimal, true),
+                ("ws_list_price", Decimal, true),
+                ("ws_sales_price", Decimal, true),
+                ("ws_ext_discount_amt", Decimal, true),
+                ("ws_ext_sales_price", Decimal, true),
+                ("ws_ext_wholesale_cost", Decimal, true),
+                ("ws_ext_list_price", Decimal, true),
+                ("ws_ext_tax", Decimal, true),
+                ("ws_coupon_amt", Decimal, true),
+                ("ws_ext_ship_cost", Decimal, true),
+                ("ws_net_paid", Decimal, true),
+                ("ws_net_paid_inc_tax", Decimal, true),
+                ("ws_net_paid_inc_ship", Decimal, true),
+                ("ws_net_paid_inc_ship_tax", Decimal, true),
+                ("ws_net_profit", Decimal, true),
+            ],
+            vec!["ws_item_sk", "ws_order_number"],
+        ),
+        WebReturns => (
+            cols![
+                ("wr_returned_date_sk", Integer, true),
+                ("wr_returned_time_sk", Integer, true),
+                ("wr_item_sk", Integer, false),
+                ("wr_refunded_customer_sk", Integer, true),
+                ("wr_refunded_cdemo_sk", Integer, true),
+                ("wr_refunded_hdemo_sk", Integer, true),
+                ("wr_refunded_addr_sk", Integer, true),
+                ("wr_returning_customer_sk", Integer, true),
+                ("wr_returning_cdemo_sk", Integer, true),
+                ("wr_returning_hdemo_sk", Integer, true),
+                ("wr_returning_addr_sk", Integer, true),
+                ("wr_web_page_sk", Integer, true),
+                ("wr_reason_sk", Integer, true),
+                ("wr_order_number", Integer, false),
+                ("wr_return_quantity", Integer, true),
+                ("wr_return_amt", Decimal, true),
+                ("wr_return_tax", Decimal, true),
+                ("wr_return_amt_inc_tax", Decimal, true),
+                ("wr_fee", Decimal, true),
+                ("wr_return_ship_cost", Decimal, true),
+                ("wr_refunded_cash", Decimal, true),
+                ("wr_reversed_charge", Decimal, true),
+                ("wr_account_credit", Decimal, true),
+                ("wr_net_loss", Decimal, true),
+            ],
+            vec!["wr_item_sk", "wr_order_number"],
+        ),
+        DateDim => (
+            cols![
+                ("d_date_sk", Integer, false),
+                ("d_date_id", Char, false),
+                ("d_date", Date, true),
+                ("d_month_seq", Integer, true),
+                ("d_week_seq", Integer, true),
+                ("d_quarter_seq", Integer, true),
+                ("d_year", Integer, true),
+                ("d_dow", Integer, true),
+                ("d_moy", Integer, true),
+                ("d_dom", Integer, true),
+                ("d_qoy", Integer, true),
+                ("d_fy_year", Integer, true),
+                ("d_fy_quarter_seq", Integer, true),
+                ("d_fy_week_seq", Integer, true),
+                ("d_day_name", Char, true),
+                ("d_quarter_name", Char, true),
+                ("d_holiday", Char, true),
+                ("d_weekend", Char, true),
+                ("d_following_holiday", Char, true),
+                ("d_first_dom", Integer, true),
+                ("d_last_dom", Integer, true),
+                ("d_same_day_ly", Integer, true),
+                ("d_same_day_lq", Integer, true),
+                ("d_current_day", Char, true),
+                ("d_current_week", Char, true),
+                ("d_current_month", Char, true),
+                ("d_current_quarter", Char, true),
+                ("d_current_year", Char, true),
+            ],
+            vec!["d_date_sk"],
+        ),
+        TimeDim => (
+            cols![
+                ("t_time_sk", Integer, false),
+                ("t_time_id", Char, false),
+                ("t_time", Integer, true),
+                ("t_hour", Integer, true),
+                ("t_minute", Integer, true),
+                ("t_second", Integer, true),
+                ("t_am_pm", Char, true),
+                ("t_shift", Char, true),
+                ("t_sub_shift", Char, true),
+                ("t_meal_time", Char, true),
+            ],
+            vec!["t_time_sk"],
+        ),
+        Item => (
+            cols![
+                ("i_item_sk", Integer, false),
+                ("i_item_id", Char, false),
+                ("i_rec_start_date", Date, true),
+                ("i_rec_end_date", Date, true),
+                ("i_item_desc", Char, true),
+                ("i_current_price", Decimal, true),
+                ("i_wholesale_cost", Decimal, true),
+                ("i_brand_id", Integer, true),
+                ("i_brand", Char, true),
+                ("i_class_id", Integer, true),
+                ("i_class", Char, true),
+                ("i_category_id", Integer, true),
+                ("i_category", Char, true),
+                ("i_manufact_id", Integer, true),
+                ("i_manufact", Char, true),
+                ("i_size", Char, true),
+                ("i_formulation", Char, true),
+                ("i_color", Char, true),
+                ("i_units", Char, true),
+                ("i_container", Char, true),
+                ("i_manager_id", Integer, true),
+                ("i_product_name", Char, true),
+            ],
+            vec!["i_item_sk"],
+        ),
+        Customer => (
+            cols![
+                ("c_customer_sk", Integer, false),
+                ("c_customer_id", Char, false),
+                ("c_current_cdemo_sk", Integer, true),
+                ("c_current_hdemo_sk", Integer, true),
+                ("c_current_addr_sk", Integer, true),
+                ("c_first_shipto_date_sk", Integer, true),
+                ("c_first_sales_date_sk", Integer, true),
+                ("c_salutation", Char, true),
+                ("c_first_name", Char, true),
+                ("c_last_name", Char, true),
+                ("c_preferred_cust_flag", Char, true),
+                ("c_birth_day", Integer, true),
+                ("c_birth_month", Integer, true),
+                ("c_birth_year", Integer, true),
+                ("c_birth_country", Char, true),
+                ("c_login", Char, true),
+                ("c_email_address", Char, true),
+                ("c_last_review_date_sk", Integer, true),
+            ],
+            vec!["c_customer_sk"],
+        ),
+        CustomerAddress => (
+            cols![
+                ("ca_address_sk", Integer, false),
+                ("ca_address_id", Char, false),
+                ("ca_street_number", Char, true),
+                ("ca_street_name", Char, true),
+                ("ca_street_type", Char, true),
+                ("ca_suite_number", Char, true),
+                ("ca_city", Char, true),
+                ("ca_county", Char, true),
+                ("ca_state", Char, true),
+                ("ca_zip", Char, true),
+                ("ca_country", Char, true),
+                ("ca_gmt_offset", Decimal, true),
+                ("ca_location_type", Char, true),
+            ],
+            vec!["ca_address_sk"],
+        ),
+        CustomerDemographics => (
+            cols![
+                ("cd_demo_sk", Integer, false),
+                ("cd_gender", Char, true),
+                ("cd_marital_status", Char, true),
+                ("cd_education_status", Char, true),
+                ("cd_purchase_estimate", Integer, true),
+                ("cd_credit_rating", Char, true),
+                ("cd_dep_count", Integer, true),
+                ("cd_dep_employed_count", Integer, true),
+                ("cd_dep_college_count", Integer, true),
+            ],
+            vec!["cd_demo_sk"],
+        ),
+        HouseholdDemographics => (
+            cols![
+                ("hd_demo_sk", Integer, false),
+                ("hd_income_band_sk", Integer, true),
+                ("hd_buy_potential", Char, true),
+                ("hd_dep_count", Integer, true),
+                ("hd_vehicle_count", Integer, true),
+            ],
+            vec!["hd_demo_sk"],
+        ),
+        IncomeBand => (
+            cols![
+                ("ib_income_band_sk", Integer, false),
+                ("ib_lower_bound", Integer, true),
+                ("ib_upper_bound", Integer, true),
+            ],
+            vec!["ib_income_band_sk"],
+        ),
+        Promotion => (
+            cols![
+                ("p_promo_sk", Integer, false),
+                ("p_promo_id", Char, false),
+                ("p_start_date_sk", Integer, true),
+                ("p_end_date_sk", Integer, true),
+                ("p_item_sk", Integer, true),
+                ("p_cost", Decimal, true),
+                ("p_response_target", Integer, true),
+                ("p_promo_name", Char, true),
+                ("p_channel_dmail", Char, true),
+                ("p_channel_email", Char, true),
+                ("p_channel_catalog", Char, true),
+                ("p_channel_tv", Char, true),
+                ("p_channel_radio", Char, true),
+                ("p_channel_press", Char, true),
+                ("p_channel_event", Char, true),
+                ("p_channel_demo", Char, true),
+                ("p_channel_details", Char, true),
+                ("p_purpose", Char, true),
+                ("p_discount_active", Char, true),
+            ],
+            vec!["p_promo_sk"],
+        ),
+        Reason => (
+            cols![
+                ("r_reason_sk", Integer, false),
+                ("r_reason_id", Char, false),
+                ("r_reason_desc", Char, true),
+            ],
+            vec!["r_reason_sk"],
+        ),
+        ShipMode => (
+            cols![
+                ("sm_ship_mode_sk", Integer, false),
+                ("sm_ship_mode_id", Char, false),
+                ("sm_type", Char, true),
+                ("sm_code", Char, true),
+                ("sm_carrier", Char, true),
+                ("sm_contract", Char, true),
+            ],
+            vec!["sm_ship_mode_sk"],
+        ),
+        Store => (
+            cols![
+                ("s_store_sk", Integer, false),
+                ("s_store_id", Char, false),
+                ("s_rec_start_date", Date, true),
+                ("s_rec_end_date", Date, true),
+                ("s_closed_date_sk", Integer, true),
+                ("s_store_name", Char, true),
+                ("s_number_employees", Integer, true),
+                ("s_floor_space", Integer, true),
+                ("s_hours", Char, true),
+                ("s_manager", Char, true),
+                ("s_market_id", Integer, true),
+                ("s_geography_class", Char, true),
+                ("s_market_desc", Char, true),
+                ("s_market_manager", Char, true),
+                ("s_division_id", Integer, true),
+                ("s_division_name", Char, true),
+                ("s_company_id", Integer, true),
+                ("s_company_name", Char, true),
+                ("s_street_number", Char, true),
+                ("s_street_name", Char, true),
+                ("s_street_type", Char, true),
+                ("s_suite_number", Char, true),
+                ("s_city", Char, true),
+                ("s_county", Char, true),
+                ("s_state", Char, true),
+                ("s_zip", Char, true),
+                ("s_country", Char, true),
+                ("s_gmt_offset", Decimal, true),
+                ("s_tax_precentage", Decimal, true),
+            ],
+            vec!["s_store_sk"],
+        ),
+        Warehouse => (
+            cols![
+                ("w_warehouse_sk", Integer, false),
+                ("w_warehouse_id", Char, false),
+                ("w_warehouse_name", Char, true),
+                ("w_warehouse_sq_ft", Integer, true),
+                ("w_street_number", Char, true),
+                ("w_street_name", Char, true),
+                ("w_street_type", Char, true),
+                ("w_suite_number", Char, true),
+                ("w_city", Char, true),
+                ("w_county", Char, true),
+                ("w_state", Char, true),
+                ("w_zip", Char, true),
+                ("w_country", Char, true),
+                ("w_gmt_offset", Decimal, true),
+            ],
+            vec!["w_warehouse_sk"],
+        ),
+        CallCenter => (
+            cols![
+                ("cc_call_center_sk", Integer, false),
+                ("cc_call_center_id", Char, false),
+                ("cc_rec_start_date", Date, true),
+                ("cc_rec_end_date", Date, true),
+                ("cc_closed_date_sk", Integer, true),
+                ("cc_open_date_sk", Integer, true),
+                ("cc_name", Char, true),
+                ("cc_class", Char, true),
+                ("cc_employees", Integer, true),
+                ("cc_sq_ft", Integer, true),
+                ("cc_hours", Char, true),
+                ("cc_manager", Char, true),
+                ("cc_mkt_id", Integer, true),
+                ("cc_mkt_class", Char, true),
+                ("cc_mkt_desc", Char, true),
+                ("cc_market_manager", Char, true),
+                ("cc_division", Integer, true),
+                ("cc_division_name", Char, true),
+                ("cc_company", Integer, true),
+                ("cc_company_name", Char, true),
+                ("cc_street_number", Char, true),
+                ("cc_street_name", Char, true),
+                ("cc_street_type", Char, true),
+                ("cc_suite_number", Char, true),
+                ("cc_city", Char, true),
+                ("cc_county", Char, true),
+                ("cc_state", Char, true),
+                ("cc_zip", Char, true),
+                ("cc_country", Char, true),
+                ("cc_gmt_offset", Decimal, true),
+                ("cc_tax_percentage", Decimal, true),
+            ],
+            vec!["cc_call_center_sk"],
+        ),
+        CatalogPage => (
+            cols![
+                ("cp_catalog_page_sk", Integer, false),
+                ("cp_catalog_page_id", Char, false),
+                ("cp_start_date_sk", Integer, true),
+                ("cp_end_date_sk", Integer, true),
+                ("cp_department", Char, true),
+                ("cp_catalog_number", Integer, true),
+                ("cp_catalog_page_number", Integer, true),
+                ("cp_description", Char, true),
+                ("cp_type", Char, true),
+            ],
+            vec!["cp_catalog_page_sk"],
+        ),
+        WebPage => (
+            cols![
+                ("wp_web_page_sk", Integer, false),
+                ("wp_web_page_id", Char, false),
+                ("wp_rec_start_date", Date, true),
+                ("wp_rec_end_date", Date, true),
+                ("wp_creation_date_sk", Integer, true),
+                ("wp_access_date_sk", Integer, true),
+                ("wp_autogen_flag", Char, true),
+                ("wp_customer_sk", Integer, true),
+                ("wp_url", Char, true),
+                ("wp_type", Char, true),
+                ("wp_char_count", Integer, true),
+                ("wp_link_count", Integer, true),
+                ("wp_image_count", Integer, true),
+                ("wp_max_ad_count", Integer, true),
+            ],
+            vec!["wp_web_page_sk"],
+        ),
+        WebSite => (
+            cols![
+                ("web_site_sk", Integer, false),
+                ("web_site_id", Char, false),
+                ("web_rec_start_date", Date, true),
+                ("web_rec_end_date", Date, true),
+                ("web_name", Char, true),
+                ("web_open_date_sk", Integer, true),
+                ("web_close_date_sk", Integer, true),
+                ("web_class", Char, true),
+                ("web_manager", Char, true),
+                ("web_mkt_id", Integer, true),
+                ("web_mkt_class", Char, true),
+                ("web_mkt_desc", Char, true),
+                ("web_market_manager", Char, true),
+                ("web_company_id", Integer, true),
+                ("web_company_name", Char, true),
+                ("web_street_number", Char, true),
+                ("web_street_name", Char, true),
+                ("web_street_type", Char, true),
+                ("web_suite_number", Char, true),
+                ("web_city", Char, true),
+                ("web_county", Char, true),
+                ("web_state", Char, true),
+                ("web_zip", Char, true),
+                ("web_country", Char, true),
+                ("web_gmt_offset", Decimal, true),
+                ("web_tax_percentage", Decimal, true),
+            ],
+            vec!["web_site_sk"],
+        ),
+    };
+    TableDef { id, columns, primary_key }
+}
+
+/// The foreign keys the thesis's queries traverse (store-channel facts and
+/// inventory; Figures 3.2–3.4), plus the dimension-to-dimension edges.
+pub fn foreign_keys() -> Vec<ForeignKey> {
+    use TableId::*;
+    let fk = |table: TableId, column: &'static str, ref_table: TableId, ref_column: &'static str| {
+        ForeignKey { table, column, ref_table, ref_column }
+    };
+    vec![
+        // store_sales → dimensions (Fig 3.2)
+        fk(StoreSales, "ss_sold_date_sk", DateDim, "d_date_sk"),
+        fk(StoreSales, "ss_sold_time_sk", TimeDim, "t_time_sk"),
+        fk(StoreSales, "ss_item_sk", Item, "i_item_sk"),
+        fk(StoreSales, "ss_customer_sk", Customer, "c_customer_sk"),
+        fk(StoreSales, "ss_cdemo_sk", CustomerDemographics, "cd_demo_sk"),
+        fk(StoreSales, "ss_hdemo_sk", HouseholdDemographics, "hd_demo_sk"),
+        fk(StoreSales, "ss_addr_sk", CustomerAddress, "ca_address_sk"),
+        fk(StoreSales, "ss_store_sk", Store, "s_store_sk"),
+        fk(StoreSales, "ss_promo_sk", Promotion, "p_promo_sk"),
+        // store_returns → dimensions (Fig 3.3)
+        fk(StoreReturns, "sr_returned_date_sk", DateDim, "d_date_sk"),
+        fk(StoreReturns, "sr_return_time_sk", TimeDim, "t_time_sk"),
+        fk(StoreReturns, "sr_item_sk", Item, "i_item_sk"),
+        fk(StoreReturns, "sr_customer_sk", Customer, "c_customer_sk"),
+        fk(StoreReturns, "sr_cdemo_sk", CustomerDemographics, "cd_demo_sk"),
+        fk(StoreReturns, "sr_hdemo_sk", HouseholdDemographics, "hd_demo_sk"),
+        fk(StoreReturns, "sr_addr_sk", CustomerAddress, "ca_address_sk"),
+        fk(StoreReturns, "sr_store_sk", Store, "s_store_sk"),
+        fk(StoreReturns, "sr_reason_sk", Reason, "r_reason_sk"),
+        // inventory → dimensions (Fig 3.4)
+        fk(Inventory, "inv_date_sk", DateDim, "d_date_sk"),
+        fk(Inventory, "inv_item_sk", Item, "i_item_sk"),
+        fk(Inventory, "inv_warehouse_sk", Warehouse, "w_warehouse_sk"),
+        // dimension → dimension
+        fk(Customer, "c_current_cdemo_sk", CustomerDemographics, "cd_demo_sk"),
+        fk(Customer, "c_current_hdemo_sk", HouseholdDemographics, "hd_demo_sk"),
+        fk(Customer, "c_current_addr_sk", CustomerAddress, "ca_address_sk"),
+        fk(HouseholdDemographics, "hd_income_band_sk", IncomeBand, "ib_income_band_sk"),
+        fk(Promotion, "p_item_sk", Item, "i_item_sk"),
+    ]
+}
+
+/// Foreign keys leaving one table.
+pub fn foreign_keys_of(table: TableId) -> Vec<ForeignKey> {
+    foreign_keys().into_iter().filter(|f| f.table == table).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_four_tables_seven_facts() {
+        assert_eq!(TableId::ALL.len(), 24);
+        assert_eq!(TableId::FACTS.len(), 7);
+        assert!(TableId::StoreSales.is_fact());
+        assert!(!TableId::DateDim.is_fact());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for t in TableId::ALL {
+            assert_eq!(TableId::from_name(t.name()), Some(t));
+        }
+        assert_eq!(TableId::from_name("nope"), None);
+    }
+
+    #[test]
+    fn all_defs_have_valid_primary_keys() {
+        for t in TableId::ALL {
+            let def = table_def(t);
+            assert!(!def.columns.is_empty(), "{t}");
+            assert!(!def.primary_key.is_empty(), "{t}");
+            for pk in &def.primary_key {
+                let idx = def.column_index(pk).unwrap_or_else(|| panic!("{t}.{pk} missing"));
+                assert!(!def.columns[idx].nullable, "{t}.{pk} must be NOT NULL");
+            }
+        }
+    }
+
+    #[test]
+    fn column_counts_match_tpcds() {
+        let expect = [
+            (TableId::StoreSales, 23),
+            (TableId::StoreReturns, 20),
+            (TableId::Inventory, 4),
+            (TableId::CatalogSales, 34),
+            (TableId::CatalogReturns, 27),
+            (TableId::WebSales, 34),
+            (TableId::WebReturns, 24),
+            (TableId::DateDim, 28),
+            (TableId::TimeDim, 10),
+            (TableId::Item, 22),
+            (TableId::Customer, 18),
+            (TableId::CustomerAddress, 13),
+            (TableId::CustomerDemographics, 9),
+            (TableId::HouseholdDemographics, 5),
+            (TableId::IncomeBand, 3),
+            (TableId::Promotion, 19),
+            (TableId::Reason, 3),
+            (TableId::ShipMode, 6),
+            (TableId::Store, 29),
+            (TableId::Warehouse, 14),
+            (TableId::CallCenter, 31),
+            (TableId::CatalogPage, 9),
+            (TableId::WebPage, 14),
+            (TableId::WebSite, 26),
+        ];
+        for (t, n) in expect {
+            assert_eq!(table_def(t).columns.len(), n, "{t}");
+        }
+    }
+
+    #[test]
+    fn foreign_keys_reference_real_columns() {
+        for fk in foreign_keys() {
+            let t = table_def(fk.table);
+            let r = table_def(fk.ref_table);
+            assert!(t.column_index(fk.column).is_some(), "{fk:?}");
+            assert!(r.column_index(fk.ref_column).is_some(), "{fk:?}");
+            assert!(r.primary_key.contains(&fk.ref_column), "{fk:?} must hit a PK column");
+        }
+    }
+
+    #[test]
+    fn query_tables_expose_expected_fk_fanout() {
+        // Q7/Q46 traverse store_sales; Q21 inventory; Q50 store_returns.
+        assert_eq!(foreign_keys_of(TableId::StoreSales).len(), 9);
+        assert_eq!(foreign_keys_of(TableId::Inventory).len(), 3);
+        assert_eq!(foreign_keys_of(TableId::StoreReturns).len(), 9);
+    }
+}

@@ -1,0 +1,203 @@
+//! String pools for realistic-looking synthetic values ("veracity" in the
+//! 4V categorization of thesis Table 2.3): names, streets, cities — the
+//! pools include every literal the four workload queries predicate on
+//! (`'Midway'`, `'Fairview'`, `'4 yr Degree'`, channel flags, …).
+
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "William",
+    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Earl", "Nancy", "Steven", "Lisa", "Paul", "Betty", "Andrew", "Helen",
+    "Joshua", "Sandra", "Kenneth", "Donna", "Kevin", "Carol", "Brian", "Ruth", "George", "Sharon",
+    "Edward", "Michelle",
+];
+
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Garrison", "Lee", "Perez", "Thompson", "White", "Harris",
+    "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill",
+];
+
+/// `s_city` draws from here; the thesis's Query 46 predicates on Midway
+/// and Fairview, which dsdgen makes disproportionately common — the pool
+/// repeats them to bias selection the same way.
+pub const CITIES: &[&str] = &[
+    "Midway", "Fairview", "Midway", "Fairview", "Oak Grove", "Five Points", "Pleasant Hill",
+    "Centerville", "Riverside", "Salem", "Georgetown", "Greenville", "Franklin", "Springfield",
+    "Clinton", "Marion", "Union", "Liberty", "Kingston", "Ashland",
+];
+
+pub const STREET_NAMES: &[&str] = &[
+    "Jackson", "Washington", "Main", "Park", "Oak", "Maple", "Cedar", "Elm", "View", "Lake",
+    "Hill", "Pine", "Spring", "Ridge", "Church", "Willow", "Mill", "River", "Sunset", "Railroad",
+];
+
+pub const STREET_TYPES: &[&str] = &[
+    "Street", "Avenue", "Boulevard", "Parkway", "Road", "Lane", "Drive", "Court", "Circle", "Way",
+];
+
+pub const STATES: &[&str] = &[
+    "AL", "CA", "CO", "FL", "GA", "IL", "IN", "KS", "KY", "LA", "MI", "MN", "MO", "NC", "NY",
+    "OH", "OK", "OR", "PA", "TN", "TX", "VA", "WA", "WI",
+];
+
+pub const COUNTIES: &[&str] = &[
+    "Williamson County", "Walker County", "Ziebach County", "Richland County", "Bronx County",
+    "Franklin Parish", "Luce County", "Huron County", "Mobile County", "Maverick County",
+];
+
+/// `cd_gender` values.
+pub const GENDERS: &[&str] = &["M", "F"];
+
+/// `cd_marital_status` values.
+pub const MARITAL_STATUS: &[&str] = &["M", "S", "D", "W", "U"];
+
+/// `cd_education_status` values — includes Query 7's `'4 yr Degree'`.
+pub const EDUCATION: &[&str] = &[
+    "Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree", "Unknown",
+];
+
+pub const CREDIT_RATING: &[&str] = &["Low Risk", "Good", "High Risk", "Unknown"];
+
+pub const BUY_POTENTIAL: &[&str] =
+    &[">10000", "5001-10000", "1001-5000", "501-1000", "0-500", "Unknown"];
+
+pub const ITEM_CATEGORIES: &[&str] = &[
+    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Women",
+];
+
+pub const ITEM_CLASSES: &[&str] = &[
+    "accessories", "archery", "athletic", "baseball", "basketball", "bedding", "camcorders",
+    "camping", "classical", "computers", "country", "decor", "dresses", "fiction", "fishing",
+    "football", "fragrances", "furniture", "glassware", "golf",
+];
+
+pub const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream",
+];
+
+pub const UNITS: &[&str] =
+    &["Each", "Dozen", "Case", "Pallet", "Gross", "Box", "Bunch", "Carton", "Dram", "Ounce"];
+
+pub const CONTAINERS: &[&str] = &["Unknown"];
+
+pub const SHIFTS: &[&str] = &["first", "second", "third"];
+
+pub const MEAL_TIMES: &[&str] = &["breakfast", "lunch", "dinner"];
+
+pub const SHIP_MODE_TYPES: &[&str] =
+    &["EXPRESS", "NEXT DAY", "OVERNIGHT", "REGULAR", "TWO DAY", "LIBRARY"];
+
+pub const SHIP_MODE_CODES: &[&str] = &["AIR", "SURFACE", "SEA"];
+
+pub const CARRIERS: &[&str] = &[
+    "UPS", "FEDEX", "AIRBORNE", "USPS", "DHL", "TBS", "ZHOU", "ZOUROS", "MSC", "LATVIAN",
+    "ALLIANCE", "ORIENTAL", "BARIAN", "BOXBUNDLES", "CARDINAL", "DIAMOND", "RUPEKSA", "GERMA",
+    "HARMSTORF", "GREAT EASTERN",
+];
+
+pub const REASONS: &[&str] = &[
+    "Package was damaged", "Stopped working", "Did not fit", "Found a better price in a store",
+    "Not the product that was ordered", "Parts missing", "Does not work with a product that I have",
+    "Gift exchange", "Did not like the color", "Did not like the model", "Did not like the make",
+    "Did not like the warranty", "No service location in my area", "Lost my job",
+    "Found a better extended warranty", "Wrong size", "Duplicate purchase", "Not working any more",
+    "Ordered twice by mistake", "Changed my mind",
+];
+
+pub const PROMO_PURPOSES: &[&str] = &["Unknown"];
+
+pub const STORE_NAMES: &[&str] = &["ought", "able", "pri", "ese", "anti", "cally", "ation", "eing"];
+
+pub const WAREHOUSE_NAMES: &[&str] = &[
+    "Conventional childr", "Important issues liv", "Doors canno", "Bad cards must make.",
+    "Rooms cook ", "Operations can hang in", "Stars get partly involved",
+];
+
+pub const DAY_NAMES: &[&str] =
+    &["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"];
+
+/// Deterministically picks from a pool by index.
+pub fn pick(pool: &'static [&'static str], idx: u64) -> &'static str {
+    // SAFETY of 'static: all pools above are &'static str literals.
+    pool[(idx % pool.len() as u64) as usize]
+}
+
+/// A TPC-DS style 16-character business key, e.g. `AAAAAAAABAAAAAAA`:
+/// base-26 little-endian encoding of the row number over 'A'..'Z'.
+pub fn business_key(mut n: u64) -> String {
+    let mut chars = [b'A'; 16];
+    let mut i = 0;
+    while n > 0 && i < 16 {
+        chars[15 - i] = b'A' + (n % 26) as u8;
+        n /= 26;
+        i += 1;
+    }
+    chars.reverse();
+    String::from_utf8(chars.to_vec()).expect("ASCII")
+}
+
+/// Lorem-style description text of bounded length, deterministic in `idx`.
+pub fn description(idx: u64, max_words: usize) -> String {
+    const WORDS: &[&str] = &[
+        "special", "sometimes", "national", "important", "current", "general", "available",
+        "different", "large", "early", "political", "economic", "public", "certain", "major",
+        "similar", "recent", "concerned", "everyday", "necessary",
+    ];
+    let n = 3 + (idx as usize % max_words.max(1));
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[((idx.wrapping_mul(31).wrapping_add(i as u64 * 7)) as usize) % WORDS.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_literals_are_in_pools() {
+        assert!(CITIES.contains(&"Midway"));
+        assert!(CITIES.contains(&"Fairview"));
+        assert!(EDUCATION.contains(&"4 yr Degree"));
+        assert!(GENDERS.contains(&"M"));
+        assert!(MARITAL_STATUS.contains(&"M"));
+    }
+
+    #[test]
+    fn pick_is_total_and_deterministic() {
+        assert_eq!(pick(CITIES, 0), pick(CITIES, 0));
+        for i in 0..100 {
+            let _ = pick(STATES, i); // never panics
+        }
+    }
+
+    #[test]
+    fn business_keys_are_unique_fixed_width() {
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..10_000 {
+            let k = business_key(n);
+            assert_eq!(k.len(), 16);
+            assert!(seen.insert(k));
+        }
+        assert_eq!(business_key(0), "AAAAAAAAAAAAAAAA");
+        assert_eq!(business_key(1), "BAAAAAAAAAAAAAAA");
+    }
+
+    #[test]
+    fn descriptions_bounded() {
+        for idx in 0..50 {
+            let d = description(idx, 10);
+            let words = d.split(' ').count();
+            assert!((3..=12).contains(&words));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Quickstart: the document store's public API in two minutes —
+//! databases, collections, inserts, indexes, filters, updates, and an
+//! aggregation pipeline.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use doclite::bson::{doc, Value};
+use doclite::docstore::{
+    Accumulator, Database, Expr, Filter, FindOptions, GroupId, IndexDef, Pipeline, UpdateSpec,
+};
+
+fn main() {
+    // Databases and collections spring into being on first use, like
+    // MongoDB's implicit creation.
+    let db = Database::new("bookstore");
+    let books = db.collection("books");
+
+    // Documents are schemaless: embedded documents and arrays nest freely
+    // (the thesis's Fig 2.3 embedded data model).
+    books
+        .insert_many([
+            doc! {
+                "title" => "MongoDB", "pages" => 216i64, "price" => 31.99f64,
+                "publisher" => doc! {"name" => "O'Reilly Media", "founded" => 1978i64},
+            },
+            doc! {
+                "title" => "Java in a Nutshell", "pages" => 418i64, "price" => 39.99f64,
+                "publisher" => doc! {"name" => "O'Reilly Media", "founded" => 1978i64},
+            },
+            doc! {
+                "title" => "Designing Data-Intensive Applications", "pages" => 616i64, "price" => 44.99f64,
+                "publisher" => doc! {"name" => "O'Reilly Media", "founded" => 1978i64},
+            },
+            doc! {
+                "title" => "The C Programming Language", "pages" => 272i64, "price" => 54.99f64,
+                "publisher" => doc! {"name" => "Prentice Hall", "founded" => 1913i64},
+            },
+        ])
+        .expect("inserts");
+
+    // Filters navigate embedded documents with dotted paths.
+    let oreilly = books.find(&Filter::eq("publisher.name", "O'Reilly Media"));
+    println!("O'Reilly titles: {}", oreilly.len());
+
+    // Secondary indexes accelerate lookups; explain() shows the plan.
+    books.create_index(IndexDef::single("pages")).expect("index");
+    let explain = books.explain(&Filter::gt("pages", 400i64));
+    println!(
+        "plan: {} (examined {}, returned {})",
+        explain.plan, explain.docs_examined, explain.docs_returned
+    );
+
+    // Updates: $set / $inc with multi semantics.
+    books
+        .update(
+            &Filter::lt("pages", 300i64),
+            &UpdateSpec::set("format", "pocket").and_inc("price", -5.0),
+            false,
+            true,
+        )
+        .expect("update");
+
+    // find with sort / limit / projection.
+    let cheapest = books.find_with(
+        &Filter::True,
+        &FindOptions::new().sort_by("price", 1).with_limit(1).include("title").include("price"),
+    );
+    println!("cheapest: {}", cheapest[0]);
+
+    // Aggregation pipeline: $match → $group → $sort.
+    let by_publisher = db
+        .aggregate(
+            "books",
+            &Pipeline::new()
+                .match_stage(Filter::gt("price", 20.0f64))
+                .group(
+                    GroupId::Expr(Expr::field("publisher.name")),
+                    [
+                        ("titles", Accumulator::count()),
+                        ("avg_price", Accumulator::avg_field("price")),
+                        ("total_pages", Accumulator::sum_field("pages")),
+                    ],
+                )
+                .sort([("titles", -1)]),
+        )
+        .expect("aggregate");
+    println!("\nper publisher:");
+    for row in &by_publisher {
+        println!("  {row}");
+    }
+
+    let total: Value = Value::Int64(books.len() as i64);
+    println!("\n{} documents, {} bytes stored", total, books.data_size());
+}

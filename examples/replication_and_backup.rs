@@ -1,0 +1,70 @@
+//! Redundancy features around the core store: replica sets (write
+//! concerns, failover, resync — thesis Section 2.1.3.1's replicated
+//! shards) and dump/restore persistence.
+//!
+//! Run with `cargo run --release --example replication_and_backup`.
+
+use doclite::bson::doc;
+use doclite::docstore::{dump_collection, restore_collection, Collection, Filter};
+use doclite::sharding::{ReadPreference, ReplicaSet, WriteConcern};
+
+fn main() {
+    // --- replica set -----------------------------------------------------
+    let rs = ReplicaSet::new("rs0", 3);
+    println!(
+        "replica set {} with {} members, primary = member {}",
+        rs.name(),
+        rs.member_count(),
+        rs.primary_index()
+    );
+
+    for i in 0..100i64 {
+        rs.insert_one("orders", doc! {"order" => i, "total" => (i * 7) as f64}, WriteConcern::Majority)
+            .expect("write");
+    }
+    println!(
+        "wrote 100 orders with w:majority; secondary read sees {}",
+        rs.find("orders", &Filter::True, ReadPreference::Secondary).len()
+    );
+
+    // Fail the primary: the set elects a new one and keeps serving.
+    let new_primary = rs.fail_member(0).expect("quorum survives");
+    println!("primary failed → member {new_primary} elected");
+    rs.insert_one("orders", doc! {"order" => 100i64}, WriteConcern::Majority)
+        .expect("writes continue");
+
+    // w:all is refused while a member is down…
+    let err = rs.insert_one("orders", doc! {"order" => 101i64}, WriteConcern::All);
+    println!("w:all with a member down → {}", err.unwrap_err());
+
+    // …until it recovers and resyncs the writes it missed.
+    rs.recover_member(0);
+    rs.insert_one("orders", doc! {"order" => 101i64}, WriteConcern::All)
+        .expect("w:all after recovery");
+    println!(
+        "member 0 recovered and resynced; healthy members = {}",
+        rs.healthy_members()
+    );
+
+    // --- dump / restore --------------------------------------------------
+    let coll = Collection::new("catalog");
+    coll.insert_many((0..1000i64).map(|i| doc! {"_id" => i, "sku" => format!("SKU{i:05}")}))
+        .expect("seed");
+    let path = std::env::temp_dir().join("doclite-backup.dump");
+    let dumped = dump_collection(&coll, &path).expect("dump");
+
+    let restored = Collection::new("catalog_restored");
+    let n = restore_collection(&restored, &path).expect("restore");
+    assert_eq!(dumped, n);
+    assert_eq!(
+        coll.find(&Filter::eq("_id", 500i64)),
+        restored.find(&Filter::eq("_id", 500i64))
+    );
+    println!(
+        "dumped {} docs to {} ({} bytes) and restored them intact",
+        dumped,
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,81 @@
+//! The thesis's end-to-end flow on a laptop-scale dataset: generate
+//! TPC-DS data, write dsdgen-style `.dat` files, migrate them with the
+//! Fig 4.3 algorithm, denormalize the fact collections (Figs 4.6/4.7),
+//! and run the four analytical queries in both data models.
+//!
+//! Run with `cargo run --release --example retail_analytics`.
+
+use doclite::core::experiment::{build_denormalized, WORKLOAD_TABLES};
+use doclite::core::{fmt_duration, migrate_table, run_denormalized, run_normalized, TextTable};
+use doclite::docstore::Database;
+use doclite::tpcds::{Generator, QueryId, QueryParams, TableId};
+use std::time::Instant;
+
+const SF: f64 = 0.005;
+
+fn main() {
+    let gen = Generator::new(SF);
+    let dir = std::env::temp_dir().join("doclite-retail-example");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. dsdgen: write the pipe-delimited .dat files.
+    println!("generating .dat files at SF {SF}…");
+    let mut extra = vec![TableId::Reason, TableId::TimeDim];
+    extra.extend(WORKLOAD_TABLES);
+    for t in &extra {
+        let rows = doclite::tpcds::write_table(&dir, &gen, *t).expect("write");
+        println!("  {:<24} {:>8} rows", t.name(), rows);
+    }
+
+    // 2. Migrate into the document store (thesis Fig 4.3).
+    println!("\nmigrating into MongoDB-style collections…");
+    let db = Database::new("Dataset_example");
+    let mut table = TextTable::new(["table", "rows", "load time", "stored"]);
+    for t in &extra {
+        let report = migrate_table(&db, &dir, *t).expect("migrate");
+        table.row([
+            t.name().to_owned(),
+            report.rows.to_string(),
+            fmt_duration(report.elapsed),
+            format!("{:.2} MB", report.stored_bytes as f64 / 1048576.0),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // 3. Denormalize the fact collections (thesis Figs 4.6/4.7).
+    println!("denormalizing fact collections…");
+    let t0 = Instant::now();
+    build_denormalized(&db).expect("denormalize");
+    println!("  done in {}", fmt_duration(t0.elapsed()));
+
+    // 4. Run the workload both ways.
+    let params = QueryParams::for_scale(SF);
+    let mut results = TextTable::new(["query", "normalized", "denormalized", "rows"]);
+    for q in QueryId::ALL {
+        let t0 = Instant::now();
+        let norm = run_normalized(&db, q, &params).expect("normalized");
+        let norm_time = t0.elapsed();
+        let t0 = Instant::now();
+        let den = run_denormalized(&db, q, &params).expect("denormalized");
+        let den_time = t0.elapsed();
+        assert_eq!(norm.len(), den.len(), "{q}: models disagree");
+        results.row([
+            q.to_string(),
+            fmt_duration(norm_time),
+            fmt_duration(den_time),
+            den.len().to_string(),
+        ]);
+    }
+    println!("\nquery runtimes (one run, warm):");
+    println!("{}", results.render());
+
+    // Show a sample of Query 7's output.
+    let params = QueryParams::for_scale(SF);
+    let out = run_denormalized(&db, QueryId::Q7, &params).expect("q7");
+    println!("Query 7, first rows:");
+    for row in out.iter().take(3) {
+        println!("  {row}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p reports
+cargo build --release -p doclite-bench --bins 2>&1 | tail -1
+for bin in table_3_6 table_4_3 table_4_4 table_4_5 fig_4_9 fig_4_10 fig_4_11 ablations future_work; do
+    echo "=== $bin ==="
+    ./target/release/$bin > "reports/$bin.txt" 2>&1
+    echo "exit=$? (reports/$bin.txt)"
+done

@@ -1,0 +1,35 @@
+//! # doclite
+//!
+//! Facade crate for the reproduction of *"Performance Evaluation of
+//! Analytical Queries on a Stand-alone and Sharded Document Store"*
+//! (Raghavendra, 2015): re-exports every subsystem under one roof so
+//! examples, integration tests, and downstream users address a single
+//! dependency.
+//!
+//! * [`bson`] — the document value model and binary codec;
+//! * [`docstore`] — the storage/query engine (collections, indexes,
+//!   match language, updates, aggregation pipeline, dump/restore);
+//! * [`sharding`] — shard keys, chunks, config metadata, the `mongos`
+//!   router, balancer, replica sets, capacity planning, and the
+//!   simulated network;
+//! * [`tpcds`] — the 24-table schema catalog, seeded data generator,
+//!   `.dat` IO, and the four-query workload;
+//! * [`sql`] — the analytical SQL lexer/parser/AST (and unparser);
+//! * [`core`] — the thesis's algorithms (migration, denormalization,
+//!   query translation) and the Table 4.1 experiment runner.
+//!
+//! ```
+//! use doclite::docstore::{Database, Filter};
+//! use doclite::bson::doc;
+//!
+//! let db = Database::new("demo");
+//! db.collection("c").insert_one(doc! {"k" => 1i64}).unwrap();
+//! assert_eq!(db.collection("c").find(&Filter::eq("k", 1i64)).len(), 1);
+//! ```
+
+pub use doclite_bson as bson;
+pub use doclite_core as core;
+pub use doclite_docstore as docstore;
+pub use doclite_sharding as sharding;
+pub use doclite_sql as sql;
+pub use doclite_tpcds as tpcds;

@@ -1,0 +1,40 @@
+//! Shared helpers for cross-crate integration tests.
+
+use doclite::bson::{Document, Value};
+
+/// Rounds every double in a document copy to 6 decimals, so results that
+/// differ only in floating-point summation order compare equal.
+pub fn rounded(doc: &Document) -> Document {
+    let mut out = Document::with_capacity(doc.len());
+    for (k, v) in doc.iter() {
+        if k == "_id" {
+            // Engine-assigned ids differ run to run; drop them.
+            continue;
+        }
+        out.set(k.clone(), round_value(v));
+    }
+    out
+}
+
+fn round_value(v: &Value) -> Value {
+    match v {
+        Value::Double(d) => Value::Double((d * 1e6).round() / 1e6),
+        Value::Document(d) => Value::Document(rounded(d)),
+        Value::Array(items) => Value::Array(items.iter().map(round_value).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Asserts two result sets are equivalent as multisets of rounded
+/// documents, reporting the first difference.
+pub fn assert_results_equivalent(label: &str, a: &[Document], b: &[Document]) {
+    let mut ra: Vec<Document> = a.iter().map(rounded).collect();
+    let mut rb: Vec<Document> = b.iter().map(rounded).collect();
+    let key = |d: &Document| doclite::bson::json::to_json(d);
+    ra.sort_by_key(&key);
+    rb.sort_by_key(&key);
+    assert_eq!(ra.len(), rb.len(), "{label}: result counts differ");
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        assert_eq!(x, y, "{label}: result documents differ");
+    }
+}

