@@ -1,0 +1,88 @@
+//! Aggregation-executor baseline: times the legacy materializing
+//! executor against the streaming executor on the Q7-shaped micro
+//! pipeline, measures the router's scatter-gather transfer for a
+//! sorted+limited broadcast find, and writes the numbers to
+//! `reports/BENCH_agg.json` so future changes have a perf trajectory.
+//!
+//! Run with `cargo run --release -p doclite-bench --bin bench_agg`.
+
+use doclite_bson::doc;
+use doclite_docstore::{
+    Accumulator, Collection, ExecMode, Expr, Filter, FindOptions, GroupId, IndexDef, Pipeline,
+};
+use doclite_sharding::{NetworkModel, ShardKey, ShardedCluster};
+use std::time::Instant;
+
+/// Best-of-n wall time in seconds (the thesis reports best-of-5 with
+/// warm caches; so do we).
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    // --- executor comparison on the Q7-shaped pipeline -------------
+    let coll = Collection::new("bench");
+    coll.insert_many((0..50_000i64).map(|i| {
+        doc! {"_id" => i, "k" => i, "grp" => i % 100, "v" => (i * 7 % 1000) as f64}
+    }))
+    .expect("insert");
+    coll.create_index(IndexDef::single("grp")).expect("index");
+    let p = Pipeline::new()
+        .match_stage(Filter::eq("grp", 42i64))
+        .group(
+            GroupId::Expr(Expr::field("k")),
+            [("avg_v", Accumulator::avg_field("v")), ("n", Accumulator::count())],
+        )
+        .sort([("_id", 1)])
+        .limit(100);
+    let legacy = best_of(5, || {
+        coll.aggregate_with_mode(&p, None, ExecMode::Legacy).unwrap()
+    });
+    let streaming = best_of(5, || {
+        coll.aggregate_with_mode(&p, None, ExecMode::Streaming).unwrap()
+    });
+    let speedup = legacy / streaming;
+
+    // --- router transfer for a sorted+limited broadcast find -------
+    let cluster = ShardedCluster::new(3, "bench", NetworkModel::free());
+    cluster
+        .shard_collection("facts", ShardKey::hashed("k"), 64 * 1024)
+        .expect("shard");
+    cluster
+        .router()
+        .insert_many(
+            "facts",
+            (0..3000i64).map(|i| doc! {"k" => i, "v" => i, "pad" => "x".repeat(200)}),
+        )
+        .expect("load");
+    let collection_bytes = cluster.router().collection_data_size("facts");
+    cluster.router().net_stats().reset();
+    let opts = FindOptions {
+        sort: vec![("v".into(), 1)],
+        limit: 10,
+        ..FindOptions::default()
+    };
+    let docs = cluster.router().find_with("facts", &Filter::True, &opts);
+    assert_eq!(docs.len(), 10);
+    let transferred = cluster.router().net_stats().bytes() as usize;
+
+    let json = format!(
+        "{{\n  \"agg_q7_shape_50k\": {{\n    \"legacy_s\": {legacy:.6},\n    \
+         \"streaming_s\": {streaming:.6},\n    \"speedup\": {speedup:.2}\n  }},\n  \
+         \"router_sorted_limited_find\": {{\n    \"limit\": 10,\n    \
+         \"bytes_transferred\": {transferred},\n    \
+         \"collection_bytes\": {collection_bytes},\n    \
+         \"fraction\": {:.6}\n  }}\n}}\n",
+        transferred as f64 / collection_bytes as f64
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../reports/BENCH_agg.json");
+    std::fs::write(path, &json).expect("write report");
+    println!("{json}");
+    println!("wrote {path}");
+}

@@ -151,6 +151,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // The index walks columns across several rows at once; iterator
+    // zips would obscure the row/column structure.
+    #[allow(clippy::needless_range_loop)]
     fn paper_constants_have_expected_shape() {
         // The paper's own data satisfies its own observations.
         for q in 0..4 {

@@ -338,7 +338,7 @@ mod tests {
     #[test]
     fn array_keys_are_decimal_indices() {
         // An array of 11 elements exercises multi-digit index keys.
-        let items: Vec<Value> = (0..11).map(|i| Value::Int32(i)).collect();
+        let items: Vec<Value> = (0..11).map(Value::Int32).collect();
         let d = doc! {"xs" => Value::Array(items)};
         let bytes = encode_document(&d);
         assert_eq!(encoded_size(&d), bytes.len());

@@ -76,7 +76,9 @@ pub fn filter_dim_pks(store: &dyn Store, dim: &str, filter: &Filter, pk: &str) -
     store
         .find_with(dim, filter, &FindOptions::new().include(pk))
         .into_iter()
-        .filter_map(|d| d.get(pk).cloned())
+        // The projected documents are owned; move the key out rather
+        // than cloning it.
+        .filter_map(|mut d| d.remove(pk))
         .collect()
 }
 

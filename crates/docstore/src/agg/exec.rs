@@ -168,7 +168,7 @@ fn unwind(docs: Vec<Document>, path: &str) -> Vec<Document> {
     out
 }
 
-fn project(doc: &Document, fields: &[(String, ProjectField)]) -> Result<Document> {
+pub(crate) fn project(doc: &Document, fields: &[(String, ProjectField)]) -> Result<Document> {
     let inclusion = fields
         .iter()
         .any(|(k, f)| !matches!(f, ProjectField::Exclude) && k != "_id");

@@ -1,0 +1,480 @@
+//! Streaming pipeline execution.
+//!
+//! The materializing executor in [`super::exec`] collects the full output
+//! of every stage into a `Vec<Document>` before the next stage runs, so a
+//! pipeline like `$match → $group` clones every matching document once
+//! per stage boundary. This module executes the same stages as fused
+//! iterator adapters over a [`DocStream`]: documents flow one at a time,
+//! stage prefixes like `$match`/`$project`/`$skip`/`$limit` never
+//! materialize anything, and — crucially — documents start as *borrowed*
+//! references into collection storage and are only cloned at the first
+//! stage that must produce new documents (`$project`, `$unwind`,
+//! `$sort`'s surviving window, final materialization). A selective
+//! `$match` therefore never clones the documents it rejects.
+//!
+//! `$sort` additionally fuses any directly following `$skip`/`$limit`
+//! stages into a window `[start, end)` and clones only the documents
+//! inside that window — the classic top-k optimization the sharded
+//! router relies on for shard-side sort/limit pushdown.
+//!
+//! The old executor stays available behind [`ExecMode`] for equivalence
+//! testing and for the ablation benchmarks.
+
+use super::accum::AccState;
+use super::exec::{project, LookupSource};
+use super::expr::Expr;
+use super::stage::{GroupId, Stage};
+use crate::error::{Error, Result};
+use crate::ordvalue::OrdValue;
+use crate::query::matcher::{compile, matches_compiled};
+use doclite_bson::{Document, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
+
+/// Which aggregation executor a collection uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Fused iterator execution with planner pushdown of the leading
+    /// `$match` run (the default).
+    #[default]
+    Streaming,
+    /// The original materializing executor: clone out the whole
+    /// collection, then run every stage over owned `Vec<Document>`s.
+    /// Kept for equivalence testing and ablation benchmarks.
+    Legacy,
+}
+
+static DEFAULT_MODE: AtomicU8 = AtomicU8::new(0); // 0 = Streaming, 1 = Legacy
+
+/// Sets the process-wide default [`ExecMode`] (used by ablations).
+pub fn set_default_exec_mode(mode: ExecMode) {
+    let v = match mode {
+        ExecMode::Streaming => 0,
+        ExecMode::Legacy => 1,
+    };
+    DEFAULT_MODE.store(v, AtomicOrdering::Relaxed);
+}
+
+/// The current process-wide default [`ExecMode`].
+pub fn default_exec_mode() -> ExecMode {
+    match DEFAULT_MODE.load(AtomicOrdering::Relaxed) {
+        1 => ExecMode::Legacy,
+        _ => ExecMode::Streaming,
+    }
+}
+
+/// A stream of documents flowing through the pipeline. Documents start
+/// borrowed from collection storage and are promoted to owned by the
+/// first stage that has to rewrite them.
+pub enum DocStream<'a> {
+    /// References into collection storage (or any caller-held slice).
+    Borrowed(Box<dyn Iterator<Item = &'a Document> + 'a>),
+    /// Documents produced by a rewriting stage; errors flow inline so a
+    /// failing expression surfaces no matter where it occurs.
+    Owned(Box<dyn Iterator<Item = Result<Document>> + 'a>),
+}
+
+impl<'a> DocStream<'a> {
+    /// A stream borrowing from a slice.
+    pub fn from_slice(docs: &'a [Document]) -> Self {
+        DocStream::Borrowed(Box::new(docs.iter()))
+    }
+
+    /// A stream owning its documents.
+    pub fn from_vec(docs: Vec<Document>) -> Self {
+        DocStream::Owned(Box::new(docs.into_iter().map(Ok)))
+    }
+}
+
+/// The sort key of `doc` under `spec` (missing paths key as `Null`,
+/// matching [`super::exec::sort_documents`]). Shared with the sharded
+/// router's streaming merge.
+pub fn sort_keys(doc: &Document, spec: &[(String, i32)]) -> Vec<Value> {
+    spec.iter().map(|(p, _)| doc.get_path(p).unwrap_or(Value::Null)).collect()
+}
+
+/// Compares two keys produced by [`sort_keys`] under the spec's
+/// directions.
+pub fn compare_sort_keys(a: &[Value], b: &[Value], spec: &[(String, i32)]) -> Ordering {
+    for ((va, vb), (_, dir)) in a.iter().zip(b).zip(spec) {
+        let mut ord = va.canonical_cmp(vb);
+        if *dir < 0 {
+            ord = ord.reverse();
+        }
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Runs the stages (excluding any trailing `$out`) over owned input with
+/// the streaming executor. Entry point for callers that already hold
+/// materialized documents (the router's merge step, equivalence tests).
+pub fn execute_streaming(
+    docs: Vec<Document>,
+    stages: &[Stage],
+    source: Option<&dyn LookupSource>,
+) -> Result<Vec<Document>> {
+    run_streaming(DocStream::from_vec(docs), stages, source)
+}
+
+/// Drives a [`DocStream`] through the stages and materializes the final
+/// result. `$out` stages pass through untouched (the database layer
+/// materializes them), mirroring the legacy executor.
+pub fn run_streaming<'a>(
+    mut docs: DocStream<'a>,
+    stages: &'a [Stage],
+    source: Option<&'a dyn LookupSource>,
+) -> Result<Vec<Document>> {
+    let mut i = 0;
+    while i < stages.len() {
+        let stage = &stages[i];
+        i += 1;
+        docs = match stage {
+            Stage::Match(filter) => {
+                let c = compile(filter);
+                match docs {
+                    DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(
+                        it.filter(move |d| matches_compiled(&c, d)),
+                    )),
+                    DocStream::Owned(it) => DocStream::Owned(Box::new(it.filter(move |r| {
+                        r.as_ref().map_or(true, |d| matches_compiled(&c, d))
+                    }))),
+                }
+            }
+            Stage::Skip(n) => match docs {
+                DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(it.skip(*n))),
+                DocStream::Owned(it) => DocStream::Owned(Box::new(it.skip(*n))),
+            },
+            Stage::Limit(n) => match docs {
+                DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(it.take(*n))),
+                DocStream::Owned(it) => DocStream::Owned(Box::new(it.take(*n))),
+            },
+            Stage::Project(fields) => match docs {
+                DocStream::Borrowed(it) => {
+                    DocStream::Owned(Box::new(it.map(move |d| project(d, fields))))
+                }
+                DocStream::Owned(it) => DocStream::Owned(Box::new(
+                    it.map(move |r| r.and_then(|d| project(&d, fields))),
+                )),
+            },
+            Stage::Unwind(path) => {
+                let path = path.strip_prefix('$').unwrap_or(path);
+                match docs {
+                    DocStream::Borrowed(it) => DocStream::Owned(Box::new(
+                        it.flat_map(move |d| unwind_parts(d, path).into_iter().map(Ok)),
+                    )),
+                    DocStream::Owned(it) => {
+                        DocStream::Owned(Box::new(it.flat_map(move |r| match r {
+                            Ok(d) => unwind_parts(&d, path).into_iter().map(Ok).collect(),
+                            Err(e) => vec![Err(e)],
+                        })))
+                    }
+                }
+            }
+            Stage::Lookup { from, local_field, foreign_field, as_field } => {
+                let Some(source) = source else {
+                    return Err(Error::InvalidQuery(
+                        "$lookup requires a database context (use Database::aggregate)".into(),
+                    ));
+                };
+                let foreign = source.collection_docs(from).unwrap_or_default();
+                let mut by_key: HashMap<OrdValue, Vec<Document>> = HashMap::new();
+                for f in foreign {
+                    let key = OrdValue(f.get_path(foreign_field).unwrap_or(Value::Null));
+                    by_key.entry(key).or_default().push(f);
+                }
+                let attach = move |mut d: Document| -> Document {
+                    let local = d.get_path(local_field).unwrap_or(Value::Null);
+                    let matches: Vec<Value> = match &local {
+                        Value::Array(items) => items
+                            .iter()
+                            .flat_map(|item| {
+                                by_key.get(&OrdValue(item.clone())).into_iter().flatten()
+                            })
+                            .map(|m| Value::Document(m.clone()))
+                            .collect(),
+                        v => by_key
+                            .get(&OrdValue(v.clone()))
+                            .into_iter()
+                            .flatten()
+                            .map(|m| Value::Document(m.clone()))
+                            .collect(),
+                    };
+                    d.set(as_field, Value::Array(matches));
+                    d
+                };
+                match docs {
+                    DocStream::Borrowed(it) => {
+                        DocStream::Owned(Box::new(it.map(move |d| Ok(attach(d.clone())))))
+                    }
+                    DocStream::Owned(it) => {
+                        DocStream::Owned(Box::new(it.map(move |r| r.map(&attach))))
+                    }
+                }
+            }
+            Stage::Sort(spec) => {
+                // Fuse directly following $skip/$limit stages into a
+                // window [start, end): only window survivors get cloned.
+                let mut start = 0usize;
+                let mut end = usize::MAX;
+                while i < stages.len() {
+                    match &stages[i] {
+                        Stage::Skip(m) => start = start.saturating_add(*m),
+                        Stage::Limit(n) => end = end.min(start.saturating_add(*n)),
+                        _ => break,
+                    }
+                    i += 1;
+                }
+                sort_window(docs, spec, start, end)?
+            }
+            Stage::Group { id, fields } => {
+                let id_expr = match id {
+                    GroupId::Null => Expr::Literal(Value::Null),
+                    GroupId::Expr(e) => e.clone(),
+                };
+                let mut order: Vec<OrdValue> = Vec::new();
+                let mut groups: HashMap<OrdValue, Vec<AccState>> = HashMap::new();
+                let mut feed = |doc: &Document| -> Result<()> {
+                    let key = OrdValue(id_expr.eval(doc)?);
+                    let states = match groups.get_mut(&key) {
+                        Some(s) => s,
+                        None => {
+                            order.push(key.clone());
+                            groups.entry(key).or_insert_with(|| {
+                                fields.iter().map(|(_, a)| AccState::new(a)).collect()
+                            })
+                        }
+                    };
+                    for (state, (_, spec)) in states.iter_mut().zip(fields.iter()) {
+                        state.accumulate(spec, doc)?;
+                    }
+                    Ok(())
+                };
+                match docs {
+                    DocStream::Borrowed(it) => {
+                        for d in it {
+                            feed(d)?;
+                        }
+                    }
+                    DocStream::Owned(it) => {
+                        for r in it {
+                            feed(&r?)?;
+                        }
+                    }
+                }
+                let mut out = Vec::with_capacity(order.len());
+                for key in order {
+                    let states = groups.remove(&key).expect("key recorded in order");
+                    let mut d = Document::with_capacity(fields.len() + 1);
+                    d.set("_id", key.into_value());
+                    for (state, (name, _)) in states.into_iter().zip(fields.iter()) {
+                        d.set(name.clone(), state.finish());
+                    }
+                    out.push(d);
+                }
+                DocStream::from_vec(out)
+            }
+            Stage::Count(name) => {
+                let n = match docs {
+                    DocStream::Borrowed(it) => it.count(),
+                    DocStream::Owned(it) => {
+                        let mut n = 0usize;
+                        for r in it {
+                            r?;
+                            n += 1;
+                        }
+                        n
+                    }
+                };
+                let mut d = Document::new();
+                d.set(name.clone(), Value::Int64(n as i64));
+                DocStream::from_vec(vec![d])
+            }
+            Stage::Out(_) => docs, // materialization happens in the caller
+        };
+    }
+    match docs {
+        DocStream::Borrowed(it) => Ok(it.cloned().collect()),
+        DocStream::Owned(it) => it.collect(),
+    }
+}
+
+/// `$sort` with a fused `[start, end)` window: keys are extracted once
+/// per document, references (or already-owned documents) are sorted
+/// stably by `(key, input position)`, and only window survivors are
+/// cloned. Identical ordering to [`super::exec::sort_documents`].
+fn sort_window<'a>(
+    docs: DocStream<'a>,
+    spec: &[(String, i32)],
+    start: usize,
+    end: usize,
+) -> Result<DocStream<'a>> {
+    let out: Vec<Document> = match docs {
+        DocStream::Borrowed(it) => {
+            let mut keyed: Vec<(Vec<Value>, usize, &Document)> = it
+                .enumerate()
+                .map(|(i, d)| (sort_keys(d, spec), i, d))
+                .collect();
+            keyed.sort_unstable_by(|a, b| {
+                compare_sort_keys(&a.0, &b.0, spec).then(a.1.cmp(&b.1))
+            });
+            let lo = start.min(keyed.len());
+            let hi = end.min(keyed.len());
+            keyed[lo..hi].iter().map(|(_, _, d)| (*d).clone()).collect()
+        }
+        DocStream::Owned(it) => {
+            let docs: Vec<Document> = it.collect::<Result<_>>()?;
+            let mut keyed: Vec<(Vec<Value>, usize, Document)> = docs
+                .into_iter()
+                .enumerate()
+                .map(|(i, d)| (sort_keys(&d, spec), i, d))
+                .collect();
+            keyed.sort_unstable_by(|a, b| {
+                compare_sort_keys(&a.0, &b.0, spec).then(a.1.cmp(&b.1))
+            });
+            let lo = start.min(keyed.len());
+            let hi = end.min(keyed.len());
+            keyed
+                .drain(lo..hi)
+                .map(|(_, _, d)| d)
+                .collect()
+        }
+    };
+    Ok(DocStream::from_vec(out))
+}
+
+/// One document's `$unwind` expansion (MongoDB 3.0 semantics: arrays
+/// expand per element, missing/null/empty drop the document, a scalar
+/// passes through unchanged).
+fn unwind_parts(doc: &Document, path: &str) -> Vec<Document> {
+    match doc.get_path(path) {
+        Some(Value::Array(items)) => items
+            .into_iter()
+            .map(|item| {
+                let mut clone = doc.clone();
+                clone.set_path(path, item);
+                clone
+            })
+            .collect(),
+        Some(Value::Null) | None => Vec::new(),
+        Some(_) => vec![doc.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::accum::Accumulator;
+    use crate::agg::exec;
+    use crate::agg::stage::Pipeline;
+    use crate::query::filter::Filter;
+    use doclite_bson::{array, doc};
+
+    fn input() -> Vec<Document> {
+        (0..40)
+            .map(|i| {
+                doc! {
+                    "_id" => i as i64,
+                    "grp" => (i % 4) as i64,
+                    "v" => ((i * 7) % 11) as i64,
+                    "tags" => array![(i % 3) as i64, "t"]
+                }
+            })
+            .collect()
+    }
+
+    fn both(p: &Pipeline) -> (Vec<Document>, Vec<Document>) {
+        let legacy = exec::execute(input(), p.stages()).unwrap();
+        let streaming = execute_streaming(input(), p.stages(), None).unwrap();
+        (legacy, streaming)
+    }
+
+    #[test]
+    fn match_project_limit_matches_legacy() {
+        let p = Pipeline::new()
+            .match_stage(Filter::lt("v", 6i64))
+            .project([("v", crate::agg::ProjectField::Include)])
+            .skip(2)
+            .limit(5);
+        let (l, s) = both(&p);
+        assert_eq!(l, s);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn sort_window_fusion_matches_legacy_sequence() {
+        for (skip, limit) in [(0, 3), (2, 4), (5, 100), (0, 0)] {
+            let p = Pipeline::new().sort([("v", -1), ("_id", 1)]).skip(skip).limit(limit);
+            let (l, s) = both(&p);
+            assert_eq!(l, s, "skip={skip} limit={limit}");
+        }
+        // skip/limit/skip chains compose the same window.
+        let p = Pipeline::new().sort([("v", 1)]).skip(1).limit(10).skip(2);
+        let (l, s) = both(&p);
+        assert_eq!(l, s);
+    }
+
+    #[test]
+    fn sort_is_stable_like_legacy() {
+        let p = Pipeline::new().sort([("grp", 1)]);
+        let (l, s) = both(&p);
+        assert_eq!(l, s);
+    }
+
+    #[test]
+    fn group_and_count_match_legacy() {
+        let p = Pipeline::new()
+            .match_stage(Filter::gte("v", 3i64))
+            .group(
+                GroupId::Expr(Expr::field("grp")),
+                [("n", Accumulator::count()), ("sum", Accumulator::sum_field("v"))],
+            )
+            .sort([("_id", 1)]);
+        let (l, s) = both(&p);
+        assert_eq!(l, s);
+
+        let p = Pipeline::new().match_stage(Filter::eq("grp", 2i64)).count("n");
+        let (l, s) = both(&p);
+        assert_eq!(l, s);
+    }
+
+    #[test]
+    fn unwind_matches_legacy() {
+        let p = Pipeline::new().unwind("$tags").match_stage(Filter::eq("tags", 1i64));
+        let (l, s) = both(&p);
+        assert_eq!(l, s);
+    }
+
+    #[test]
+    fn group_on_empty_input_yields_nothing() {
+        let out = execute_streaming(
+            vec![],
+            Pipeline::new().group(GroupId::Null, [("n", Accumulator::count())]).stages(),
+            None,
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn lookup_requires_source() {
+        let err = execute_streaming(
+            input(),
+            Pipeline::new().lookup("other", "grp", "k", "xs").stages(),
+            None,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn exec_mode_default_round_trips() {
+        assert_eq!(default_exec_mode(), ExecMode::Streaming);
+        set_default_exec_mode(ExecMode::Legacy);
+        assert_eq!(default_exec_mode(), ExecMode::Legacy);
+        set_default_exec_mode(ExecMode::Streaming);
+        assert_eq!(default_exec_mode(), ExecMode::Streaming);
+    }
+}

@@ -1,10 +1,10 @@
 //! Collections: the unit of storage, indexing, and querying.
 
-use crate::agg::{exec, Pipeline, Stage};
+use crate::agg::{exec, stream, ExecMode, Pipeline, Stage};
 use crate::error::{Error, Result};
 use crate::index::{extract_keys, Index, IndexDef, IndexKind, SortOrder};
 use crate::query::filter::Filter;
-use crate::query::matcher::{compile, matches_compiled};
+use crate::query::matcher::{compile, matches_compiled, CompiledFilter};
 use crate::query::planner::{plan, Plan, PlanKind};
 use crate::storage::{DocId, Slab};
 use crate::update::{apply_update, upsert_seed, UpdateResult, UpdateSpec};
@@ -122,12 +122,11 @@ impl Collection {
     /// Average encoded document size in bytes (0 if empty).
     pub fn avg_doc_size(&self) -> usize {
         let inner = self.inner.read();
-        let n = inner.slab.len();
-        if n == 0 {
-            0
-        } else {
-            inner.slab.data_size() / n
-        }
+        inner
+            .slab
+            .data_size()
+            .checked_div(inner.slab.len())
+            .unwrap_or(0)
     }
 
     /// Inserts one document, assigning an ObjectId `_id` if absent.
@@ -176,10 +175,13 @@ impl Collection {
                 }
             }
         }
-        let id = inner.slab.insert(doc);
-        let doc_ref = inner.slab.get(id).expect("just inserted").clone();
-        for idx in &mut inner.indexes {
-            idx.insert(id, &doc_ref)
+        // Split-borrow so the indexes can read the stored document in
+        // place instead of cloning it for backfill.
+        let Inner { slab, indexes } = inner;
+        let id = slab.insert(doc);
+        let doc_ref = slab.get(id).expect("just inserted");
+        for idx in indexes.iter_mut() {
+            idx.insert(id, doc_ref)
                 .expect("uniqueness pre-validated");
         }
         Ok(())
@@ -272,31 +274,59 @@ impl Collection {
 
     /// Finds with sort/skip/limit/projection.
     pub fn find_with(&self, filter: &Filter, opts: &FindOptions) -> Vec<Document> {
+        self.find_with_shared(filter, &compile(filter), opts)
+    }
+
+    /// [`Collection::find_with`] with a caller-compiled filter, so hot
+    /// paths that evaluate the same filter repeatedly (the sharded
+    /// router's scatter legs) compile it once. Matching candidates are
+    /// sorted and windowed as *references*; only the documents of the
+    /// final page are cloned (or projected directly from storage).
+    pub fn find_with_shared(
+        &self,
+        filter: &Filter,
+        compiled: &CompiledFilter,
+        opts: &FindOptions,
+    ) -> Vec<Document> {
         let inner = self.inner.read();
         let plan = plan(filter, &inner.indexes);
-        let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
-        let mut out: Vec<Document> = ids
+        let mut matched: Vec<&Document> = ids
             .into_iter()
             .filter_map(|id| inner.slab.get(id))
-            .filter(|d| matches_compiled(&compiled, d))
-            .cloned()
+            .filter(|d| matches_compiled(compiled, d))
             .collect();
-        drop(inner);
 
         if !opts.sort.is_empty() {
-            exec::sort_documents(&mut out, &opts.sort);
+            // Stable sort over references: identical ordering (including
+            // ties) to sorting the cloned documents, without the clones.
+            matched.sort_by(|a, b| {
+                for (path, dir) in &opts.sort {
+                    let va = a.get_path(path).unwrap_or(Value::Null);
+                    let vb = b.get_path(path).unwrap_or(Value::Null);
+                    let mut ord = va.canonical_cmp(&vb);
+                    if *dir < 0 {
+                        ord = ord.reverse();
+                    }
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
         }
-        if opts.skip > 0 {
-            out.drain(..opts.skip.min(out.len()));
+        let lo = opts.skip.min(matched.len());
+        let hi = if opts.limit > 0 {
+            opts.skip.saturating_add(opts.limit).min(matched.len())
+        } else {
+            matched.len()
+        };
+        let page = &matched[lo..hi];
+        if opts.projection.is_empty() {
+            page.iter().map(|d| (*d).clone()).collect()
+        } else {
+            page.iter().map(|d| project_paths(d, &opts.projection)).collect()
         }
-        if opts.limit > 0 {
-            out.truncate(opts.limit);
-        }
-        if !opts.projection.is_empty() {
-            out = out.iter().map(|d| project_paths(d, &opts.projection)).collect();
-        }
-        out
     }
 
     /// Finds the first matching document.
@@ -429,39 +459,76 @@ impl Collection {
     }
 
     /// [`Collection::aggregate`] with a `$lookup` resolver (the database
-    /// that owns the foreign collections).
+    /// that owns the foreign collections). Dispatches on the process-wide
+    /// default [`ExecMode`].
     pub fn aggregate_with(
         &self,
         pipeline: &Pipeline,
         source: Option<&dyn exec::LookupSource>,
+    ) -> Result<Vec<Document>> {
+        self.aggregate_with_mode(pipeline, source, stream::default_exec_mode())
+    }
+
+    /// [`Collection::aggregate_with`] with an explicit executor choice.
+    ///
+    /// `Legacy` is the original materializing path: clone out every
+    /// document, then run each stage over owned `Vec<Document>`s.
+    /// `Streaming` fuses the stages over an iterator of borrowed
+    /// documents, with the whole leading `$match` run ANDed together and
+    /// served through the query planner, so a selective indexed match
+    /// touches (and clones) only the documents that survive.
+    pub fn aggregate_with_mode(
+        &self,
+        pipeline: &Pipeline,
+        source: Option<&dyn exec::LookupSource>,
+        mode: ExecMode,
     ) -> Result<Vec<Document>> {
         let stages = pipeline.stages();
         let body: &[Stage] = match stages.last() {
             Some(Stage::Out(_)) => &stages[..stages.len() - 1],
             _ => stages,
         };
+        match mode {
+            ExecMode::Legacy => exec::execute_with(self.all_docs(), body, source),
+            ExecMode::Streaming => self.aggregate_streaming(body, source),
+        }
+    }
+
+    fn aggregate_streaming(
+        &self,
+        body: &[Stage],
+        source: Option<&dyn exec::LookupSource>,
+    ) -> Result<Vec<Document>> {
+        // Push the whole leading $match run through the planner as one
+        // conjunction (MongoDB's optimizer coalesces adjacent $matches
+        // the same way). The residual filter is always re-applied, so
+        // this is safe for any filter shape.
+        let n_match = body.iter().take_while(|s| matches!(s, Stage::Match(_))).count();
+        let rest = &body[n_match..];
+        let filter = Filter::and(body[..n_match].iter().map(|s| match s {
+            Stage::Match(f) => f.clone(),
+            _ => unreachable!("prefix is all $match"),
+        }));
 
         let inner = self.inner.read();
-        let (docs_in, rest): (Vec<Document>, &[Stage]) = match body.first() {
-            Some(Stage::Match(filter)) => {
-                let plan = plan(filter, &inner.indexes);
-                let compiled = compile(filter);
-                let ids = Self::fetch_candidates(&inner, &plan);
-                let docs = ids
-                    .into_iter()
-                    .filter_map(|id| inner.slab.get(id))
-                    .filter(|d| matches_compiled(&compiled, d))
-                    .cloned()
-                    .collect();
-                (docs, &body[1..])
-            }
-            _ => (
-                inner.slab.iter().map(|(_, d)| d.clone()).collect(),
-                body,
-            ),
-        };
-        drop(inner);
-        exec::execute_with(docs_in, rest, source)
+        let plan = plan(&filter, &inner.indexes);
+        let compiled = compile(&filter);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        let matched = ids
+            .into_iter()
+            .filter_map(|id| inner.slab.get(id))
+            .filter(move |d| matches_compiled(&compiled, d));
+
+        if rest.iter().any(|s| matches!(s, Stage::Lookup { .. })) {
+            // $lookup resolves foreign collections through the database,
+            // which may recurse into this collection; materialize the
+            // (already filtered) input and release the lock first.
+            let docs: Vec<Document> = matched.cloned().collect();
+            drop(inner);
+            stream::execute_streaming(docs, rest, source)
+        } else {
+            stream::run_streaming(stream::DocStream::Borrowed(Box::new(matched)), rest, source)
+        }
     }
 
     /// Visits every document without cloning (shared lock held for the
@@ -480,7 +547,11 @@ impl Collection {
     }
 }
 
-fn project_paths(doc: &Document, paths: &[String]) -> Document {
+/// Projects a document down to `_id` plus the listed paths — the
+/// `find`-style inclusion projection. Shared with the sharded router,
+/// which applies it after merging when the projection cannot be pushed
+/// to the shards.
+pub fn project_paths(doc: &Document, paths: &[String]) -> Document {
     let mut out = Document::new();
     if let Some(id) = doc.id() {
         out.set("_id", id.clone());

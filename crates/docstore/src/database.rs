@@ -75,15 +75,18 @@ impl Database {
 
     /// Runs an aggregation on a collection; a trailing `$out` stage
     /// replaces the target collection with the results (MongoDB `$out`
-    /// semantics) and the results are also returned.
+    /// semantics) and the materialized documents are also returned.
     pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
         let source = self.get_collection(collection)?;
         let results = source.aggregate_with(pipeline, Some(self))?;
         if let Some(Stage::Out(target)) = pipeline.stages().last() {
             self.drop_collection(target);
             let out = self.collection(target);
-            out.insert_many(results.iter().cloned())
-                .map_err(|(_, e)| e)?;
+            // Move the result set into the target collection instead of
+            // cloning every document on the way in; the returned
+            // documents are re-read from the store.
+            out.insert_many(results).map_err(|(_, e)| e)?;
+            return Ok(out.all_docs());
         }
         Ok(results)
     }

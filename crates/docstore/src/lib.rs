@@ -36,13 +36,16 @@ pub mod query;
 pub mod storage;
 pub mod update;
 
-pub use agg::{Accumulator, Expr, GroupId, Pipeline, ProjectField, Stage};
-pub use collection::{Collection, Explain, FindOptions};
+pub use agg::{
+    default_exec_mode, set_default_exec_mode, Accumulator, ExecMode, Expr, GroupId, Pipeline,
+    ProjectField, Stage,
+};
+pub use collection::{project_paths, Collection, Explain, FindOptions};
 pub use database::Database;
 pub use dump::{dump_collection, dump_database, restore_collection, restore_database, DumpReader};
 pub use error::{Error, Result};
 pub use index::{IndexDef, IndexKind, SortOrder};
 pub use ordvalue::{CompoundKey, OrdValue};
-pub use query::{CmpOp, Filter};
+pub use query::{compile, matches_compiled, CmpOp, CompiledFilter, Filter};
 pub use storage::DocId;
 pub use update::{UpdateOp, UpdateResult, UpdateSpec};

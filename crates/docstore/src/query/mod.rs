@@ -6,5 +6,5 @@ pub mod matcher;
 pub mod planner;
 
 pub use filter::{CmpOp, Filter};
-pub use matcher::matches;
+pub use matcher::{compile, matches, matches_compiled, CompiledFilter};
 pub use planner::{conjunctive_constraints, plan, PathConstraint, Plan, PlanKind};

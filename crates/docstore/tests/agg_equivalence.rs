@@ -1,0 +1,208 @@
+//! Property tests: the streaming executor agrees with the legacy
+//! materializing executor on generated pipelines.
+//!
+//! Two levels:
+//!
+//! * **Function level** — `exec::execute` vs `stream::execute_streaming`
+//!   over the same owned input must agree *exactly*, order included:
+//!   both define the pipeline semantics over a fixed input order.
+//! * **Collection level** — `aggregate_with_mode(Legacy)` vs
+//!   `(Streaming)` must agree as *multisets*: the streaming path feeds
+//!   the executor in planner candidate order, which for an index-backed
+//!   `$match` is index order rather than slot order, so pipelines
+//!   without an order-sensitive window may permute the output. Windowed
+//!   stages (`$skip`/`$limit`) are exercised at the collection level
+//!   only behind a full-key `$sort` that makes the order total.
+
+use doclite_bson::{doc, json::to_json, Document, Value};
+use doclite_docstore::agg::{exec, execute_streaming};
+use doclite_docstore::{
+    Accumulator, Database, ExecMode, Expr, Filter, GroupId, IndexDef, Pipeline, ProjectField,
+    Stage,
+};
+use proptest::prelude::*;
+
+/// Documents over a small value domain so matches, groups, and sort
+/// ties all actually collide.
+fn arb_doc() -> BoxedStrategy<Document> {
+    (
+        0..6i64,
+        0..4i64,
+        "[xyz]",
+        prop::collection::vec(0..5i64, 0..3),
+        0..4i64,
+    )
+        .prop_map(|(a, b, tag, xs, xs_kind)| {
+            let mut d = doc! {"a" => a, "b" => b, "tag" => tag};
+            match xs_kind {
+                // Array, missing, null, and scalar: the four $unwind
+                // input shapes MongoDB 3.0 distinguishes.
+                0 => d.set(
+                    "xs",
+                    Value::Array(xs.into_iter().map(Value::Int64).collect()),
+                ),
+                2 => d.set("xs", Value::Null),
+                3 => d.set("xs", Value::Int64(7)),
+                _ => {}
+            }
+            d
+        })
+        .boxed()
+}
+
+fn arb_filter() -> BoxedStrategy<Filter> {
+    prop_oneof![
+        (0..6i64).prop_map(|k| Filter::eq("a", k)),
+        (0..7i64).prop_map(|k| Filter::lt("a", k)),
+        (0..4i64).prop_map(|k| Filter::gte("b", k)),
+        Just(Filter::exists("xs")),
+        (0..6i64, 0..4i64).prop_map(|(x, y)| {
+            Filter::and([Filter::gte("a", x), Filter::lt("b", y)])
+        }),
+        (0..6i64, 0..4i64)
+            .prop_map(|(x, y)| Filter::or([Filter::eq("a", x), Filter::eq("b", y)])),
+    ]
+    .boxed()
+}
+
+fn arb_sort_spec() -> BoxedStrategy<Vec<(String, i32)>> {
+    prop_oneof![
+        Just(vec![("a".to_string(), 1)]),
+        Just(vec![("b".to_string(), -1), ("a".to_string(), 1)]),
+        Just(vec![("tag".to_string(), 1), ("a".to_string(), -1)]),
+    ]
+    .boxed()
+}
+
+fn arb_group() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        Just(GroupId::Null),
+        Just(GroupId::Expr(Expr::field("a"))),
+        Just(GroupId::Expr(Expr::field("tag"))),
+    ]
+    .prop_map(|id| Stage::Group {
+        id,
+        fields: vec![
+            ("n".to_string(), Accumulator::count()),
+            // Integer-valued accumulators: exact under any input order.
+            ("sum_b".to_string(), Accumulator::sum_field("b")),
+            ("avg_a".to_string(), Accumulator::avg_field("a")),
+        ],
+    })
+    .boxed()
+}
+
+fn arb_project() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        Just(Stage::Project(vec![
+            ("a".to_string(), ProjectField::Include),
+            ("tag".to_string(), ProjectField::Include),
+        ])),
+        Just(Stage::Project(vec![(
+            "xs".to_string(),
+            ProjectField::Exclude
+        )])),
+        Just(Stage::Project(vec![
+            ("b".to_string(), ProjectField::Include),
+            ("s".to_string(), ProjectField::Compute(Expr::field("a"))),
+        ])),
+    ]
+    .boxed()
+}
+
+/// Any stage, including the order-sensitive `$skip`/`$limit` window.
+fn arb_stage() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        arb_filter().prop_map(Stage::Match),
+        arb_project(),
+        arb_sort_spec().prop_map(Stage::Sort),
+        (0..15usize).prop_map(Stage::Limit),
+        (0..8usize).prop_map(Stage::Skip),
+        Just(Stage::Unwind("xs".to_string())),
+        Just(Stage::Unwind("$xs".to_string())),
+        Just(Stage::Count("n".to_string())),
+        arb_group(),
+    ]
+    .boxed()
+}
+
+/// Stages whose output is order-insensitive as a multiset — safe to
+/// compare across executors that enumerate the collection differently.
+fn arb_order_insensitive_stage() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        arb_filter().prop_map(Stage::Match),
+        arb_project(),
+        arb_sort_spec().prop_map(Stage::Sort),
+        Just(Stage::Unwind("xs".to_string())),
+        Just(Stage::Count("n".to_string())),
+        arb_group(),
+    ]
+    .boxed()
+}
+
+fn build_pipeline(stages: &[Stage]) -> Pipeline {
+    stages
+        .iter()
+        .fold(Pipeline::new(), |p, s| p.stage(s.clone()))
+}
+
+fn multiset(docs: &[Document]) -> Vec<String> {
+    let mut v: Vec<String> = docs.iter().map(to_json).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn executors_agree_exactly_on_owned_input(
+        docs in prop::collection::vec(arb_doc(), 0..30),
+        stages in prop::collection::vec(arb_stage(), 0..5),
+    ) {
+        let legacy = exec::execute(docs.clone(), &stages).unwrap();
+        let streaming = execute_streaming(docs, &stages, None).unwrap();
+        prop_assert_eq!(legacy, streaming);
+    }
+
+    #[test]
+    fn collection_modes_agree_as_multisets(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        stages in prop::collection::vec(arb_order_insensitive_stage(), 0..4),
+    ) {
+        let db = Database::new("t");
+        let coll = db.collection("c");
+        coll.insert_many(docs).map_err(|(_, e)| e).unwrap();
+        // An index on `a` so leading $match stages take the planner's
+        // index-backed scan in streaming mode.
+        coll.create_index(IndexDef::single("a")).unwrap();
+        let p = build_pipeline(&stages);
+        let legacy = coll.aggregate_with_mode(&p, None, ExecMode::Legacy).unwrap();
+        let streaming = coll.aggregate_with_mode(&p, None, ExecMode::Streaming).unwrap();
+        prop_assert_eq!(multiset(&legacy), multiset(&streaming));
+    }
+
+    #[test]
+    fn collection_modes_agree_exactly_under_total_sort(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        filter in arb_filter(),
+        skip in 0..6usize,
+        limit in 1..12usize,
+    ) {
+        let db = Database::new("t");
+        let coll = db.collection("c");
+        coll.insert_many(docs).map_err(|(_, e)| e).unwrap();
+        coll.create_index(IndexDef::single("a")).unwrap();
+        // Sorting by (a, _id) totally orders the documents, so the
+        // window selects the same documents whichever order the
+        // executor enumerated the collection in.
+        let p = Pipeline::new()
+            .match_stage(filter)
+            .sort([("a", 1), ("_id", 1)])
+            .skip(skip)
+            .limit(limit);
+        let legacy = coll.aggregate_with_mode(&p, None, ExecMode::Legacy).unwrap();
+        let streaming = coll.aggregate_with_mode(&p, None, ExecMode::Streaming).unwrap();
+        prop_assert_eq!(legacy, streaming);
+    }
+}

@@ -8,10 +8,10 @@ use crate::network::{NetStats, NetworkModel};
 use crate::shard::Shard;
 use crate::targeting::{target, Targeting};
 use doclite_bson::{codec::encoded_size, Document};
-use doclite_docstore::agg::exec;
+use doclite_docstore::agg::stream;
 use doclite_docstore::{
-    CompoundKey, Error, Filter, FindOptions, IndexDef, Pipeline, Result, Stage, UpdateResult,
-    UpdateSpec,
+    compile, project_paths, CompoundKey, Error, Filter, FindOptions, IndexDef, Pipeline, Result,
+    Stage, UpdateResult, UpdateSpec,
 };
 use std::sync::Arc;
 
@@ -147,7 +147,7 @@ impl Mongos {
         for doc in docs {
             pending_bytes += self.insert_routed(collection, doc)?;
             n += 1;
-            if n % Self::WRITE_BATCH == 0 {
+            if n.is_multiple_of(Self::WRITE_BATCH) {
                 self.stats.charge(&self.network, pending_bytes);
                 pending_bytes = 0;
             }
@@ -217,8 +217,13 @@ impl Mongos {
     }
 
     /// Routes a find: targeted when the filter pins the shard key,
-    /// scatter-gather otherwise. Results from all legs are merged, then
-    /// sort/skip/limit/projection apply on the router.
+    /// scatter-gather otherwise.
+    ///
+    /// Sort, limit, and (when safe) projection are pushed to the shards:
+    /// each leg sorts locally and returns at most `skip + limit`
+    /// documents, so a sorted-and-limited broadcast transfers O(limit)
+    /// bytes per leg instead of every matching document. The router then
+    /// merges the pre-sorted legs and applies the global window.
     pub fn find_with(
         &self,
         collection: &str,
@@ -226,16 +231,56 @@ impl Mongos {
         opts: &FindOptions,
     ) -> Vec<Document> {
         let shard_ids = self.route(collection, filter);
-        let legs = self.gather(collection, filter, &shard_ids);
-        let mut docs: Vec<Document> = legs.into_iter().flatten().collect();
-        if !opts.sort.is_empty() {
-            exec::sort_documents(&mut docs, &opts.sort);
-        }
+        // Compile the filter once at the router; every leg shares it.
+        let compiled = compile(filter);
+        // A document outside the first `skip + limit` of its own shard's
+        // sorted run cannot appear in the global window either.
+        let leg_limit = if opts.limit > 0 {
+            opts.skip.saturating_add(opts.limit)
+        } else {
+            0
+        };
+        // Projection goes shard-side unless the router's merge would
+        // then be missing a sort path the projection strips.
+        let push_projection = opts.projection.is_empty()
+            || opts.sort.is_empty()
+            || opts.sort.iter().all(|(p, _)| {
+                p == "_id" || opts.projection.iter().any(|q| q == p)
+            });
+        let leg_opts = FindOptions {
+            sort: opts.sort.clone(),
+            skip: 0,
+            limit: leg_limit,
+            projection: if push_projection {
+                opts.projection.clone()
+            } else {
+                Vec::new()
+            },
+        };
+        let legs = self.scatter_legs(
+            &shard_ids,
+            |id| match self.shard(id).db().get_collection(collection) {
+                Ok(coll) => coll.find_with_shared(filter, &compiled, &leg_opts),
+                Err(_) => Vec::new(),
+            },
+            |docs| docs.iter().map(encoded_size).sum(),
+        );
+        let mut docs: Vec<Document> = if opts.sort.is_empty() {
+            legs.into_iter().flatten().collect()
+        } else {
+            merge_sorted_legs(legs, &opts.sort)
+        };
         if opts.skip > 0 {
             docs.drain(..opts.skip.min(docs.len()));
         }
         if opts.limit > 0 {
             docs.truncate(opts.limit);
+        }
+        if !push_projection {
+            docs = docs
+                .iter()
+                .map(|d| project_paths(d, &opts.projection))
+                .collect();
         }
         docs
     }
@@ -264,24 +309,21 @@ impl Mongos {
         }
     }
 
-    /// Runs `find(filter)` on each shard (parallel or sequential per
+    /// Runs one closure per shard leg (parallel or sequential per
     /// [`ScatterMode`]) and charges one network leg per shard, sized by
-    /// that shard's result payload.
-    fn gather(
-        &self,
-        collection: &str,
-        filter: &Filter,
-        shard_ids: &[ShardId],
-    ) -> Vec<Vec<Document>> {
-        let run = |id: ShardId| -> Vec<Document> {
-            match self.shard(id).db().get_collection(collection) {
-                Ok(coll) => coll.find(filter),
-                Err(_) => Vec::new(),
-            }
-        };
-        let results: Vec<Vec<Document>> = match self.scatter {
+    /// that leg's payload *after* any shard-side sort/limit/projection —
+    /// a pushed-down limit is charged for the truncated result it
+    /// actually ships, not for everything that matched.
+    fn scatter_legs<T, F, B>(&self, shard_ids: &[ShardId], run: F, bytes_of: B) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ShardId) -> T + Sync,
+        B: Fn(&T) -> usize,
+    {
+        let results: Vec<T> = match self.scatter {
             ScatterMode::Sequential => shard_ids.iter().map(|&id| run(id)).collect(),
             ScatterMode::Parallel => std::thread::scope(|s| {
+                let run = &run;
                 let handles: Vec<_> = shard_ids
                     .iter()
                     .map(|&id| s.spawn(move || run(id)))
@@ -292,10 +334,7 @@ impl Mongos {
                     .collect()
             }),
         };
-        let leg_bytes: Vec<usize> = results
-            .iter()
-            .map(|docs| docs.iter().map(encoded_size).sum())
-            .collect();
+        let leg_bytes: Vec<usize> = results.iter().map(&bytes_of).collect();
         match self.scatter {
             ScatterMode::Parallel => {
                 self.stats.charge_parallel(&self.network, &leg_bytes);
@@ -387,11 +426,14 @@ impl Mongos {
     /// collection.
     ///
     /// Mirroring MongoDB 3.0's split execution: the leading `$match`
-    /// run is pushed down to the targeted shards; the surviving documents
-    /// travel to the router, which executes the remaining stages and
-    /// materializes any `$out` target on the primary shard. This transfer
-    /// of intermediate data is precisely the "expensive process" of
-    /// aggregating from multiple nodes the thesis measures.
+    /// run is pushed down to the targeted shards — and when the
+    /// router-side stages begin with a bounded `$sort`/`$limit` window,
+    /// that sort and the combined limit travel down too, so each leg
+    /// ships at most the window's worth of documents. The surviving
+    /// documents travel to the router, which executes the remaining
+    /// stages and materializes any `$out` target on the primary shard.
+    /// This transfer of intermediate data is precisely the "expensive
+    /// process" of aggregating from multiple nodes the thesis measures.
     pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
         let stages = pipeline.stages();
         let leading: Vec<&Filter> = pipeline.leading_matches();
@@ -402,23 +444,54 @@ impl Mongos {
             _ => (rest, None),
         };
 
+        // Shard-side pipeline: the coalesced $match plus, when the
+        // remaining stages open with a finite sort/limit window, the
+        // same sort and the combined `skip + limit` bound. The router
+        // re-runs the full window over the merged legs, so each leg
+        // only ever needs its local top `skip + limit`.
+        let mut leg_pipe = Pipeline::new();
+        if !matches!(push_down, Filter::True) {
+            leg_pipe = leg_pipe.match_stage(push_down.clone());
+        }
+        if let Some(w) = shard_window(rest) {
+            if let Some(spec) = w.sort {
+                leg_pipe = leg_pipe.sort(spec.to_vec());
+            }
+            leg_pipe = leg_pipe.limit(w.end);
+        }
+
         let shard_ids = self.route(collection, &push_down);
-        let legs = self.gather(collection, &push_down, &shard_ids);
-        let merged: Vec<Document> = legs.into_iter().flatten().collect();
+        let legs = self.scatter_legs(
+            &shard_ids,
+            |id| match self.shard(id).db().get_collection(collection) {
+                Ok(coll) => coll.aggregate_with(&leg_pipe, None),
+                Err(_) => Ok(Vec::new()),
+            },
+            |leg: &Result<Vec<Document>>| match leg {
+                Ok(docs) => docs.iter().map(encoded_size).sum(),
+                Err(_) => 0,
+            },
+        );
+        let mut merged: Vec<Document> = Vec::new();
+        for leg in legs {
+            merged.extend(leg?);
+        }
         // $lookup resolves against the primary shard, where unsharded
         // collections live (MongoDB requires the from-collection of a
         // $lookup to be unsharded).
         let results =
-            exec::execute_with(merged, rest, Some(self.shard(self.primary).db()))?;
+            stream::execute_streaming(merged, rest, Some(self.shard(self.primary).db()))?;
 
         if let Some(name) = out_target {
             let out_bytes: usize = results.iter().map(encoded_size).sum();
             let db = self.shard(self.primary).db();
             db.drop_collection(name);
-            db.collection(name)
-                .insert_many(results.iter().cloned())
-                .map_err(|(_, e)| e)?;
+            let out = db.collection(name);
+            // Move the results into the target collection; the returned
+            // documents are re-read from the store.
+            out.insert_many(results).map_err(|(_, e)| e)?;
             self.stats.charge(&self.network, out_bytes);
+            return Ok(out.all_docs());
         }
         Ok(results)
     }
@@ -521,6 +594,89 @@ impl Mongos {
         self.stats.charge(&self.network, 64);
         self.config.move_chunk(collection, chunk_idx, to);
         Ok(n)
+    }
+}
+
+/// Merges per-shard sorted runs into one globally sorted vector,
+/// breaking ties by (leg index, position within leg). That is exactly
+/// the order concatenating whole legs and stable-sorting produced, so
+/// pushing the sort down is invisible to callers.
+fn merge_sorted_legs(legs: Vec<Vec<Document>>, spec: &[(String, i32)]) -> Vec<Document> {
+    use std::cmp::Ordering;
+    /// One document's extracted sort-key tuple.
+    type SortKey = Vec<doclite_bson::Value>;
+    let keys: Vec<Vec<SortKey>> = legs
+        .iter()
+        .map(|docs| docs.iter().map(|d| stream::sort_keys(d, spec)).collect())
+        .collect();
+    let total: usize = legs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<Document>> =
+        legs.into_iter().map(Vec::into_iter).collect();
+    let mut cursors = vec![0usize; iters.len()];
+    let mut out = Vec::with_capacity(total);
+    for _ in 0..total {
+        let mut best: Option<usize> = None;
+        for i in 0..iters.len() {
+            if cursors[i] >= keys[i].len() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                // Strict `Less` keeps the lowest leg index on ties.
+                Some(b) => {
+                    if stream::compare_sort_keys(&keys[i][cursors[i]], &keys[b][cursors[b]], spec)
+                        == Ordering::Less
+                    {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let b = best.expect("total counts non-exhausted legs");
+        out.push(iters[b].next().expect("cursor in range"));
+        cursors[b] += 1;
+    }
+    out
+}
+
+/// A shard-pushable window at the head of the router-side stages.
+struct ShardWindow<'a> {
+    /// Sort spec to push ahead of the limit, when the window is sorted.
+    sort: Option<&'a [(String, i32)]>,
+    /// Upper bound (`skip + limit`) each leg must retain.
+    end: usize,
+}
+
+/// Inspects the router-side stages for a shard-pushable window: a
+/// leading `$sort` (optionally) followed by `$skip`/`$limit` stages
+/// composing a finite `[start, end)` window, or a bare windowed
+/// `$skip`/`$limit` run. An unbounded window (no `$limit`) returns
+/// `None` — nothing to truncate.
+fn shard_window(rest: &[Stage]) -> Option<ShardWindow<'_>> {
+    let mut i = 0;
+    let sort_spec = match rest.first() {
+        Some(Stage::Sort(spec)) => {
+            i = 1;
+            Some(spec.as_slice())
+        }
+        _ => None,
+    };
+    let mut start = 0usize;
+    let mut end = usize::MAX;
+    loop {
+        match rest.get(i) {
+            Some(Stage::Skip(n)) => start = start.saturating_add(*n),
+            Some(Stage::Limit(n)) => end = end.min(start.saturating_add(*n)),
+            _ => break,
+        }
+        i += 1;
+    }
+    if end == usize::MAX {
+        None
+    } else {
+        Some(ShardWindow { sort: sort_spec, end })
     }
 }
 
@@ -694,6 +850,120 @@ mod tests {
         assert_eq!(r.shards()[1].db().get_collection("facts").unwrap().len(), 20);
         // routing follows the metadata
         assert_eq!(r.find("facts", &Filter::eq("k", 3i64)).len(), 1);
+    }
+
+    #[test]
+    fn sorted_limited_find_transfers_o_limit_bytes_per_leg() {
+        let r = cluster(3);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::hashed("k"), 0, 1024);
+        for i in 0..300i64 {
+            r.insert_one("facts", doc! {"k" => i, "v" => i, "pad" => "x".repeat(400)})
+                .unwrap();
+        }
+        let data = r.collection_data_size("facts");
+        let avg_doc = data / 300;
+        r.net_stats().reset();
+        let opts = FindOptions {
+            sort: vec![("v".into(), 1)],
+            limit: 5,
+            ..FindOptions::default()
+        };
+        let docs = r.find_with("facts", &Filter::True, &opts);
+        assert_eq!(docs.len(), 5);
+        assert_eq!(docs[0].get("v"), Some(&doclite_bson::Value::Int64(0)));
+        assert_eq!(docs[4].get("v"), Some(&doclite_bson::Value::Int64(4)));
+        // Each of the 3 legs ships at most `limit` documents, so the
+        // scatter-gather transfer is bounded by shards × limit × doc
+        // size — far below the full broadcast payload.
+        let bytes = r.net_stats().bytes() as usize;
+        assert!(
+            bytes <= 3 * 5 * avg_doc * 2,
+            "bytes {bytes}, avg doc {avg_doc}"
+        );
+        assert!(bytes * 4 < data, "bytes {bytes} vs collection {data}");
+    }
+
+    #[test]
+    fn sorted_skip_limit_find_matches_unpushed_semantics() {
+        let r = cluster(3);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::hashed("k"), 0, 1024);
+        for i in 0..100i64 {
+            r.insert_one("facts", doc! {"k" => i, "v" => (i * 37) % 100})
+                .unwrap();
+        }
+        let opts = FindOptions {
+            sort: vec![("v".into(), -1)],
+            skip: 10,
+            limit: 7,
+            ..FindOptions::default()
+        };
+        let docs = r.find_with("facts", &Filter::True, &opts);
+        assert_eq!(docs.len(), 7);
+        // (i * 37) % 100 is a permutation of 0..100, so descending with
+        // skip 10 starts at 89.
+        for (n, d) in docs.iter().enumerate() {
+            assert_eq!(
+                d.get("v"),
+                Some(&doclite_bson::Value::Int64(89 - n as i64))
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_pushes_sort_limit_window_to_shards() {
+        let r = cluster(3);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::hashed("k"), 0, 1024);
+        for i in 0..300i64 {
+            r.insert_one("facts", doc! {"k" => i, "v" => i, "pad" => "y".repeat(400)})
+                .unwrap();
+        }
+        let data = r.collection_data_size("facts");
+        r.net_stats().reset();
+        let p = Pipeline::new().sort([("v", 1)]).skip(2).limit(3);
+        let docs = r.aggregate("facts", &p).unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].get("v"), Some(&doclite_bson::Value::Int64(2)));
+        assert_eq!(docs[2].get("v"), Some(&doclite_bson::Value::Int64(4)));
+        let bytes = r.net_stats().bytes() as usize;
+        // Each leg ships at most skip + limit = 5 documents.
+        assert!(bytes * 4 < data, "bytes {bytes} vs collection {data}");
+    }
+
+    #[test]
+    fn find_projection_applies_through_router() {
+        let r = cluster(2);
+        r.config()
+            .shard_collection_with_chunk_size("facts", ShardKey::hashed("k"), 0, 1024);
+        for i in 0..40i64 {
+            r.insert_one("facts", doc! {"k" => i, "v" => i, "w" => i * 2})
+                .unwrap();
+        }
+        // Sort path outside the projection: projection must not be
+        // pushed below the merge, yet still applies at the router.
+        let opts = FindOptions {
+            sort: vec![("v".into(), 1)],
+            limit: 3,
+            projection: vec!["w".into()],
+            ..FindOptions::default()
+        };
+        let docs = r.find_with("facts", &Filter::True, &opts);
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].get("w"), Some(&doclite_bson::Value::Int64(0)));
+        assert!(docs[0].get("v").is_none());
+        // Sort path inside the projection: pushed to the legs.
+        let opts = FindOptions {
+            sort: vec![("v".into(), 1)],
+            limit: 3,
+            projection: vec!["v".into()],
+            ..FindOptions::default()
+        };
+        let docs = r.find_with("facts", &Filter::True, &opts);
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[1].get("v"), Some(&doclite_bson::Value::Int64(1)));
+        assert!(docs[1].get("w").is_none());
     }
 
     #[test]

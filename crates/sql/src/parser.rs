@@ -128,9 +128,9 @@ impl Parser {
             items.push(self.select_item()?);
         }
         self.expect_kw("from")?;
-        let mut from = vec![self.from_item()?];
+        let mut from = vec![self.parse_from_item()?];
         while self.eat_if(&Token::Comma) {
-            from.push(self.from_item()?);
+            from.push(self.parse_from_item()?);
         }
         let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
         let mut group_by = Vec::new();
@@ -180,7 +180,7 @@ impl Parser {
         }
     }
 
-    fn from_item(&mut self) -> Result<FromItem, ParseError> {
+    fn parse_from_item(&mut self) -> Result<FromItem, ParseError> {
         if self.eat_if(&Token::LParen) {
             let query = self.select_stmt()?;
             self.expect(&Token::RParen)?;

@@ -634,7 +634,7 @@ impl Generator {
         // item is pinned inside Query 21's [0.99, 1.49] band so the band
         // has deterministic ~4% coverage at every scale (dsdgen's value
         // distributions guarantee predicate coverage the same way).
-        let price = if idx % 25 == 0 {
+        let price = if idx.is_multiple_of(25) {
             rng.random_range(0.99..=1.49)
         } else {
             let u: f64 = rng.random();
@@ -784,8 +784,18 @@ impl Generator {
             Cell::str(text::pick(text::STREET_TYPES, rng.random_range(0..1000))),
             Cell::str(format!("Suite {}", rng.random_range(0..=99i64) * 10)),
             // Store cities draw from the biased pool: Midway/Fairview heavy,
-            // matching the Query 46 predicate's intent.
-            Cell::str(text::pick(text::CITIES, rng.random_range(0..1000))),
+            // matching the Query 46 predicate's intent. Every third store is
+            // pinned to the biased head of the pool so the predicate keeps
+            // matching rows even at scale factors with a dozen stores, where
+            // a pure 20%-per-store draw has a real chance of missing entirely.
+            {
+                let draw = rng.random_range(0..1000);
+                if idx.is_multiple_of(3) {
+                    Cell::str(text::CITIES[(idx / 3) as usize % 4])
+                } else {
+                    Cell::str(text::pick(text::CITIES, draw))
+                }
+            },
             Cell::str(text::pick(text::COUNTIES, rng.random_range(0..1000))),
             Cell::str(text::pick(text::STATES, rng.random_range(0..1000))),
             Cell::str(format!("{:05}", rng.random_range(10000..99999i64))),

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API surface its benches use: `Criterion::bench_function`,
+//! `benchmark_group` (+ `sample_size` / `finish`), `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up briefly, then time a
+//! batch sized to fill a measurement window and report mean ns/iter to
+//! stdout. No statistics, plots, or target directories. Two env knobs:
+//! `BENCH_WARMUP_MS` (default 20) and `BENCH_MEASURE_MS` (default 150).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn env_ms(name: &str, default: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default),
+    )
+}
+
+/// How `iter_batched` amortizes setup (shape-compatible; the stub times
+/// each routine invocation individually regardless).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects one benchmark's timing.
+pub struct Bencher {
+    nanos: u128,
+    iters: u64,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher { nanos: 0, iters: 0, warmup, measure }
+    }
+
+    /// Times `f` in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also yields a per-iter estimate for batch sizing.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (self.measure.as_nanos() / per_iter.max(1)).clamp(1, 100_000_000) as u64;
+
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.nanos = t0.elapsed().as_nanos();
+        self.iters = batch;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine
+    /// is on the clock.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.warmup + self.measure;
+        let mut timed = 0u128;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            timed += t0.elapsed().as_nanos();
+            iters += 1;
+            if Instant::now() >= deadline && iters >= 5 {
+                break;
+            }
+        }
+        self.nanos = timed;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:<50} (no iterations)");
+            return;
+        }
+        let per = self.nanos / u128::from(self.iters);
+        println!("{name:<50} time: {:>12}  ({} iters)", fmt_ns(per), self.iters);
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warmup: env_ms("BENCH_WARMUP_MS", 20), measure: env_ms("BENCH_MEASURE_MS", 150) }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI args for drop-in compatibility (ignored: the stub has
+    /// no filters or baselines).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warmup, self.measure);
+        f(&mut b);
+        b.report(id.as_ref());
+        self
+    }
+
+    /// Opens a named group; ids inside are prefixed `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// No-op summary hook (criterion_main compatibility).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub's timing loop is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        std::env::set_var("BENCH_MEASURE_MS", "2");
+        let mut c = Criterion::default().configure_from_args();
+        let mut ran = 0u64;
+        c.bench_function("t", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = b.iters;
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        std::env::set_var("BENCH_WARMUP_MS", "1");
+        std::env::set_var("BENCH_MEASURE_MS", "2");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| {
+            b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,590 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the API surface its property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, `Just`, `any::<T>()`,
+//! range and tuple strategies, character-class string strategies
+//! (`"[a-z]{1,8}"`), `prop::collection::vec`, `prop::num::f64::NORMAL`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from real proptest, all acceptable for these tests:
+//! no shrinking (a failing case prints its inputs via the assert message
+//! and panics), no persisted failure seeds, and deterministic per-test
+//! seeding (derived from the test name) instead of OS entropy, so runs
+//! are reproducible by construction. `PROPTEST_CASES` overrides the
+//! per-test case count like the real crate.
+
+// ----- RNG ---------------------------------------------------------------
+
+/// The generator handed to strategies (xoshiro256**, seeded from the
+/// test name).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Deterministic RNG for a named test.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = h;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ----- Strategy core -----------------------------------------------------
+
+pub mod strategy {
+    use super::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Object-safe core (`generate`) plus `Sized`
+    /// combinators mirroring proptest's names.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Builds recursive values: at each of `depth` levels the result
+        /// chooses between staying shallow and one more application of
+        /// `branch` (proptest's depth-bounded recursion, without its
+        /// size accounting — `_desired_size` / `_expected_branch` are
+        /// accepted for signature compatibility).
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let mut cur = self.boxed();
+            for _ in 0..depth {
+                let deeper = branch(cur.clone()).boxed();
+                cur = Union::new(vec![cur, deeper]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union of the given alternatives (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    // Integer / float ranges act as strategies, as in proptest.
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                    (lo as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    // Tuples of strategies generate tuples of values.
+    macro_rules! tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))+) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    // String literals are character-class patterns: `[class]{m,n}`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+}
+
+// ----- character-class patterns ------------------------------------------
+
+mod pattern {
+    use super::TestRng;
+
+    /// Generates a string for a `[class]{m,n}` pattern (`{m}` and a bare
+    /// class meaning one repetition also work). Anything else is treated
+    /// as a literal.
+    pub fn generate(pat: &str, rng: &mut TestRng) -> String {
+        let Some(rest) = pat.strip_prefix('[') else {
+            return pat.to_owned();
+        };
+        let Some(close) = rest.find(']') else {
+            return pat.to_owned();
+        };
+        let class: Vec<char> = expand_class(&rest[..close]);
+        assert!(!class.is_empty(), "empty character class in pattern {pat:?}");
+        let (lo, hi) = parse_reps(&rest[close + 1..]);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+
+    fn expand_class(class: &str) -> Vec<char> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                for c in chars[i]..=chars[i + 2] {
+                    out.push(c);
+                }
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        out
+    }
+
+    fn parse_reps(suffix: &str) -> (usize, usize) {
+        let Some(body) = suffix.strip_prefix('{').and_then(|s| s.strip_suffix('}')) else {
+            return (1, 1);
+        };
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("rep lower bound"),
+                hi.trim().parse().expect("rep upper bound"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("rep count");
+                (n, n)
+            }
+        }
+    }
+}
+
+// ----- arbitrary ---------------------------------------------------------
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ----- prop:: modules ----------------------------------------------------
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A `Vec` of values from `element`, with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range for prop::collection::vec");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+
+        /// Normal (finite, non-zero, non-subnormal) doubles.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Normal;
+
+        /// proptest-compatible name.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----- runner config -----------------------------------------------------
+
+pub mod test_runner {
+    /// The subset of proptest's config the workspace uses.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Cases per property (`PROPTEST_CASES` overrides).
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// Cases to actually run, honoring `PROPTEST_CASES`.
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+// ----- macros ------------------------------------------------------------
+
+/// Uniform choice among strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts within a property (panics with the formatted inputs; this
+/// stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __cases = __config.resolved_cases();
+            let mut __rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module path (`prop::collection::vec`, `prop::num`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategies_respect_class_and_reps() {
+        let mut rng = crate::TestRng::for_test("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-zA-Z0-9 _-]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || " _-".contains(c)));
+            let t = Strategy::generate(&"[xyz]", &mut rng);
+            assert_eq!(t.len(), 1);
+            assert!("xyz".contains(&t));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..100).contains(v), "leaf out of strategy range");
+                    0
+                }
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0..100i64).prop_map(Tree::Leaf).prop_recursive(3, 8, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = crate::TestRng::for_test("recursive");
+        for _ in 0..300 {
+            let t = Strategy::generate(&strat, &mut rng);
+            assert!(depth(&t) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_inputs(
+            n in 0..50i64,
+            v in prop::collection::vec(any::<bool>(), 0..5),
+            s in prop_oneof![Just("fixed".to_owned()), "[ab]{2,3}"],
+        ) {
+            prop_assert!((0..50).contains(&n));
+            prop_assert!(v.len() < 5);
+            prop_assert!(s == "fixed" || (2..=3).contains(&s.len()));
+        }
+    }
+}
