@@ -321,8 +321,10 @@ fn sort_window<'a>(
             keyed.sort_unstable_by(|a, b| {
                 compare_sort_keys(&a.0, &b.0, spec).then(a.1.cmp(&b.1))
             });
-            let lo = start.min(keyed.len());
+            // A $limit followed by a larger $skip leaves start > end;
+            // clamp start second so the window is empty, not inverted.
             let hi = end.min(keyed.len());
+            let lo = start.min(hi);
             keyed[lo..hi].iter().map(|(_, _, d)| (*d).clone()).collect()
         }
         DocStream::Owned(it) => {
@@ -335,8 +337,8 @@ fn sort_window<'a>(
             keyed.sort_unstable_by(|a, b| {
                 compare_sort_keys(&a.0, &b.0, spec).then(a.1.cmp(&b.1))
             });
-            let lo = start.min(keyed.len());
             let hi = end.min(keyed.len());
+            let lo = start.min(hi);
             keyed
                 .drain(lo..hi)
                 .map(|(_, _, d)| d)
@@ -414,6 +416,28 @@ mod tests {
         // skip/limit/skip chains compose the same window.
         let p = Pipeline::new().sort([("v", 1)]).skip(1).limit(10).skip(2);
         let (l, s) = both(&p);
+        assert_eq!(l, s);
+    }
+
+    #[test]
+    fn limit_then_larger_skip_yields_empty_window() {
+        // Regression: $limit followed by a larger $skip inverts the
+        // fused window (start > end); must yield [] like legacy, not
+        // panic on an inverted slice range.
+        let p = Pipeline::new().sort([("v", 1)]).limit(3).skip(5);
+        let (l, s) = both(&p);
+        assert!(l.is_empty());
+        assert_eq!(l, s);
+        // Same window over an Owned stream (a $project upstream of the
+        // $sort forces the owned branch of sort_window).
+        let p = Pipeline::new()
+            .project([("v", crate::agg::ProjectField::Include)])
+            .sort([("v", 1)])
+            .limit(2)
+            .skip(4)
+            .limit(1);
+        let (l, s) = both(&p);
+        assert!(l.is_empty());
         assert_eq!(l, s);
     }
 

@@ -76,6 +76,9 @@ impl Database {
     /// Runs an aggregation on a collection; a trailing `$out` stage
     /// replaces the target collection with the results (MongoDB `$out`
     /// semantics) and the materialized documents are also returned.
+    /// Note the returned documents are read back *as stored*: any
+    /// pipeline output lacking an `_id` (e.g. a `$project` that dropped
+    /// it) comes back with a store-assigned ObjectId `_id`.
     pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
         let source = self.get_collection(collection)?;
         let results = source.aggregate_with(pipeline, Some(self))?;

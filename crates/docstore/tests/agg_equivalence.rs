@@ -152,6 +152,64 @@ fn multiset(docs: &[Document]) -> Vec<String> {
     v
 }
 
+/// Regression for the fused `$sort` window: a `$limit` followed by a
+/// larger `$skip` inverts the window (`start > end`), which must behave
+/// like the legacy executor (empty result), not panic on slicing.
+#[test]
+fn sort_limit_then_larger_skip_matches_legacy() {
+    let docs: Vec<Document> = (0..10i64).map(|i| doc! {"a" => i % 3, "_id" => i}).collect();
+    for stages in [
+        vec![
+            Stage::Sort(vec![("a".into(), 1), ("_id".into(), 1)]),
+            Stage::Limit(3),
+            Stage::Skip(5),
+        ],
+        vec![
+            Stage::Sort(vec![("a".into(), -1)]),
+            Stage::Skip(2),
+            Stage::Limit(4),
+            Stage::Skip(9),
+            Stage::Limit(1),
+        ],
+    ] {
+        let legacy = exec::execute(docs.clone(), &stages).unwrap();
+        let streaming = execute_streaming(docs.clone(), &stages, None).unwrap();
+        assert_eq!(legacy, streaming);
+        assert!(legacy.is_empty());
+    }
+}
+
+/// A `$sort` followed by an arbitrary `$skip`/`$limit` chain — the
+/// fusion subspace the general stage generator samples too thinly to
+/// hit degenerate windows (e.g. limit-then-larger-skip) reliably.
+fn arb_window_chain() -> BoxedStrategy<Vec<Stage>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..10usize).prop_map(Stage::Skip),
+            (0..10usize).prop_map(Stage::Limit),
+        ],
+        0..4,
+    )
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sort_window_chains_agree_exactly(
+        docs in prop::collection::vec(arb_doc(), 0..20),
+        spec in arb_sort_spec(),
+        chain in arb_window_chain(),
+    ) {
+        let mut stages = vec![Stage::Sort(spec)];
+        stages.extend(chain);
+        let legacy = exec::execute(docs.clone(), &stages).unwrap();
+        let streaming = execute_streaming(docs, &stages, None).unwrap();
+        prop_assert_eq!(legacy, streaming);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

@@ -488,7 +488,8 @@ impl Mongos {
             db.drop_collection(name);
             let out = db.collection(name);
             // Move the results into the target collection; the returned
-            // documents are re-read from the store.
+            // documents are re-read from the store, so pipeline outputs
+            // without an _id gain a store-assigned ObjectId.
             out.insert_many(results).map_err(|(_, e)| e)?;
             self.stats.charge(&self.network, out_bytes);
             return Ok(out.all_docs());
@@ -597,46 +598,60 @@ impl Mongos {
     }
 }
 
-/// Merges per-shard sorted runs into one globally sorted vector,
-/// breaking ties by (leg index, position within leg). That is exactly
-/// the order concatenating whole legs and stable-sorting produced, so
-/// pushing the sort down is invisible to callers.
+/// Merges per-shard sorted runs into one globally sorted vector with a
+/// k-way heap merge — O(total · log legs) key comparisons instead of a
+/// linear scan over all legs per emitted document — breaking ties by
+/// (leg index, position within leg). That is exactly the order
+/// concatenating whole legs and stable-sorting produced, so pushing
+/// the sort down is invisible to callers.
 fn merge_sorted_legs(legs: Vec<Vec<Document>>, spec: &[(String, i32)]) -> Vec<Document> {
-    use std::cmp::Ordering;
-    /// One document's extracted sort-key tuple.
-    type SortKey = Vec<doclite_bson::Value>;
-    let keys: Vec<Vec<SortKey>> = legs
-        .iter()
-        .map(|docs| docs.iter().map(|d| stream::sort_keys(d, spec)).collect())
-        .collect();
+    use std::cmp::{Ordering, Reverse};
+    use std::collections::BinaryHeap;
+
+    /// A leg's current head document, ordered by (sort key, leg index).
+    /// Each leg has at most one entry in the heap, so within-leg
+    /// position order is preserved by construction.
+    struct Head<'s> {
+        key: Vec<doclite_bson::Value>,
+        leg: usize,
+        doc: Document,
+        spec: &'s [(String, i32)],
+    }
+
+    impl Ord for Head<'_> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            stream::compare_sort_keys(&self.key, &other.key, self.spec)
+                .then(self.leg.cmp(&other.leg))
+        }
+    }
+    impl PartialOrd for Head<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl PartialEq for Head<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.cmp(other) == Ordering::Equal
+        }
+    }
+    impl Eq for Head<'_> {}
+
     let total: usize = legs.iter().map(Vec::len).sum();
     let mut iters: Vec<std::vec::IntoIter<Document>> =
         legs.into_iter().map(Vec::into_iter).collect();
-    let mut cursors = vec![0usize; iters.len()];
-    let mut out = Vec::with_capacity(total);
-    for _ in 0..total {
-        let mut best: Option<usize> = None;
-        for i in 0..iters.len() {
-            if cursors[i] >= keys[i].len() {
-                continue;
-            }
-            best = match best {
-                None => Some(i),
-                // Strict `Less` keeps the lowest leg index on ties.
-                Some(b) => {
-                    if stream::compare_sort_keys(&keys[i][cursors[i]], &keys[b][cursors[b]], spec)
-                        == Ordering::Less
-                    {
-                        Some(i)
-                    } else {
-                        Some(b)
-                    }
-                }
-            };
+    let mut heap: BinaryHeap<Reverse<Head<'_>>> = BinaryHeap::with_capacity(iters.len());
+    for (leg, it) in iters.iter_mut().enumerate() {
+        if let Some(doc) = it.next() {
+            heap.push(Reverse(Head { key: stream::sort_keys(&doc, spec), leg, doc, spec }));
         }
-        let b = best.expect("total counts non-exhausted legs");
-        out.push(iters[b].next().expect("cursor in range"));
-        cursors[b] += 1;
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(head)) = heap.pop() {
+        let leg = head.leg;
+        out.push(head.doc);
+        if let Some(doc) = iters[leg].next() {
+            heap.push(Reverse(Head { key: stream::sort_keys(&doc, spec), leg, doc, spec }));
+        }
     }
     out
 }
