@@ -209,7 +209,7 @@ fn ablation_embed_scope(sf: f64, params: &QueryParams) {
             model: DataModel::Normalized,
             deployment: Deployment::Standalone,
         },
-        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 1 << 20 },
+        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 1 << 20, ..SetupOptions::default() },
     )
     .expect("setup");
     let store = env.store();

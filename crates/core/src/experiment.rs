@@ -157,11 +157,19 @@ pub struct SetupOptions {
     /// Max chunk size for sharded collections; scaled-down datasets need
     /// a scaled-down threshold to split into a realistic chunk count.
     pub max_chunk_size: usize,
+    /// Replica-set members per shard. 1 (the default) reproduces the
+    /// thesis's unreplicated evaluation cluster; 3 matches its Fig 2.5
+    /// production topology and enables failover experiments.
+    pub replicas_per_shard: usize,
 }
 
 impl Default for SetupOptions {
     fn default() -> Self {
-        SetupOptions { network: NetworkModel::lan(), max_chunk_size: 1 << 20 }
+        SetupOptions {
+            network: NetworkModel::lan(),
+            max_chunk_size: 1 << 20,
+            replicas_per_shard: 1,
+        }
     }
 }
 
@@ -182,8 +190,13 @@ pub fn setup_environment(spec: &ExperimentSpec, opts: &SetupOptions) -> Result<E
             Ok(Environment::Standalone(db))
         }
         Deployment::Sharded => {
-            let cluster =
-                ShardedCluster::new(N_SHARDS, &format!("Dataset_exp{}", spec.id), opts.network);
+            let cluster = ShardedCluster::with_config(doclite_sharding::ClusterConfig {
+                n_shards: N_SHARDS,
+                replicas_per_shard: opts.replicas_per_shard.max(1),
+                db_name: format!("Dataset_exp{}", spec.id),
+                network: opts.network,
+                ..doclite_sharding::ClusterConfig::default()
+            });
             for (table, key) in fact_shard_keys() {
                 cluster.shard_collection(table.name(), key, opts.max_chunk_size)?;
             }
@@ -337,6 +350,7 @@ mod tests {
         SetupOptions {
             network: NetworkModel::free(),
             max_chunk_size: 64 * 1024,
+            ..SetupOptions::default()
         }
     }
 

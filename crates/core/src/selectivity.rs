@@ -61,7 +61,7 @@ mod tests {
             model: DataModel::Denormalized,
             deployment: Deployment::Standalone,
         };
-        let opts = SetupOptions { network: NetworkModel::free(), max_chunk_size: 64 * 1024 };
+        let opts = SetupOptions { network: NetworkModel::free(), max_chunk_size: 64 * 1024, ..SetupOptions::default() };
         let env = setup_environment(&spec, &opts).unwrap();
         let params = QueryParams::for_scale(0.002);
         let s = measure(&env, QueryId::Q7, &params, DataModel::Denormalized).unwrap();

@@ -161,7 +161,9 @@ impl Store for Mongos {
     fn drop_collection(&self, collection: &str) -> bool {
         let mut any = false;
         for shard in self.shards() {
-            any |= shard.db().drop_collection(collection);
+            // Replica-aware: the collection must vanish from every
+            // member, not just the primary copy.
+            any |= shard.replica_set().drop_collection(collection);
         }
         any
     }

@@ -22,6 +22,10 @@ pub enum Error {
     InvalidQuery(String),
     /// An aggregation expression failed to evaluate.
     ExprError(String),
+    /// A node, replica-set member, or shard could not be reached (or a
+    /// write concern could not be satisfied). Retryable: the request may
+    /// succeed after failover or fault recovery.
+    Unavailable(String),
 }
 
 impl fmt::Display for Error {
@@ -37,6 +41,7 @@ impl fmt::Display for Error {
             Error::InvalidIndex(msg) => write!(f, "invalid index: {msg}"),
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::ExprError(msg) => write!(f, "expression error: {msg}"),
+            Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
         }
     }
 }

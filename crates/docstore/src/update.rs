@@ -25,6 +25,12 @@ pub enum UpdateOp {
 }
 
 /// An update specification: operator list or full replacement.
+///
+/// The two forms are mutually exclusive, exactly as in MongoDB: an
+/// update document is either *all* operators (`$set`, `$inc`, …) or a
+/// plain replacement body — never a mix. Chaining a builder method such
+/// as [`UpdateSpec::and_set`] onto a [`UpdateSpec::Replace`] therefore
+/// panics instead of silently discarding the operator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum UpdateSpec {
     /// Apply operators in order.
@@ -59,13 +65,20 @@ impl UpdateSpec {
         self.push_op(UpdateOp::Push(path.into(), value.into()))
     }
 
+    /// Appends an operator. Panics on a [`UpdateSpec::Replace`] spec:
+    /// replacement and operator updates are mutually exclusive, and
+    /// dropping the chained operator on the floor would silently lose a
+    /// user update.
     fn push_op(self, op: UpdateOp) -> Self {
         match self {
             UpdateSpec::Ops(mut ops) => {
                 ops.push(op);
                 UpdateSpec::Ops(ops)
             }
-            replace @ UpdateSpec::Replace(_) => replace,
+            UpdateSpec::Replace(_) => panic!(
+                "cannot chain update operator {op:?} onto UpdateSpec::Replace: \
+                 replacement and operator updates are mutually exclusive"
+            ),
         }
     }
 }
@@ -135,7 +148,7 @@ fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<bool> {
         UpdateOp::Unset(path) => Ok(remove_path(doc, path)),
         UpdateOp::Inc(path, by) => {
             let current = doc.get_path(path);
-            let new_value = match current {
+            let new_value = match &current {
                 None => Value::Double(*by),
                 Some(v) => match v.as_f64() {
                     Some(n) => {
@@ -160,21 +173,23 @@ fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<bool> {
                     }
                 },
             };
+            // $inc by 0 (or a cancelling float) leaves the stored value
+            // as-is: report unmodified, like $set on an equal value.
+            if current.as_ref() == Some(&new_value) {
+                return Ok(false);
+            }
             if !doc.set_path(path, new_value) {
                 return Err(Error::InvalidQuery(format!("bad $inc path {path}")));
             }
             Ok(true)
         }
         UpdateOp::Push(path, value) => {
-            match doc.get_path(path) {
-                None => {
-                    if !doc.set_path(path, Value::Array(vec![value.clone()])) {
-                        return Err(Error::InvalidQuery(format!("bad $push path {path}")));
-                    }
-                }
+            let before = doc.get_path(path);
+            let new_value = match before {
+                None => Value::Array(vec![value.clone()]),
                 Some(Value::Array(mut items)) => {
                     items.push(value.clone());
-                    doc.set_path(path, Value::Array(items));
+                    Value::Array(items)
                 }
                 Some(other) => {
                     return Err(Error::InvalidQuery(format!(
@@ -182,8 +197,13 @@ fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<bool> {
                         other.type_name()
                     )))
                 }
+            };
+            if !doc.set_path(path, new_value.clone()) {
+                return Err(Error::InvalidQuery(format!("bad $push path {path}")));
             }
-            Ok(true)
+            // Compare before/after like $set: only report modified when
+            // the stored value actually changed.
+            Ok(doc.get_path(path).as_ref() == Some(&new_value))
         }
     }
 }
@@ -284,6 +304,34 @@ mod tests {
         let spec = UpdateSpec::Ops(vec![UpdateOp::Push("ys".into(), Value::Int64(9))]);
         apply_update(&mut d, &spec).unwrap();
         assert_eq!(d.get("ys"), Some(&array![9i64]));
+    }
+
+    #[test]
+    fn inc_by_zero_reports_unmodified() {
+        let mut d = doc! {"n" => 5i64};
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Inc("n".into(), 0.0)]);
+        assert!(!apply_update(&mut d, &spec).unwrap());
+        assert_eq!(d.get("n"), Some(&Value::Int64(5)));
+        // Incrementing a *missing* field by 0 still creates it — that is
+        // a modification.
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Inc("m".into(), 0.0)]);
+        assert!(apply_update(&mut d, &spec).unwrap());
+        assert_eq!(d.get("m"), Some(&Value::Double(0.0)));
+    }
+
+    #[test]
+    fn push_through_non_document_intermediate_errors() {
+        let mut d = doc! {"a" => 1i64};
+        let spec = UpdateSpec::Ops(vec![UpdateOp::Push("a.b".into(), Value::Int64(1))]);
+        assert!(apply_update(&mut d, &spec).is_err());
+        // The failed op must not report the document as modified.
+        assert_eq!(d.get("a"), Some(&Value::Int64(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn chaining_op_onto_replace_panics() {
+        let _ = UpdateSpec::Replace(doc! {"a" => 1i64}).and_set("b", 2i64);
     }
 
     #[test]

@@ -4,12 +4,54 @@
 
 use crate::balancer::Balancer;
 use crate::config::ConfigServer;
-use crate::network::NetworkModel;
-use crate::router::Mongos;
+use crate::network::{NetworkModel, RetryPolicy};
+use crate::replica::{ReadPreference, WriteConcern};
+use crate::router::{DegradedReads, Mongos};
 use crate::shard::Shard;
 use crate::shardkey::ShardKey;
 use doclite_docstore::Result;
 use std::sync::Arc;
+
+/// Build-time knobs for a [`ShardedCluster`]. `Default` reproduces the
+/// thesis deployment: three unreplicated shards, a free network, `w:1`
+/// writes, primary reads, and fail-fast behaviour when a shard is
+/// unreachable.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of shards (thesis: 3).
+    pub n_shards: usize,
+    /// Replica-set members per shard: 1 reproduces the thesis's
+    /// unreplicated evaluation cluster, 3 the replicated production
+    /// topology of its Fig 2.5.
+    pub replicas_per_shard: usize,
+    /// Database name shared by the shards.
+    pub db_name: String,
+    /// Router↔shard network model.
+    pub network: NetworkModel,
+    /// Write concern the router applies to every routed write.
+    pub write_concern: WriteConcern,
+    /// Member preference for routed reads.
+    pub read_preference: ReadPreference,
+    /// Retry/backoff policy for exchanges hit by injected faults.
+    pub retry: RetryPolicy,
+    /// What reads do when a whole shard stays unreachable.
+    pub degraded_reads: DegradedReads,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_shards: 3,
+            replicas_per_shard: 1,
+            db_name: "Dataset".into(),
+            network: NetworkModel::free(),
+            write_concern: WriteConcern::default(),
+            read_preference: ReadPreference::default(),
+            retry: RetryPolicy::default(),
+            degraded_reads: DegradedReads::default(),
+        }
+    }
+}
 
 /// A fully wired sharded cluster.
 pub struct ShardedCluster {
@@ -18,18 +60,41 @@ pub struct ShardedCluster {
 }
 
 impl ShardedCluster {
-    /// Builds a cluster of `n_shards` shards sharing a database name,
-    /// with the given network model between router and shards. The
-    /// thesis's configuration is `n_shards = 3`.
+    /// Builds a cluster of `n_shards` unreplicated shards sharing a
+    /// database name, with the given network model between router and
+    /// shards. The thesis's configuration is `n_shards = 3`.
     pub fn new(n_shards: usize, db_name: &str, network: NetworkModel) -> Self {
-        let shards: Vec<Arc<Shard>> = (0..n_shards)
-            .map(|i| Arc::new(Shard::new(i, db_name)))
+        Self::with_config(ClusterConfig {
+            n_shards,
+            db_name: db_name.to_owned(),
+            network,
+            ..ClusterConfig::default()
+        })
+    }
+
+    /// Builds a cluster from a full [`ClusterConfig`] — replica-backed
+    /// shards, write concern, read preference, retry policy and
+    /// degraded-read behaviour included. Every shard is registered in
+    /// the config server's shard registry.
+    pub fn with_config(cfg: ClusterConfig) -> Self {
+        let shards: Vec<Arc<Shard>> = (0..cfg.n_shards)
+            .map(|i| Arc::new(Shard::with_replicas(i, &cfg.db_name, cfg.replicas_per_shard)))
             .collect();
         let config = Arc::new(ConfigServer::new());
-        ShardedCluster {
-            router: Mongos::new(shards, config, network),
-            balancer: Balancer::default(),
+        for s in &shards {
+            config.register_shard(crate::config::ShardEntry {
+                id: s.id(),
+                name: s.name().to_owned(),
+                replica_set: s.replica_set().name().to_owned(),
+                members: s.member_count(),
+            });
         }
+        let mut router = Mongos::new(shards, config, cfg.network);
+        router.set_write_concern(cfg.write_concern);
+        router.set_read_preference(cfg.read_preference);
+        router.set_retry_policy(cfg.retry);
+        router.set_degraded_reads(cfg.degraded_reads);
+        ShardedCluster { router, balancer: Balancer::default() }
     }
 
     /// The router (all reads and writes go through it).

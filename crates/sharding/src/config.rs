@@ -89,18 +89,49 @@ impl CollectionMeta {
     }
 }
 
-/// The config server: per-collection sharding metadata. In the paper's
-/// cluster this is a dedicated `mongod`; here it is an in-process
-/// metadata service the router consults on every operation.
+/// One shard's registration in the cluster metadata — its node name,
+/// backing replica-set name and member count, mirroring MongoDB's
+/// `config.shards` collection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardEntry {
+    pub id: ShardId,
+    /// Node name (`Shard1`, `Shard2`, …).
+    pub name: String,
+    /// Name of the replica set backing the shard.
+    pub replica_set: String,
+    /// Configured replica-set member count.
+    pub members: usize,
+}
+
+/// The config server: per-collection sharding metadata plus the shard
+/// registry. In the paper's cluster this is a dedicated `mongod`; here
+/// it is an in-process metadata service the router consults on every
+/// operation.
 #[derive(Default)]
 pub struct ConfigServer {
     collections: RwLock<BTreeMap<String, CollectionMeta>>,
+    shards: RwLock<Vec<ShardEntry>>,
 }
 
 impl ConfigServer {
     /// Creates an empty config server.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Registers a shard (replaces an existing entry with the same id).
+    pub fn register_shard(&self, entry: ShardEntry) {
+        let mut shards = self.shards.write();
+        match shards.iter_mut().find(|e| e.id == entry.id) {
+            Some(slot) => *slot = entry,
+            None => shards.push(entry),
+        }
+        shards.sort_by_key(|e| e.id);
+    }
+
+    /// Snapshot of the shard registry.
+    pub fn shard_entries(&self) -> Vec<ShardEntry> {
+        self.shards.read().clone()
     }
 
     /// Registers a collection as sharded, with a single full-range chunk

@@ -22,6 +22,7 @@
 
 pub mod balancer;
 pub mod capacity;
+pub mod chaos;
 pub mod chunk;
 pub mod cluster;
 pub mod config;
@@ -34,12 +35,13 @@ pub mod targeting;
 
 pub use balancer::{Balancer, Migration};
 pub use capacity::{plan_cluster, ClusterPlan, ShardingFactors};
+pub use chaos::{ChaosSchedule, FaultAction, FaultEvent};
 pub use chunk::{Chunk, KeyBound, ShardId, DEFAULT_CHUNK_SIZE};
-pub use cluster::ShardedCluster;
-pub use config::{CollectionMeta, ConfigServer};
-pub use network::{NetMode, NetStats, NetworkModel};
+pub use cluster::{ClusterConfig, ShardedCluster};
+pub use config::{CollectionMeta, ConfigServer, ShardEntry};
+pub use network::{FaultKind, Faults, NetMode, NetStats, NetworkModel, RetryPolicy};
 pub use replica::{MemberState, ReadPreference, ReplicaSet, WriteConcern};
-pub use router::{Mongos, ScatterMode};
+pub use router::{DegradedReads, Mongos, ScatterMode};
 pub use shard::Shard;
 pub use shardkey::{Partitioning, ShardKey};
 pub use targeting::{target, Targeting};

@@ -13,8 +13,17 @@
 //! * [`NetMode::Account`] — accumulate the time into a counter, so report
 //!   binaries can run fast and add simulated network time to measured CPU
 //!   time deterministically.
+//!
+//! A third concern lives here too: **injectable faults**. The paper's
+//! production-shaped deployments (and the HPC clusters of
+//! arXiv:2209.15390) run under constant node churn; [`Faults`] models
+//! the network half of that churn — per-shard partitions, probabilistic
+//! request drops, and request timeouts — deterministically, so chaos
+//! tests can replay a seeded schedule and assert exact outcomes.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::chunk::ShardId;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// How network costs are applied.
@@ -78,6 +87,203 @@ impl Default for NetworkModel {
     }
 }
 
+/// Why an injected fault failed an exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The target shard is partitioned from the router.
+    Partitioned,
+    /// The request was sampled for loss by the drop probability.
+    Dropped,
+    /// The modelled exchange duration exceeded the request timeout.
+    TimedOut,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::Partitioned => write!(f, "network partition"),
+            FaultKind::Dropped => write!(f, "request dropped"),
+            FaultKind::TimedOut => write!(f, "request timed out"),
+        }
+    }
+}
+
+/// Injectable fault state between the router and its shards.
+///
+/// All decisions are deterministic: partitions are explicit toggles, and
+/// drop sampling uses a seeded 64-bit LCG (`set_seed`), so a chaos run
+/// with a fixed seed and a fixed operation order replays bit-identically.
+/// The [`Faults::active`] flag is a single relaxed atomic load, so a
+/// cluster with no faults configured pays one branch per exchange and
+/// nothing else.
+#[derive(Debug, Default)]
+pub struct Faults {
+    /// Fast-path guard: true iff any fault knob is engaged.
+    active: AtomicBool,
+    /// Shards currently unreachable from the router.
+    partitioned: RwLock<Vec<ShardId>>,
+    /// Probability (per 2^32) that an exchange is dropped.
+    drop_per_2_32: AtomicU64,
+    /// LCG state for drop sampling.
+    rng: AtomicU64,
+    /// Request timeout in nanos (0 = none): exchanges whose modelled
+    /// cost exceeds this fail with [`FaultKind::TimedOut`].
+    timeout_nanos: AtomicU64,
+}
+
+impl Faults {
+    /// No faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn refresh_active(&self) {
+        let engaged = !self.partitioned.read().is_empty()
+            || self.drop_per_2_32.load(Ordering::Relaxed) > 0
+            || self.timeout_nanos.load(Ordering::Relaxed) > 0;
+        self.active.store(engaged, Ordering::Relaxed);
+    }
+
+    /// True iff any fault is configured — the healthy-path fast check.
+    pub fn active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Partitions a shard away from (or back to) the router.
+    pub fn set_partitioned(&self, shard: ShardId, partitioned: bool) {
+        {
+            let mut list = self.partitioned.write();
+            match (list.iter().position(|&s| s == shard), partitioned) {
+                (None, true) => list.push(shard),
+                (Some(i), false) => {
+                    list.swap_remove(i);
+                }
+                _ => {}
+            }
+        }
+        self.refresh_active();
+    }
+
+    /// True if the shard is currently partitioned.
+    pub fn is_partitioned(&self, shard: ShardId) -> bool {
+        self.partitioned.read().contains(&shard)
+    }
+
+    /// Sets the per-exchange drop probability (clamped to `[0, 1]`).
+    pub fn set_drop_probability(&self, p: f64) {
+        let clamped = p.clamp(0.0, 1.0);
+        self.drop_per_2_32
+            .store((clamped * 4_294_967_296.0) as u64, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    /// Seeds the deterministic drop sampler.
+    pub fn set_seed(&self, seed: u64) {
+        self.rng.store(seed, Ordering::Relaxed);
+    }
+
+    /// Sets the request timeout (`None` disables).
+    pub fn set_timeout(&self, timeout: Option<Duration>) {
+        self.timeout_nanos.store(
+            timeout.map(|d| d.as_nanos() as u64).unwrap_or(0),
+            Ordering::Relaxed,
+        );
+        self.refresh_active();
+    }
+
+    /// Clears every fault.
+    pub fn clear(&self) {
+        self.partitioned.write().clear();
+        self.drop_per_2_32.store(0, Ordering::Relaxed);
+        self.timeout_nanos.store(0, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    /// One step of the 64-bit LCG (Knuth's MMIX constants).
+    fn next_sample(&self) -> u64 {
+        self.rng
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(
+                    s.wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407),
+                )
+            })
+            .map(|s| {
+                s.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+            })
+            .expect("fetch_update closure never returns None")
+    }
+
+    /// Decides the fate of one exchange to `shard` carrying `bytes`
+    /// under `model`: partition, then drop sampling, then timeout, in
+    /// that order. `Ok(())` means the exchange goes through.
+    pub fn check(
+        &self,
+        shard: ShardId,
+        model: &NetworkModel,
+        bytes: usize,
+    ) -> std::result::Result<(), FaultKind> {
+        if !self.active() {
+            return Ok(());
+        }
+        if self.is_partitioned(shard) {
+            return Err(FaultKind::Partitioned);
+        }
+        let drop = self.drop_per_2_32.load(Ordering::Relaxed);
+        if drop > 0 && (self.next_sample() >> 32) < drop {
+            return Err(FaultKind::Dropped);
+        }
+        let timeout = self.timeout_nanos.load(Ordering::Relaxed);
+        if timeout > 0 && model.cost(bytes).as_nanos() as u64 > timeout {
+            return Err(FaultKind::TimedOut);
+        }
+        Ok(())
+    }
+}
+
+/// Bounded exponential backoff for router retries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts after the first (0 = fail immediately).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub initial_backoff: Duration,
+    /// Backoff cap; doubling stops here.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retry number `attempt` (1-based): the initial
+    /// backoff doubled per attempt, clamped to the cap.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .initial_backoff
+            .saturating_mul(2u32.saturating_pow(attempt.saturating_sub(1)));
+        doubled.min(self.max_backoff)
+    }
+}
+
+impl Default for RetryPolicy {
+    /// 3 retries, 1 ms → 2 ms → 4 ms, capped at 50 ms.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
 /// Thread-safe accumulation of simulated network activity.
 #[derive(Debug, Default)]
 pub struct NetStats {
@@ -86,6 +292,12 @@ pub struct NetStats {
     nanos: AtomicU64,
     /// Peak per-operation parallel time (see [`NetStats::charge_parallel`]).
     parallel_nanos: AtomicU64,
+    /// Exchanges failed by injected faults, by kind.
+    dropped: AtomicU64,
+    timed_out: AtomicU64,
+    partitioned: AtomicU64,
+    /// Retries the router performed after failed exchanges.
+    retries: AtomicU64,
 }
 
 impl NetStats {
@@ -136,9 +348,58 @@ impl NetStats {
         max
     }
 
+    /// Records an exchange failed by an injected fault. The round-trip
+    /// (or the full timeout wait) is still paid on the wire.
+    pub fn record_fault(&self, model: &NetworkModel, kind: FaultKind) {
+        match kind {
+            FaultKind::Dropped => self.dropped.fetch_add(1, Ordering::Relaxed),
+            FaultKind::TimedOut => self.timed_out.fetch_add(1, Ordering::Relaxed),
+            FaultKind::Partitioned => self.partitioned.fetch_add(1, Ordering::Relaxed),
+        };
+        let d = model.round_trip;
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.parallel_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        if model.mode == NetMode::Sleep && d > Duration::ZERO {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Records one router retry and charges its backoff wait.
+    pub fn record_retry(&self, model: &NetworkModel, backoff: Duration) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
+        self.parallel_nanos
+            .fetch_add(backoff.as_nanos() as u64, Ordering::Relaxed);
+        if model.mode == NetMode::Sleep && backoff > Duration::ZERO {
+            std::thread::sleep(backoff);
+        }
+    }
+
     /// Total exchanges so far.
     pub fn exchanges(&self) -> u64 {
         self.exchanges.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges lost to drop faults.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges lost to request timeouts.
+    pub fn timed_out(&self) -> u64 {
+        self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Exchanges refused by a partition.
+    pub fn partitioned(&self) -> u64 {
+        self.partitioned.load(Ordering::Relaxed)
+    }
+
+    /// Router retries performed.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     /// Total payload bytes so far.
@@ -162,6 +423,10 @@ impl NetStats {
         self.bytes.store(0, Ordering::Relaxed);
         self.nanos.store(0, Ordering::Relaxed);
         self.parallel_nanos.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+        self.timed_out.store(0, Ordering::Relaxed);
+        self.partitioned.store(0, Ordering::Relaxed);
+        self.retries.store(0, Ordering::Relaxed);
     }
 }
 
@@ -214,6 +479,99 @@ mod tests {
         assert_eq!(stats.exchanges(), 3);
         assert_eq!(stats.parallel_time(), Duration::from_millis(1));
         assert_eq!(stats.serial_time(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn faults_inactive_by_default_and_clearable() {
+        let f = Faults::new();
+        assert!(!f.active());
+        assert_eq!(f.check(0, &NetworkModel::lan(), 1 << 20), Ok(()));
+        f.set_partitioned(2, true);
+        assert!(f.active());
+        assert!(f.is_partitioned(2));
+        assert_eq!(
+            f.check(2, &NetworkModel::lan(), 0),
+            Err(FaultKind::Partitioned)
+        );
+        assert_eq!(f.check(0, &NetworkModel::lan(), 0), Ok(()));
+        f.clear();
+        assert!(!f.active());
+        assert!(!f.is_partitioned(2));
+    }
+
+    #[test]
+    fn drop_probability_is_deterministic_under_a_seed() {
+        let m = NetworkModel::lan();
+        let run = |seed: u64| {
+            let f = Faults::new();
+            f.set_drop_probability(0.5);
+            f.set_seed(seed);
+            (0..64).map(|_| f.check(0, &m, 0).is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds, different schedule");
+        let drops = run(42).iter().filter(|&&d| d).count();
+        assert!((8..56).contains(&drops), "p=0.5 should drop roughly half, got {drops}");
+    }
+
+    #[test]
+    fn drop_probability_extremes() {
+        let m = NetworkModel::lan();
+        let f = Faults::new();
+        f.set_drop_probability(1.0);
+        f.set_seed(7);
+        assert!((0..32).all(|_| f.check(0, &m, 0) == Err(FaultKind::Dropped)));
+        f.set_drop_probability(0.0);
+        assert!((0..32).all(|_| f.check(0, &m, 0) == Ok(())));
+    }
+
+    #[test]
+    fn timeout_fails_oversized_exchanges_only() {
+        let m = NetworkModel {
+            round_trip: Duration::from_micros(100),
+            bytes_per_sec: 1_000_000,
+            mode: NetMode::Account,
+        };
+        let f = Faults::new();
+        f.set_timeout(Some(Duration::from_millis(1)));
+        // 100 bytes → 100 µs RTT + 100 µs transfer: under the timeout.
+        assert_eq!(f.check(0, &m, 100), Ok(()));
+        // 10 kB → 10 ms transfer: over it.
+        assert_eq!(f.check(0, &m, 10_000), Err(FaultKind::TimedOut));
+        f.set_timeout(None);
+        assert_eq!(f.check(0, &m, 10_000), Ok(()));
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(5),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(1));
+        assert_eq!(p.backoff(2), Duration::from_millis(2));
+        assert_eq!(p.backoff(3), Duration::from_millis(4));
+        assert_eq!(p.backoff(4), Duration::from_millis(5));
+        assert_eq!(p.backoff(5), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn fault_and_retry_stats_accumulate_and_reset() {
+        let stats = NetStats::new();
+        let m = NetworkModel::lan();
+        stats.record_fault(&m, FaultKind::Dropped);
+        stats.record_fault(&m, FaultKind::TimedOut);
+        stats.record_fault(&m, FaultKind::Partitioned);
+        stats.record_retry(&m, Duration::from_millis(1));
+        assert_eq!(stats.dropped(), 1);
+        assert_eq!(stats.timed_out(), 1);
+        assert_eq!(stats.partitioned(), 1);
+        assert_eq!(stats.retries(), 1);
+        // Faulted exchanges and backoffs still cost simulated time.
+        assert!(stats.serial_time() >= Duration::from_millis(1));
+        stats.reset();
+        assert_eq!(stats.dropped() + stats.timed_out() + stats.partitioned() + stats.retries(), 0);
     }
 
     #[test]

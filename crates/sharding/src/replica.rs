@@ -7,10 +7,26 @@
 //! statement replication from primary to healthy secondaries under a
 //! write concern, read preferences, primary failover by election of the
 //! lowest-id healthy member, and resynchronization of recovered members.
+//!
+//! Two divergence hazards of naive statement replication are handled
+//! explicitly:
+//!
+//! * **Upserts** materialize the document once on the primary and
+//!   replicate it *by value*, so every member stores the same `_id`
+//!   (re-running the upsert statement per member would mint a fresh
+//!   `_id` on each).
+//! * **Partial replication**: a secondary whose apply fails mid-write is
+//!   marked [`MemberState::Stale`] and excluded from traffic until
+//!   [`ReplicaSet::recover_member`] resyncs it; the write concern is
+//!   then judged against the applies that actually succeeded, never
+//!   against pre-checked member health alone.
 
 use doclite_bson::Document;
-use doclite_docstore::{Database, Error, Filter, FindOptions, Result, UpdateResult, UpdateSpec};
+use doclite_docstore::{
+    Database, Error, Filter, FindOptions, IndexDef, Result, UpdateResult, UpdateSpec,
+};
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// Health of one replica-set member.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,6 +35,11 @@ pub enum MemberState {
     Up,
     /// Crashed or partitioned; receives no traffic and misses writes.
     Down,
+    /// A replicated apply failed on this member after the primary had
+    /// already committed: its copy may silently trail the primary, so it
+    /// receives no traffic until [`ReplicaSet::recover_member`] resyncs
+    /// it from the primary.
+    Stale,
 }
 
 /// Where reads are served.
@@ -44,8 +65,19 @@ pub enum WriteConcern {
     All,
 }
 
+impl WriteConcern {
+    /// Acknowledgements required out of `total` configured members.
+    pub fn required(self, total: usize) -> usize {
+        match self {
+            WriteConcern::W1 => 1,
+            WriteConcern::Majority => total / 2 + 1,
+            WriteConcern::All => total,
+        }
+    }
+}
+
 struct Member {
-    db: Database,
+    db: Arc<Database>,
     state: MemberState,
 }
 
@@ -57,6 +89,9 @@ pub struct ReplicaSet {
     primary: RwLock<usize>,
 }
 
+// Lock ordering: `members` before `primary`, everywhere. Every method
+// below that takes both acquires them in that order, so writers cannot
+// deadlock against failover.
 impl ReplicaSet {
     /// Creates a set with `n` members (`n ≥ 1`); member 0 starts as
     /// primary.
@@ -65,7 +100,7 @@ impl ReplicaSet {
         let name = name.into();
         let members = (0..n)
             .map(|i| Member {
-                db: Database::new(format!("{name}_m{i}")),
+                db: Arc::new(Database::new(format!("{name}_m{i}"))),
                 state: MemberState::Up,
             })
             .collect();
@@ -101,42 +136,139 @@ impl ReplicaSet {
             .count()
     }
 
-    fn acknowledged(&self, concern: WriteConcern) -> Result<()> {
-        let total = self.member_count();
-        let healthy = self.healthy_members();
-        let needed = match concern {
-            WriteConcern::W1 => 1,
-            WriteConcern::Majority => total / 2 + 1,
-            WriteConcern::All => total,
-        };
-        if healthy < needed {
-            return Err(Error::InvalidQuery(format!(
-                "write concern not satisfiable: {healthy} healthy of {total}, need {needed}"
-            )));
-        }
-        Ok(())
+    /// The current primary's database handle, regardless of its health —
+    /// for inspection (balancer bookkeeping, tests, data-size reports),
+    /// not for serving traffic.
+    pub fn db(&self) -> Arc<Database> {
+        let members = self.members.read();
+        Arc::clone(&members[*self.primary.read()].db)
     }
 
-    /// Runs a closure against the primary and every healthy secondary
-    /// (synchronous statement replication).
-    fn replicate<R>(
-        &self,
-        concern: WriteConcern,
-        f: impl Fn(&Database) -> Result<R>,
-    ) -> Result<R> {
-        self.acknowledged(concern)?;
+    /// A specific member's database handle (inspection/convergence
+    /// checks).
+    pub fn member_db(&self, index: usize) -> Arc<Database> {
+        Arc::clone(&self.members.read()[index].db)
+    }
+
+    /// The primary's database for serving traffic; fails when the
+    /// primary is down and no election has replaced it.
+    pub fn primary_db(&self) -> Result<Arc<Database>> {
         let members = self.members.read();
         let primary = *self.primary.read();
         if members[primary].state != MemberState::Up {
-            return Err(Error::InvalidQuery("no primary available".into()));
+            return Err(Error::Unavailable(format!(
+                "replica set {}: no primary available",
+                self.name
+            )));
         }
-        let result = f(&members[primary].db)?;
-        for (i, m) in members.iter().enumerate() {
-            if i != primary && m.state == MemberState::Up {
-                f(&m.db)?;
+        Ok(Arc::clone(&members[primary].db))
+    }
+
+    /// The database a read under `pref` is served from: the primary by
+    /// default, a healthy secondary under
+    /// [`ReadPreference::Secondary`] — and, either way, *any* healthy
+    /// member as a fallback, so reads fail over while the set retains at
+    /// least one live member.
+    pub fn read_db(&self, pref: ReadPreference) -> Result<Arc<Database>> {
+        let members = self.members.read();
+        let primary = *self.primary.read();
+        let pick = |want_secondary: bool| {
+            members
+                .iter()
+                .enumerate()
+                .find(|(i, m)| (*i != primary) == want_secondary && m.state == MemberState::Up)
+        };
+        let chosen = match pref {
+            ReadPreference::Primary => pick(false).or_else(|| pick(true)),
+            ReadPreference::Secondary => pick(true).or_else(|| pick(false)),
+        };
+        match chosen {
+            Some((_, m)) => Ok(Arc::clone(&m.db)),
+            None => Err(Error::Unavailable(format!(
+                "replica set {}: no healthy member to read from",
+                self.name
+            ))),
+        }
+    }
+
+    /// Runs `primary_op` against the primary, then `secondary_op`
+    /// against every healthy secondary (synchronous statement
+    /// replication). A secondary whose apply fails is marked
+    /// [`MemberState::Stale`] — never silently left behind — and the
+    /// write concern is honored against the applies that *succeeded*.
+    ///
+    /// A statically unsatisfiable concern (fewer healthy members than
+    /// acknowledgements required) is rejected before touching the
+    /// primary; a concern that becomes unsatisfiable because applies
+    /// failed en route returns an error *after* the primary committed,
+    /// exactly like a MongoDB write-concern error (the write is not
+    /// rolled back).
+    fn replicate_with<R>(
+        &self,
+        concern: WriteConcern,
+        primary_op: impl FnOnce(&Database) -> Result<R>,
+        secondary_op: impl Fn(&Database, &R) -> Result<()>,
+    ) -> Result<R> {
+        let mut members = self.members.write();
+        let primary = *self.primary.read();
+        let total = members.len();
+        let needed = concern.required(total);
+        let healthy = members
+            .iter()
+            .filter(|m| m.state == MemberState::Up)
+            .count();
+        if members[primary].state != MemberState::Up {
+            return Err(Error::Unavailable(format!(
+                "replica set {}: no primary available",
+                self.name
+            )));
+        }
+        if healthy < needed {
+            return Err(Error::Unavailable(format!(
+                "write concern not satisfiable: {healthy} healthy of {total}, need {needed}"
+            )));
+        }
+        let result = primary_op(&members[primary].db)?;
+        let mut acked = 1usize;
+        for (i, m) in members.iter_mut().enumerate() {
+            if i == primary || m.state != MemberState::Up {
+                continue;
+            }
+            match secondary_op(&m.db, &result) {
+                Ok(()) => acked += 1,
+                // The member's copy may now trail the primary: take it
+                // out of rotation until recovery resyncs it.
+                Err(_) => m.state = MemberState::Stale,
             }
         }
+        if acked < needed {
+            return Err(Error::Unavailable(format!(
+                "write concern not satisfied: {acked} of {total} members acknowledged, need \
+                 {needed} (failed members marked stale; write committed on primary)"
+            )));
+        }
         Ok(result)
+    }
+
+    /// The sole member of a single-member set, if it is up — the fast
+    /// path for the thesis's unreplicated evaluation cluster, where
+    /// writes move straight into the store without defensive clones.
+    /// (With one member every concern requires exactly one ack, and
+    /// there is no secondary to mark stale, so the slow path's
+    /// bookkeeping is all vacuous.)
+    fn solo_member(&self) -> Option<Result<Arc<Database>>> {
+        let members = self.members.read();
+        if members.len() != 1 {
+            return None;
+        }
+        Some(if members[0].state == MemberState::Up {
+            Ok(Arc::clone(&members[0].db))
+        } else {
+            Err(Error::Unavailable(format!(
+                "replica set {}: no primary available",
+                self.name
+            )))
+        })
     }
 
     /// Inserts one document under a write concern.
@@ -146,15 +278,62 @@ impl ReplicaSet {
         doc: Document,
         concern: WriteConcern,
     ) -> Result<()> {
-        // ensure_id first so every member stores the same _id.
         let mut doc = doc;
+        if let Some(solo) = self.solo_member() {
+            return solo?.collection(collection).insert_one(doc).map(|_| ());
+        }
+        // ensure_id first so every member stores the same _id.
         doc.ensure_id();
-        self.replicate(concern, |db| {
-            db.collection(collection).insert_one(doc.clone()).map(|_| ())
-        })
+        self.replicate_with(
+            concern,
+            |db| db.collection(collection).insert_one(doc.clone()).map(|_| ()),
+            |db, ()| db.collection(collection).insert_one(doc.clone()).map(|_| ()),
+        )
+    }
+
+    /// Inserts a batch under a write concern; returns the batch size.
+    pub fn insert_many(
+        &self,
+        collection: &str,
+        docs: Vec<Document>,
+        concern: WriteConcern,
+    ) -> Result<usize> {
+        let mut docs = docs;
+        let n = docs.len();
+        if let Some(solo) = self.solo_member() {
+            return solo?
+                .collection(collection)
+                .insert_many(docs)
+                .map(|_| n)
+                .map_err(|(_, e)| e);
+        }
+        for d in &mut docs {
+            d.ensure_id();
+        }
+        self.replicate_with(
+            concern,
+            |db| {
+                db.collection(collection)
+                    .insert_many(docs.clone())
+                    .map(|_| ())
+                    .map_err(|(_, e)| e)
+            },
+            |db, ()| {
+                db.collection(collection)
+                    .insert_many(docs.clone())
+                    .map(|_| ())
+                    .map_err(|(_, e)| e)
+            },
+        )
+        .map(|()| n)
     }
 
     /// Updates under a write concern.
+    ///
+    /// Upserts are replicated by value: the primary materializes the new
+    /// document (minting its `_id` exactly once), and secondaries insert
+    /// that document verbatim instead of re-running the upsert — the one
+    /// statement whose re-execution is not deterministic across members.
     pub fn update(
         &self,
         collection: &str,
@@ -164,9 +343,32 @@ impl ReplicaSet {
         multi: bool,
         concern: WriteConcern,
     ) -> Result<UpdateResult> {
-        self.replicate(concern, |db| {
-            db.collection(collection).update(filter, spec, upsert, multi)
-        })
+        let (result, _) = self.replicate_with(
+            concern,
+            |db| {
+                let r = db.collection(collection).update(filter, spec, upsert, multi)?;
+                // Fetch the upserted document (if any) from the primary
+                // so secondaries can store an identical copy.
+                let upserted = match &r.upserted_id {
+                    Some(id) => db
+                        .get_collection(collection)?
+                        .find_one(&Filter::eq("_id", id.clone())),
+                    None => None,
+                };
+                Ok((r, upserted))
+            },
+            |db, (_, upserted)| match upserted {
+                Some(doc) => db.collection(collection).insert_one(doc.clone()).map(|_| ()),
+                // No upsert happened on the primary, so replicate the
+                // statement itself with upsert disabled: a stale
+                // secondary must not invent its own document.
+                None => db
+                    .collection(collection)
+                    .update(filter, spec, false, multi)
+                    .map(|_| ()),
+            },
+        )?;
+        Ok(result)
     }
 
     /// Deletes under a write concern; returns the primary's count.
@@ -176,15 +378,52 @@ impl ReplicaSet {
         filter: &Filter,
         concern: WriteConcern,
     ) -> Result<usize> {
-        self.replicate(concern, |db| {
-            Ok(db
-                .get_collection(collection)
-                .map(|c| c.delete_many(filter))
-                .unwrap_or(0))
-        })
+        self.replicate_with(
+            concern,
+            |db| {
+                Ok(db
+                    .get_collection(collection)
+                    .map(|c| c.delete_many(filter))
+                    .unwrap_or(0))
+            },
+            |db, _| {
+                db.get_collection(collection)
+                    .map(|c| c.delete_many(filter))
+                    .ok();
+                Ok(())
+            },
+        )
     }
 
-    /// Reads under a read preference.
+    /// Creates an index on every healthy member (replicated DDL, so
+    /// secondaries can serve index-backed reads after failover).
+    pub fn create_index(&self, collection: &str, def: IndexDef) -> Result<()> {
+        self.replicate_with(
+            WriteConcern::W1,
+            |db| db.collection(collection).create_index(def.clone()),
+            |db, ()| db.collection(collection).create_index(def.clone()),
+        )
+    }
+
+    /// Drops a collection on every healthy member; true if the primary
+    /// had it.
+    pub fn drop_collection(&self, collection: &str) -> bool {
+        let members = self.members.write();
+        let primary = *self.primary.read();
+        let mut existed = false;
+        for (i, m) in members.iter().enumerate() {
+            let dropped = m.db.drop_collection(collection);
+            if i == primary {
+                existed = dropped;
+            }
+        }
+        existed
+    }
+
+    /// Reads under a read preference, failing over to any healthy member
+    /// when the preferred one is gone. Returns an empty result when no
+    /// member is reachable (use [`ReplicaSet::read_db`] for a fallible
+    /// handle).
     pub fn find_with(
         &self,
         collection: &str,
@@ -192,18 +431,10 @@ impl ReplicaSet {
         opts: &FindOptions,
         pref: ReadPreference,
     ) -> Vec<Document> {
-        let members = self.members.read();
-        let primary = *self.primary.read();
-        let target = match pref {
-            ReadPreference::Primary => primary,
-            ReadPreference::Secondary => members
-                .iter()
-                .enumerate()
-                .find(|(i, m)| *i != primary && m.state == MemberState::Up)
-                .map(|(i, _)| i)
-                .unwrap_or(primary),
+        let Ok(db) = self.read_db(pref) else {
+            return Vec::new();
         };
-        match members[target].db.get_collection(collection) {
+        match db.get_collection(collection) {
             Ok(c) => c.find_with(filter, opts),
             Err(_) => Vec::new(),
         }
@@ -232,7 +463,9 @@ impl ReplicaSet {
 
     /// Brings a member back up, resynchronizing its data from the
     /// current primary (initial-sync semantics: its state is replaced by
-    /// a copy of the primary's).
+    /// a copy of the primary's, index definitions included). The
+    /// member's database handle stays the same `Arc`, so held references
+    /// observe the resynced state.
     pub fn recover_member(&self, index: usize) {
         let mut members = self.members.write();
         let primary = *self.primary.read();
@@ -240,18 +473,19 @@ impl ReplicaSet {
             members[index].state = MemberState::Up;
             return;
         }
-        // Rebuild the member's database from the primary.
-        let fresh = Database::new(format!("{}_m{index}", self.name));
-        for name in members[primary].db.collection_names() {
-            let docs = members[primary]
-                .db
-                .get_collection(&name)
-                .map(|c| c.all_docs())
-                .unwrap_or_default();
-            let coll = fresh.collection(&name);
-            coll.insert_many(docs).ok();
+        // Rebuild the member's data in place from the primary.
+        let target = Arc::clone(&members[index].db);
+        for name in target.collection_names() {
+            target.drop_collection(&name);
         }
-        members[index].db = fresh;
+        for name in members[primary].db.collection_names() {
+            let Ok(src) = members[primary].db.get_collection(&name) else { continue };
+            let dst = target.collection(&name);
+            for def in src.index_defs() {
+                dst.create_index(def).ok();
+            }
+            dst.insert_many(src.all_docs()).ok();
+        }
         members[index].state = MemberState::Up;
     }
 }
@@ -272,9 +506,8 @@ mod tests {
     #[test]
     fn writes_replicate_to_all_members() {
         let rs = seeded(3);
-        let members = rs.members.read();
-        for m in members.iter() {
-            assert_eq!(m.db.get_collection("c").unwrap().len(), 10);
+        for i in 0..3 {
+            assert_eq!(rs.member_db(i).get_collection("c").unwrap().len(), 10);
         }
     }
 
@@ -290,9 +523,17 @@ mod tests {
     #[test]
     fn secondary_reads_serve_from_secondary() {
         let rs = seeded(3);
-        // Make the primary diverge by writing with W1 while secondaries
-        // are down — simpler: fail secondaries, write, recover, then the
-        // recovered member is resynced and identical again.
+        assert_eq!(
+            rs.find("c", &Filter::True, ReadPreference::Secondary).len(),
+            10
+        );
+    }
+
+    #[test]
+    fn secondary_reads_fall_back_to_primary_when_alone() {
+        let rs = seeded(3);
+        rs.fail_member(1);
+        rs.fail_member(2);
         assert_eq!(
             rs.find("c", &Filter::True, ReadPreference::Secondary).len(),
             10
@@ -342,8 +583,94 @@ mod tests {
         }
         rs.recover_member(2);
         assert_eq!(rs.healthy_members(), 3);
-        let member2_len = rs.members.read()[2].db.get_collection("c").unwrap().len();
-        assert_eq!(member2_len, 20);
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 20);
+    }
+
+    #[test]
+    fn recovery_resync_copies_index_definitions() {
+        let rs = seeded(3);
+        rs.create_index("c", IndexDef::single("k")).unwrap();
+        rs.fail_member(2);
+        rs.insert_one("c", doc! {"k" => 500i64}, WriteConcern::Majority).unwrap();
+        rs.recover_member(2);
+        let defs = rs.member_db(2).get_collection("c").unwrap().index_defs();
+        assert!(defs.iter().any(|d| d.name == "k_1"), "{defs:?}");
+    }
+
+    #[test]
+    fn upserted_id_is_identical_on_every_member() {
+        let rs = ReplicaSet::new("rs0", 3);
+        let r = rs
+            .update(
+                "c",
+                &Filter::eq("k", 7i64),
+                &UpdateSpec::set("v", 1i64),
+                true,
+                false,
+                WriteConcern::All,
+            )
+            .unwrap();
+        let id = r.upserted_id.expect("upserted");
+        for i in 0..3 {
+            let docs = rs
+                .member_db(i)
+                .get_collection("c")
+                .unwrap()
+                .find(&Filter::eq("k", 7i64));
+            assert_eq!(docs.len(), 1, "member {i}");
+            assert_eq!(docs[0].id(), Some(&id), "member {i} minted its own _id");
+        }
+    }
+
+    #[test]
+    fn failed_secondary_apply_marks_member_stale_and_concern_counts_acks() {
+        let rs = ReplicaSet::new("rs0", 3);
+        rs.insert_one("c", doc! {"_id" => 1i64, "k" => 1i64}, WriteConcern::All)
+            .unwrap();
+        // Sabotage member 2: give it a conflicting doc so the next
+        // replicated insert fails there (duplicate _id).
+        rs.member_db(2)
+            .collection("c")
+            .insert_one(doc! {"_id" => 2i64, "rogue" => true})
+            .unwrap();
+        // W1 succeeds (primary committed) but member 2 must be stale.
+        rs.insert_one("c", doc! {"_id" => 2i64, "k" => 2i64}, WriteConcern::W1)
+            .unwrap();
+        assert_eq!(rs.member_state(2), MemberState::Stale);
+        assert_eq!(rs.healthy_members(), 2);
+        // An All write is now rejected up front (stale member can't ack).
+        assert!(rs
+            .insert_one("c", doc! {"_id" => 3i64}, WriteConcern::All)
+            .is_err());
+        // Recovery resyncs the stale copy; divergence is repaired.
+        rs.recover_member(2);
+        assert_eq!(rs.member_state(2), MemberState::Up);
+        let primary_docs = rs.member_db(0).get_collection("c").unwrap().len();
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), primary_docs);
+        assert_eq!(
+            rs.member_db(2)
+                .get_collection("c")
+                .unwrap()
+                .find(&Filter::eq("rogue", true))
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn concern_failure_after_primary_commit_reports_error_without_rollback() {
+        let rs = ReplicaSet::new("rs0", 2);
+        rs.member_db(1)
+            .collection("c")
+            .insert_one(doc! {"_id" => 9i64})
+            .unwrap();
+        // Both members look healthy, so the pre-check passes; the
+        // secondary apply then fails, so w:all cannot be satisfied.
+        let err = rs.insert_one("c", doc! {"_id" => 9i64, "k" => 9i64}, WriteConcern::All);
+        assert!(err.is_err());
+        // MongoDB semantics: the primary keeps the write.
+        assert_eq!(rs.member_db(0).get_collection("c").unwrap().len(), 1);
+        assert_eq!(rs.member_state(1), MemberState::Stale);
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use crate::chunk::{KeyBound, ShardId};
 use crate::config::ConfigServer;
-use crate::network::{NetStats, NetworkModel};
+use crate::network::{Faults, NetStats, NetworkModel, RetryPolicy};
+use crate::replica::{ReadPreference, WriteConcern};
 use crate::shard::Shard;
 use crate::targeting::{target, Targeting};
 use doclite_bson::{codec::encoded_size, Document};
@@ -13,6 +14,7 @@ use doclite_docstore::{
     compile, project_paths, CompoundKey, Error, Filter, FindOptions, IndexDef, Pipeline, Result,
     Stage, UpdateResult, UpdateSpec,
 };
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Whether scatter-gather legs run concurrently (one thread per shard,
@@ -23,6 +25,19 @@ pub enum ScatterMode {
     #[default]
     Parallel,
     Sequential,
+}
+
+/// What the router does when a whole shard stays unreachable after
+/// retries during a scatter-gather read — the caller's choice between
+/// failing loudly and degrading gracefully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DegradedReads {
+    /// Fail the operation (MongoDB's default behaviour).
+    #[default]
+    Fail,
+    /// Return results from the reachable shards and record a warning,
+    /// drainable via [`Mongos::take_warnings`].
+    Partial,
 }
 
 /// The router. All application traffic flows through here, as in the
@@ -36,6 +51,18 @@ pub struct Mongos {
     /// Unsharded collections live on this shard (MongoDB's "primary
     /// shard" for a database).
     primary: ShardId,
+    /// Injectable router↔shard faults (chaos testing).
+    faults: Arc<Faults>,
+    /// Bounded exponential backoff for faulted exchanges.
+    retry: RetryPolicy,
+    /// Behaviour when a shard stays unreachable during a read.
+    degraded: DegradedReads,
+    /// Write concern applied to every routed write.
+    write_concern: WriteConcern,
+    /// Member preference for routed reads.
+    read_pref: ReadPreference,
+    /// Warnings from degraded (partial-result) reads.
+    warnings: Mutex<Vec<String>>,
 }
 
 impl Mongos {
@@ -53,12 +80,58 @@ impl Mongos {
             stats: Arc::new(NetStats::new()),
             scatter: ScatterMode::default(),
             primary: 0,
+            faults: Arc::new(Faults::new()),
+            retry: RetryPolicy::default(),
+            degraded: DegradedReads::default(),
+            write_concern: WriteConcern::default(),
+            read_pref: ReadPreference::default(),
+            warnings: Mutex::new(Vec::new()),
         }
     }
 
     /// Sets the scatter-gather execution mode.
     pub fn set_scatter_mode(&mut self, mode: ScatterMode) {
         self.scatter = mode;
+    }
+
+    /// Sets the retry/backoff policy for faulted exchanges.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Sets the degraded-read behaviour.
+    pub fn set_degraded_reads(&mut self, degraded: DegradedReads) {
+        self.degraded = degraded;
+    }
+
+    /// Sets the write concern for routed writes.
+    pub fn set_write_concern(&mut self, concern: WriteConcern) {
+        self.write_concern = concern;
+    }
+
+    /// Sets the read preference for routed reads.
+    pub fn set_read_preference(&mut self, pref: ReadPreference) {
+        self.read_pref = pref;
+    }
+
+    /// The injectable fault plan (partition toggles, drop probability,
+    /// request timeouts).
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
+    /// The retry policy in force.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Drains the warnings recorded by degraded reads.
+    pub fn take_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut self.warnings.lock())
+    }
+
+    fn warn(&self, w: String) {
+        self.warnings.lock().push(w);
     }
 
     /// Network statistics accumulated by this router.
@@ -85,6 +158,100 @@ impl Mongos {
         &self.shards[id]
     }
 
+    /// Runs a read leg against `shard` under the injected fault plan:
+    /// the leg executes, then the exchange (sized by its response) is
+    /// subjected to the plan, and a faulted exchange is retried with
+    /// bounded exponential backoff. Replica-set-level errors (no
+    /// reachable member) surface immediately — retries address
+    /// *network* faults; member faults are the replica set's problem
+    /// (election, read failover). With no faults active this adds a
+    /// single branch on one relaxed atomic load to the healthy path.
+    fn read_exchange<T>(
+        &self,
+        shard: ShardId,
+        op: impl Fn() -> Result<T>,
+        bytes_of: impl Fn(&T) -> usize,
+    ) -> Result<T> {
+        if !self.faults.active() {
+            return op();
+        }
+        let mut attempt = 0u32;
+        loop {
+            let v = op()?;
+            match self.faults.check(shard, &self.network, bytes_of(&v)) {
+                Ok(()) => return Ok(v),
+                Err(kind) => {
+                    self.stats.record_fault(&self.network, kind);
+                    if attempt >= self.retry.max_retries {
+                        return Err(Error::Unavailable(format!(
+                            "Shard{} unreachable: {kind} (gave up after {attempt} retries)",
+                            shard + 1
+                        )));
+                    }
+                    attempt += 1;
+                    self.stats
+                        .record_retry(&self.network, self.retry.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// Runs a write against `shard` under the fault plan. The exchange
+    /// is checked *before* the operation applies (sized by the
+    /// request), so a dropped or timed-out write retries without ever
+    /// being half-applied; once the request goes through,
+    /// operation-level errors (duplicate key, write concern) surface
+    /// unretried — retrying those would re-apply a committed write.
+    fn write_exchange<T>(
+        &self,
+        shard: ShardId,
+        request_bytes: usize,
+        op: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        if !self.faults.active() {
+            return op();
+        }
+        let mut op = Some(op);
+        let mut attempt = 0u32;
+        loop {
+            match self.faults.check(shard, &self.network, request_bytes) {
+                Ok(()) => return op.take().expect("write attempted once")(),
+                Err(kind) => {
+                    self.stats.record_fault(&self.network, kind);
+                    if attempt >= self.retry.max_retries {
+                        return Err(Error::Unavailable(format!(
+                            "Shard{} unreachable: {kind} (gave up after {attempt} retries)",
+                            shard + 1
+                        )));
+                    }
+                    attempt += 1;
+                    self.stats
+                        .record_retry(&self.network, self.retry.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// Applies the degraded-read policy to scatter legs: under
+    /// [`DegradedReads::Fail`] the first unreachable shard fails the
+    /// whole read; under [`DegradedReads::Partial`] reachable legs are
+    /// kept and a warning is recorded per missing shard.
+    fn gather<T>(&self, legs: Vec<Result<T>>) -> Result<Vec<T>> {
+        let mut out = Vec::with_capacity(legs.len());
+        for leg in legs {
+            match leg {
+                Ok(v) => out.push(v),
+                Err(e) => match self.degraded {
+                    DegradedReads::Fail => return Err(e),
+                    DegradedReads::Partial => {
+                        self.warn(format!("{e}; returning partial results"))
+                    }
+                },
+            }
+        }
+        Ok(out)
+    }
+
     /// Routes and stores one document without charging the network;
     /// returns the bytes written. Triggers a chunk split when the target
     /// chunk crosses the size threshold.
@@ -92,19 +259,21 @@ impl Mongos {
         let bytes = encoded_size(&doc);
         match self.config.meta(collection) {
             None => {
-                self.shard(self.primary)
-                    .db()
-                    .collection(collection)
-                    .insert_one(doc)?;
+                self.write_exchange(self.primary, bytes, || {
+                    self.shard(self.primary)
+                        .replica_set()
+                        .insert_one(collection, doc, self.write_concern)
+                })?;
             }
             Some(meta) => {
                 let key = meta.key.extract(&doc);
                 let chunk_idx = meta.chunk_for(&key);
                 let shard_id = meta.chunks[chunk_idx].shard;
-                self.shard(shard_id)
-                    .db()
-                    .collection(collection)
-                    .insert_one(doc)?;
+                self.write_exchange(shard_id, bytes, || {
+                    self.shard(shard_id)
+                        .replica_set()
+                        .insert_one(collection, doc, self.write_concern)
+                })?;
                 let needs_split = self
                     .config
                     .with_meta_mut(collection, |m| {
@@ -230,6 +399,20 @@ impl Mongos {
         filter: &Filter,
         opts: &FindOptions,
     ) -> Vec<Document> {
+        self.try_find_with(collection, filter, opts)
+            .expect("find failed (use try_find_with under fault injection)")
+    }
+
+    /// [`Mongos::find_with`], surfacing shard unavailability instead of
+    /// panicking — the entry point once faults are in play. Under
+    /// [`DegradedReads::Partial`] an unreachable shard's leg is dropped
+    /// with a warning instead of failing the read.
+    pub fn try_find_with(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+    ) -> Result<Vec<Document>> {
         let shard_ids = self.route(collection, filter);
         // Compile the filter once at the router; every leg shares it.
         let compiled = compile(filter);
@@ -259,12 +442,25 @@ impl Mongos {
         };
         let legs = self.scatter_legs(
             &shard_ids,
-            |id| match self.shard(id).db().get_collection(collection) {
-                Ok(coll) => coll.find_with_shared(filter, &compiled, &leg_opts),
-                Err(_) => Vec::new(),
+            |id| {
+                self.read_exchange(
+                    id,
+                    || {
+                        let db = self.shard(id).read_db(self.read_pref)?;
+                        Ok(match db.get_collection(collection) {
+                            Ok(coll) => coll.find_with_shared(filter, &compiled, &leg_opts),
+                            Err(_) => Vec::new(),
+                        })
+                    },
+                    |docs| docs.iter().map(encoded_size).sum(),
+                )
             },
-            |docs| docs.iter().map(encoded_size).sum(),
+            |leg: &Result<Vec<Document>>| match leg {
+                Ok(docs) => docs.iter().map(encoded_size).sum(),
+                Err(_) => 0,
+            },
         );
+        let legs = self.gather(legs)?;
         let mut docs: Vec<Document> = if opts.sort.is_empty() {
             legs.into_iter().flatten().collect()
         } else {
@@ -282,7 +478,7 @@ impl Mongos {
                 .map(|d| project_paths(d, &opts.projection))
                 .collect();
         }
-        docs
+        Ok(docs)
     }
 
     /// `find` with default options.
@@ -350,15 +546,38 @@ impl Mongos {
 
     /// Counts matching documents across the targeted shards.
     pub fn count(&self, collection: &str, filter: &Filter) -> usize {
+        self.try_count(collection, filter)
+            .expect("count failed (use try_count under fault injection)")
+    }
+
+    /// [`Mongos::count`], surfacing shard unavailability. Under
+    /// [`DegradedReads::Partial`] unreachable shards are skipped with a
+    /// warning and the count covers the reachable ones.
+    pub fn try_count(&self, collection: &str, filter: &Filter) -> Result<usize> {
         let shard_ids = self.route(collection, filter);
         let mut n = 0;
         for id in shard_ids {
-            if let Ok(coll) = self.shard(id).db().get_collection(collection) {
-                n += coll.count(filter);
+            let leg = self.read_exchange(
+                id,
+                || {
+                    let db = self.shard(id).read_db(self.read_pref)?;
+                    Ok(db
+                        .get_collection(collection)
+                        .map(|c| c.count(filter))
+                        .unwrap_or(0))
+                },
+                |_| 16,
+            );
+            match leg {
+                Ok(c) => n += c,
+                Err(e) => match self.degraded {
+                    DegradedReads::Fail => return Err(e),
+                    DegradedReads::Partial => self.warn(format!("{e}; count may be partial")),
+                },
             }
             self.stats.charge(&self.network, 16);
         }
-        n
+        Ok(n)
     }
 
     /// Routes an update to the shards its filter targets.
@@ -373,8 +592,16 @@ impl Mongos {
         let shard_ids = self.route(collection, filter);
         let mut total = UpdateResult::default();
         for id in &shard_ids {
-            let coll = self.shard(*id).db().collection(collection);
-            let r = coll.update(filter, spec, false, multi)?;
+            let r = self.write_exchange(*id, 64, || {
+                self.shard(*id).replica_set().update(
+                    collection,
+                    filter,
+                    spec,
+                    false,
+                    multi,
+                    self.write_concern,
+                )
+            })?;
             self.stats.charge(&self.network, 64);
             total.matched += r.matched;
             total.modified += r.modified;
@@ -392,8 +619,16 @@ impl Mongos {
                 }
                 None => self.primary,
             };
-            let coll = self.shard(shard_id).db().collection(collection);
-            let r = coll.update(filter, spec, true, multi)?;
+            let r = self.write_exchange(shard_id, 64, || {
+                self.shard(shard_id).replica_set().update(
+                    collection,
+                    filter,
+                    spec,
+                    true,
+                    multi,
+                    self.write_concern,
+                )
+            })?;
             self.stats.charge(&self.network, 64);
             total.upserted_id = r.upserted_id;
         }
@@ -402,21 +637,34 @@ impl Mongos {
 
     /// Routes a delete.
     pub fn delete_many(&self, collection: &str, filter: &Filter) -> usize {
+        self.try_delete_many(collection, filter)
+            .expect("delete failed (use try_delete_many under fault injection)")
+    }
+
+    /// [`Mongos::delete_many`], surfacing shard unavailability (writes
+    /// never degrade to partial application silently).
+    pub fn try_delete_many(&self, collection: &str, filter: &Filter) -> Result<usize> {
         let shard_ids = self.route(collection, filter);
         let mut n = 0;
         for id in shard_ids {
-            if let Ok(coll) = self.shard(id).db().get_collection(collection) {
-                n += coll.delete_many(filter);
-            }
+            n += self.write_exchange(id, 16, || {
+                self.shard(id)
+                    .replica_set()
+                    .delete_many(collection, filter, self.write_concern)
+            })?;
             self.stats.charge(&self.network, 16);
         }
-        n
+        Ok(n)
     }
 
-    /// Creates an index on every shard's copy of the collection.
+    /// Creates an index on every shard's copy of the collection
+    /// (replicated to every member, so secondaries can serve
+    /// index-backed reads after failover).
     pub fn create_index(&self, collection: &str, def: IndexDef) -> Result<()> {
         for shard in &self.shards {
-            shard.db().collection(collection).create_index(def.clone())?;
+            self.write_exchange(shard.id(), 64, || {
+                shard.replica_set().create_index(collection, def.clone())
+            })?;
             self.stats.charge(&self.network, 64);
         }
         Ok(())
@@ -463,36 +711,44 @@ impl Mongos {
         let shard_ids = self.route(collection, &push_down);
         let legs = self.scatter_legs(
             &shard_ids,
-            |id| match self.shard(id).db().get_collection(collection) {
-                Ok(coll) => coll.aggregate_with(&leg_pipe, None),
-                Err(_) => Ok(Vec::new()),
+            |id| {
+                self.read_exchange(
+                    id,
+                    || {
+                        let db = self.shard(id).read_db(self.read_pref)?;
+                        match db.get_collection(collection) {
+                            Ok(coll) => coll.aggregate_with(&leg_pipe, None),
+                            Err(_) => Ok(Vec::new()),
+                        }
+                    },
+                    |docs| docs.iter().map(encoded_size).sum(),
+                )
             },
             |leg: &Result<Vec<Document>>| match leg {
                 Ok(docs) => docs.iter().map(encoded_size).sum(),
                 Err(_) => 0,
             },
         );
-        let mut merged: Vec<Document> = Vec::new();
-        for leg in legs {
-            merged.extend(leg?);
-        }
+        let merged: Vec<Document> = self.gather(legs)?.into_iter().flatten().collect();
         // $lookup resolves against the primary shard, where unsharded
         // collections live (MongoDB requires the from-collection of a
         // $lookup to be unsharded).
-        let results =
-            stream::execute_streaming(merged, rest, Some(self.shard(self.primary).db()))?;
+        let lookup_db = self.shard(self.primary).db();
+        let results = stream::execute_streaming(merged, rest, Some(&*lookup_db))?;
 
         if let Some(name) = out_target {
             let out_bytes: usize = results.iter().map(encoded_size).sum();
-            let db = self.shard(self.primary).db();
-            db.drop_collection(name);
-            let out = db.collection(name);
-            // Move the results into the target collection; the returned
-            // documents are re-read from the store, so pipeline outputs
-            // without an _id gain a store-assigned ObjectId.
-            out.insert_many(results).map_err(|(_, e)| e)?;
+            let rs = self.shard(self.primary).replica_set();
+            rs.drop_collection(name);
+            // Move the results into the target collection on every
+            // member; the returned documents are re-read from the
+            // store, so pipeline outputs without an _id gain a
+            // store-assigned ObjectId.
+            self.write_exchange(self.primary, out_bytes, || {
+                rs.insert_many(name, results, self.write_concern)
+            })?;
             self.stats.charge(&self.network, out_bytes);
-            return Ok(out.all_docs());
+            return Ok(rs.db().get_collection(name)?.all_docs());
         }
         Ok(results)
     }
@@ -537,13 +793,15 @@ impl Mongos {
         key: crate::shardkey::ShardKey,
         max_chunk_size: usize,
     ) -> Result<usize> {
-        // Gather all documents currently stored anywhere.
+        // Gather all documents currently stored anywhere, then drop the
+        // collection on every replica-set member so no stale copy
+        // survives the reshard.
         let mut docs: Vec<Document> = Vec::new();
         for shard in &self.shards {
             if let Ok(coll) = shard.db().get_collection(collection) {
                 docs.extend(coll.all_docs());
             }
-            shard.db().drop_collection(collection);
+            shard.replica_set().drop_collection(collection);
         }
         // Shard-key index plus metadata, then reload through the router.
         let def = match key.partitioning() {
@@ -573,8 +831,8 @@ impl Mongos {
         if chunk.shard == to {
             return Ok(0);
         }
-        let src = self.shard(chunk.shard).db().collection(collection);
-        let dst = self.shard(to).db().collection(collection);
+        let src_rs = self.shard(chunk.shard).replica_set();
+        let src = src_rs.db().collection(collection);
 
         // Identify resident documents of this chunk.
         let mut moving: Vec<Document> = Vec::new();
@@ -585,11 +843,16 @@ impl Mongos {
         });
         let bytes: usize = moving.iter().map(encoded_size).sum();
         let n = moving.len();
+        // Migration is internal data movement: it replicates to every
+        // healthy member of both sides but only requires the primaries
+        // (W1) — a down member catches up at recovery resync.
         for doc in &moving {
             let id = doc.id().expect("stored docs have _id").clone();
-            src.delete_many(&Filter::eq("_id", id));
+            src_rs.delete_many(collection, &Filter::eq("_id", id), WriteConcern::W1)?;
         }
-        dst.insert_many(moving).map_err(|(_, e)| e)?;
+        self.shard(to)
+            .replica_set()
+            .insert_many(collection, moving, WriteConcern::W1)?;
         // Source→destination transfer plus two metadata round-trips.
         self.stats.charge(&self.network, bytes);
         self.stats.charge(&self.network, 64);

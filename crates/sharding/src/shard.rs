@@ -1,22 +1,39 @@
-//! A shard: one `mongod` instance holding a slice of the data
-//! (thesis Section 2.1.3.1 component i).
+//! A shard: one cluster node holding a slice of the data (thesis
+//! Section 2.1.3.1 component i). A shard is "either a single mongod
+//! instance or a replica set" — here every shard is backed by a
+//! [`ReplicaSet`], with a single-member set standing in for the bare
+//! `mongod` of the thesis's evaluation cluster and multi-member sets
+//! reproducing Fig 2.5's replicated production topology.
 
 use crate::chunk::ShardId;
-use doclite_docstore::Database;
+use crate::replica::{ReadPreference, ReplicaSet};
+use doclite_docstore::{Database, Result};
+use std::sync::Arc;
 
-/// A shard wraps a full document-store engine, exactly as each cluster
-/// node in the paper ran its own `mongod`.
+/// A shard wraps a replica set of full document-store engines, exactly
+/// as each cluster node in the paper ran its own `mongod`.
 pub struct Shard {
     id: ShardId,
     name: String,
-    db: Database,
+    rs: ReplicaSet,
 }
 
 impl Shard {
-    /// Creates a shard with a conventional name (`Shard1`, `Shard2`, … —
-    /// the node names of thesis Table 3.4).
+    /// Creates a single-member shard with a conventional name (`Shard1`,
+    /// `Shard2`, … — the node names of thesis Table 3.4).
     pub fn new(id: ShardId, db_name: &str) -> Self {
-        Shard { id, name: format!("Shard{}", id + 1), db: Database::new(db_name) }
+        Self::with_replicas(id, db_name, 1)
+    }
+
+    /// Creates a shard backed by a `members`-strong replica set
+    /// (`members ≥ 1`). Member databases are named
+    /// `{db_name}_s{id}_m{member}`.
+    pub fn with_replicas(id: ShardId, db_name: &str, members: usize) -> Self {
+        Shard {
+            id,
+            name: format!("Shard{}", id + 1),
+            rs: ReplicaSet::new(format!("{db_name}_s{id}"), members),
+        }
     }
 
     /// The shard id.
@@ -29,20 +46,42 @@ impl Shard {
         &self.name
     }
 
-    /// The shard-local database engine.
-    pub fn db(&self) -> &Database {
-        &self.db
+    /// The backing replica set.
+    pub fn replica_set(&self) -> &ReplicaSet {
+        &self.rs
     }
 
-    /// Bytes of data stored on this shard.
+    /// The shard-local database engine: the replica-set primary's copy.
+    /// This is the inspection handle (balancer bookkeeping, tests,
+    /// data-size reports); routed traffic goes through
+    /// [`Shard::replica_set`] or [`Shard::read_db`] so replication and
+    /// failover apply.
+    pub fn db(&self) -> Arc<Database> {
+        self.rs.db()
+    }
+
+    /// The database serving reads under `pref`, with failover to any
+    /// healthy member; errors when every member is down.
+    pub fn read_db(&self, pref: ReadPreference) -> Result<Arc<Database>> {
+        self.rs.read_db(pref)
+    }
+
+    /// Number of replica-set members.
+    pub fn member_count(&self) -> usize {
+        self.rs.member_count()
+    }
+
+    /// Bytes of data stored on this shard (primary copy; replicas hold
+    /// the same data again).
     pub fn data_size(&self) -> usize {
-        self.db.data_size()
+        self.db().data_size()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::replica::WriteConcern;
     use doclite_bson::doc;
 
     #[test]
@@ -57,5 +96,16 @@ mod tests {
         s.db().collection("c").insert_one(doc! {"a" => 1i64}).unwrap();
         assert_eq!(s.db().get_collection("c").unwrap().len(), 1);
         assert!(s.data_size() > 0);
+    }
+
+    #[test]
+    fn replicated_shard_serves_reads_after_primary_loss() {
+        let s = Shard::with_replicas(0, "d", 3);
+        s.replica_set()
+            .insert_one("c", doc! {"a" => 1i64}, WriteConcern::Majority)
+            .unwrap();
+        s.replica_set().fail_member(0);
+        let db = s.read_db(ReadPreference::Primary).unwrap();
+        assert_eq!(db.get_collection("c").unwrap().len(), 1);
     }
 }

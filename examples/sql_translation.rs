@@ -58,7 +58,7 @@ fn main() {
             model: DataModel::Denormalized,
             deployment: Deployment::Standalone,
         },
-        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 1 << 20 },
+        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 1 << 20, ..SetupOptions::default() },
     )
     .expect("setup");
 

@@ -17,7 +17,7 @@ use doclite::tpcds::{QueryId, QueryParams};
 const SF: f64 = 0.003;
 
 fn opts() -> SetupOptions {
-    SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024 }
+    SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024, ..SetupOptions::default() }
 }
 
 #[test]

@@ -73,7 +73,7 @@ fn queries_over_migrated_dat_data_match_direct_loads() {
             model: DataModel::Denormalized,
             deployment: Deployment::Standalone,
         },
-        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024 },
+        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024, ..SetupOptions::default() },
     )
     .unwrap();
 

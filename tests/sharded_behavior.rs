@@ -5,7 +5,9 @@
 
 use doclite::bson::doc;
 use doclite::docstore::Filter;
-use doclite::sharding::{NetMode, NetworkModel, ScatterMode, ShardKey, ShardedCluster};
+use doclite::sharding::{
+    chaos, ClusterConfig, NetMode, NetworkModel, ScatterMode, ShardKey, ShardedCluster,
+};
 use doclite::tpcds::{Generator, TableId};
 use std::time::Duration;
 
@@ -103,6 +105,55 @@ fn scatter_modes_and_deployments_agree_on_results() {
         .insert_many(gen.documents(TableId::StoreSales))
         .unwrap();
     assert_eq!(db.get_collection("store_sales").unwrap().find(&f).len(), parallel);
+}
+
+#[test]
+fn replica_backed_cluster_survives_member_loss_and_converges() {
+    // The production topology of thesis Fig 2.5: every shard is a
+    // replica set. Queries must not notice a single member dying, and
+    // after recovery all members must hold identical data.
+    let cluster = ShardedCluster::with_config(ClusterConfig {
+        n_shards: 3,
+        replicas_per_shard: 3,
+        db_name: "t_rs".into(),
+        network: NetworkModel::lan(),
+        ..ClusterConfig::default()
+    });
+    cluster
+        .shard_collection("store_sales", ShardKey::range(["ss_ticket_number"]), 128 * 1024)
+        .unwrap();
+    let gen = Generator::new(0.002);
+    cluster
+        .router()
+        .insert_many(
+            "store_sales",
+            gen.documents(TableId::StoreSales).collect::<Vec<_>>(),
+        )
+        .unwrap();
+    cluster.balance().unwrap();
+    for entry in cluster.router().config().shard_entries() {
+        assert_eq!(entry.members, 3, "{} registered wrong member count", entry.name);
+    }
+
+    let f = Filter::between("ss_quantity", 10i64, 20i64);
+    let healthy = cluster.router().find("store_sales", &f).len();
+    assert!(healthy > 0);
+
+    // Kill the primary of every shard: elections promote secondaries
+    // and the same query returns the same rows.
+    for shard in cluster.router().shards() {
+        shard.replica_set().fail_member(0);
+    }
+    assert_eq!(cluster.router().find("store_sales", &f).len(), healthy);
+
+    // Writes land on the new primaries; recovery resyncs the old ones.
+    cluster
+        .router()
+        .insert_one("store_sales", doc! {"ss_ticket_number" => -1i64})
+        .unwrap();
+    chaos::heal_all(&cluster);
+    chaos::check_convergence(&cluster).unwrap();
+    assert_eq!(cluster.router().find("store_sales", &f).len(), healthy);
 }
 
 #[test]

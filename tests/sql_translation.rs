@@ -26,7 +26,7 @@ fn env() -> doclite::core::experiment::Environment {
             model: DataModel::Denormalized,
             deployment: Deployment::Standalone,
         },
-        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024 },
+        &SetupOptions { network: NetworkModel::free(), max_chunk_size: 128 * 1024, ..SetupOptions::default() },
     )
     .unwrap()
 }
