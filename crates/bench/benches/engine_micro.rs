@@ -144,6 +144,44 @@ fn bench_agg_streaming(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_wal_overhead(c: &mut Criterion) {
+    // What logging costs the write path. The baseline collection has no
+    // WAL attached; the durable ones log every insert, with fsync policy
+    // as the variable. `Never` isolates pure frame-encoding + file-write
+    // overhead — the healthy-path cost a cluster without durability
+    // never pays.
+    use doclite_docstore::{DurableDb, SyncPolicy, WalOptions};
+    let scratch = std::env::temp_dir().join(format!("doclite_walbench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut g = c.benchmark_group("wal_overhead");
+    g.bench_function("insert_no_wal", |b| {
+        let coll = Collection::new("w0");
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            coll.insert_one(doc! {"_id" => i, "v" => i * 3}).unwrap()
+        })
+    });
+    for (label, sync) in [
+        ("insert_wal_never", SyncPolicy::Never),
+        ("insert_wal_every64", SyncPolicy::EveryN(64)),
+    ] {
+        let dir = scratch.join(label);
+        let (handle, _) = DurableDb::open("walbench", &dir, WalOptions { sync, faults: None })
+            .expect("open durable db");
+        let coll = handle.db().collection("w1");
+        let mut i = 0i64;
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                i += 1;
+                coll.insert_one(doc! {"_id" => i, "v" => i * 3}).unwrap()
+            })
+        });
+    }
+    g.finish();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
 criterion_group!(
     benches,
     bench_codec,
@@ -151,6 +189,7 @@ criterion_group!(
     bench_lookup,
     bench_insert,
     bench_pipeline,
-    bench_agg_streaming
+    bench_agg_streaming,
+    bench_wal_overhead
 );
 criterion_main!(benches);

@@ -9,7 +9,10 @@
 //! 5. embedding only aggregation-relevant dimensions vs. all dimensions
 //!    (the Fig 4.8 step-iii optimization);
 //! 6. streaming vs. legacy aggregation executor on a Q7-shaped
-//!    pipeline (the process-wide [`set_default_exec_mode`] toggle).
+//!    pipeline (the process-wide [`set_default_exec_mode`] toggle);
+//! 7. durability cost and recovery time: WAL sync-policy overhead on a
+//!    bulk load, and crash-recovery time against checkpoint freshness
+//!    (full WAL replay vs checkpoint + tail vs fresh checkpoint).
 //!
 //! Run with `cargo run --release -p doclite-bench --bin ablations`.
 
@@ -22,8 +25,8 @@ use doclite_core::queries::{filter_dim_pks, semi_join_into};
 use doclite_core::store::Store;
 use doclite_core::{fmt_duration, TextTable};
 use doclite_docstore::{
-    set_default_exec_mode, Accumulator, Database, ExecMode, Expr, Filter, GroupId, IndexDef,
-    Pipeline,
+    set_default_exec_mode, Accumulator, Database, DurableDb, ExecMode, Expr, Filter, GroupId,
+    IndexDef, Pipeline, SyncPolicy, WalOptions,
 };
 use doclite_sharding::{NetworkModel, ScatterMode, ShardKey, ShardedCluster};
 use doclite_tpcds::{Generator, QueryParams, TableId};
@@ -46,6 +49,7 @@ fn main() {
     ablation_scatter_mode(sf);
     ablation_embed_scope(sf, &params);
     ablation_exec_mode(sf);
+    ablation_durability(sf);
 }
 
 /// 1. Dimension filtering with and without a secondary index.
@@ -305,4 +309,90 @@ fn ablation_exec_mode(sf: f64) {
     }
     set_default_exec_mode(ExecMode::default());
     println!("{}", t.render());
+}
+
+/// 7. What durability costs, and what buys recovery time back.
+///
+/// Part one loads `store_sales` in 256-document batches under each WAL
+/// sync policy (plus a no-WAL baseline): group commit makes even
+/// `Always` pay one fsync per *batch*, not per document. Part two
+/// crashes (drops without sealing) a loaded store and times
+/// `DurableDb::open` against checkpoint freshness — the recovery-time
+/// ablation EXPERIMENTS.md discusses.
+fn ablation_durability(sf: f64) {
+    let gen = Generator::new(sf);
+    let docs: Vec<_> = gen.documents(TableId::StoreSales).collect();
+    let scratch = std::env::temp_dir().join(format!("doclite_abl7_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let load = |handle: &DurableDb| {
+        let coll = handle.db().collection("store_sales");
+        for batch in docs.chunks(256) {
+            coll.insert_many(batch.to_vec()).expect("insert");
+        }
+    };
+
+    let mut t = TextTable::new(["WAL sync policy (bulk load)", "time", "log bytes"]);
+    let (_, baseline) = time(|| {
+        let db = Database::new("abl7_base");
+        for batch in docs.chunks(256) {
+            db.collection("store_sales").insert_many(batch.to_vec()).expect("insert");
+        }
+    });
+    t.row(["no WAL (in-memory)".to_owned(), fmt_duration(baseline), "0".to_owned()]);
+    for (label, sync) in [
+        ("Never (crash-consistent file)", SyncPolicy::Never),
+        ("EveryN(64) commits", SyncPolicy::EveryN(64)),
+        ("Always (group commit/batch)", SyncPolicy::Always),
+    ] {
+        let dir = scratch.join(label.split(' ').next().expect("label"));
+        let (handle, _) = DurableDb::open("abl7", &dir, WalOptions { sync, faults: None })
+            .expect("open");
+        let (_, took) = time(|| load(&handle));
+        let log_bytes =
+            std::fs::metadata(handle.wal().path()).map(|m| m.len()).unwrap_or(0);
+        t.row([label.to_owned(), fmt_duration(took), log_bytes.to_string()]);
+    }
+    println!("{}", t.render());
+
+    let mut t = TextTable::new([
+        "recovery vs checkpoint freshness",
+        "frames replayed",
+        "ckpt docs",
+        "recovery time",
+    ]);
+    for (label, checkpoint_at) in [
+        ("no checkpoint (full replay)", None),
+        ("checkpoint at half the load", Some(docs.len() / 2)),
+        ("fresh checkpoint (empty tail)", Some(docs.len())),
+    ] {
+        let dir = scratch.join(format!("rec_{}", label.split(' ').next().expect("label")));
+        let opts = WalOptions { sync: SyncPolicy::EveryN(64), faults: None };
+        let (handle, _) = DurableDb::open("abl7r", &dir, opts.clone()).expect("open");
+        let coll = handle.db().collection("store_sales");
+        let mut written = 0usize;
+        for batch in docs.chunks(256) {
+            coll.insert_many(batch.to_vec()).expect("insert");
+            written += batch.len();
+            if checkpoint_at.is_some_and(|at| written >= at && written - batch.len() < at) {
+                handle.checkpoint().expect("checkpoint");
+            }
+        }
+        // Simulated crash: drop without sealing, then recover.
+        drop(handle);
+        let ((recovered, report), took) =
+            time(|| DurableDb::open("abl7r", &dir, opts.clone()).expect("recover"));
+        assert_eq!(
+            recovered.db().get_collection("store_sales").expect("recovered").len(),
+            docs.len()
+        );
+        t.row([
+            label.to_owned(),
+            report.frames_replayed.to_string(),
+            report.checkpoint_docs.to_string(),
+            fmt_duration(took),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = std::fs::remove_dir_all(&scratch);
 }

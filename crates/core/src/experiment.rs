@@ -150,7 +150,7 @@ pub fn fact_shard_keys() -> Vec<(TableId, ShardKey)> {
 }
 
 /// Options controlling environment construction.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SetupOptions {
     /// Network model for sharded deployments.
     pub network: NetworkModel,
@@ -161,6 +161,12 @@ pub struct SetupOptions {
     /// thesis's unreplicated evaluation cluster; 3 matches its Fig 2.5
     /// production topology and enables failover experiments.
     pub replicas_per_shard: usize,
+    /// Crash durability for sharded members: `None` (the default) keeps
+    /// every member in-memory like the thesis's evaluation cluster;
+    /// `Some` gives each member a WAL + checkpoints under the configured
+    /// directory, enabling crash/recovery experiments and the recovery
+    /// ablation. Standalone deployments ignore it.
+    pub durability: Option<doclite_sharding::DurabilityConfig>,
 }
 
 impl Default for SetupOptions {
@@ -169,6 +175,7 @@ impl Default for SetupOptions {
             network: NetworkModel::lan(),
             max_chunk_size: 1 << 20,
             replicas_per_shard: 1,
+            durability: None,
         }
     }
 }
@@ -195,6 +202,7 @@ pub fn setup_environment(spec: &ExperimentSpec, opts: &SetupOptions) -> Result<E
                 replicas_per_shard: opts.replicas_per_shard.max(1),
                 db_name: format!("Dataset_exp{}", spec.id),
                 network: opts.network,
+                durability: opts.durability.clone(),
                 ..doclite_sharding::ClusterConfig::default()
             });
             for (table, key) in fact_shard_keys() {

@@ -8,8 +8,10 @@ use crate::query::matcher::{compile, matches_compiled, CompiledFilter};
 use crate::query::planner::{plan, Plan, PlanKind};
 use crate::storage::{DocId, Slab};
 use crate::update::{apply_update, upsert_seed, UpdateResult, UpdateSpec};
+use crate::wal::{Wal, WalRecord};
 use doclite_bson::{codec::encoded_size, Document, Value, MAX_DOCUMENT_SIZE};
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// Options for a `find`: sort, skip, limit, projection.
 #[derive(Clone, Debug, Default)]
@@ -81,6 +83,11 @@ struct Inner {
 pub struct Collection {
     name: String,
     inner: RwLock<Inner>,
+    /// Write-ahead log, if the owning database is durable. Writes are
+    /// logged *after* applying but *before* acknowledging, while still
+    /// holding the exclusive `inner` lock, so frame order always agrees
+    /// with apply order (lock order: `inner` → WAL mutex).
+    wal: RwLock<Option<Arc<Wal>>>,
 }
 
 impl Collection {
@@ -96,12 +103,24 @@ impl Collection {
         Collection {
             name: name.into(),
             inner: RwLock::new(Inner { slab: Slab::new(), indexes: vec![id_index] }),
+            wal: RwLock::new(None),
         }
     }
 
     /// The collection name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Routes subsequent writes through a write-ahead log. Recovery
+    /// attaches the WAL only *after* replay, so replayed operations are
+    /// not re-logged.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        *self.wal.write() = Some(wal);
+    }
+
+    fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
     }
 
     /// Number of documents.
@@ -137,8 +156,16 @@ impl Collection {
         if size > MAX_DOCUMENT_SIZE {
             return Err(Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE });
         }
+        let wal = self.wal_handle();
+        let logged = wal.as_ref().map(|_| doc.clone());
         let mut inner = self.inner.write();
         Self::insert_locked(&mut inner, doc)?;
+        if let Some(wal) = wal {
+            wal.append(&WalRecord::Insert {
+                coll: self.name.clone(),
+                doc: logged.expect("cloned when wal attached"),
+            })?;
+        }
         Ok(id)
     }
 
@@ -148,18 +175,42 @@ impl Collection {
         &self,
         docs: impl IntoIterator<Item = Document>,
     ) -> std::result::Result<usize, (usize, Error)> {
+        let wal = self.wal_handle();
         let mut inner = self.inner.write();
         let mut n = 0;
+        let mut logged: Vec<WalRecord> = Vec::new();
+        // The successfully-inserted prefix is logged (as one group
+        // commit) even when a later document errors: those inserts are
+        // applied and must survive a crash.
+        let flush = |records: &[WalRecord]| -> Result<()> {
+            match &wal {
+                Some(w) if !records.is_empty() => w.append_batch(records).map(|_| ()),
+                _ => Ok(()),
+            }
+        };
         for mut doc in docs {
             doc.ensure_id();
             let size = encoded_size(&doc);
             if size > MAX_DOCUMENT_SIZE {
-                return Err((n, Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE }));
+                return match flush(&logged) {
+                    Ok(()) => Err((n, Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE })),
+                    Err(e) => Err((n, e)),
+                };
+            }
+            if wal.is_some() {
+                logged.push(WalRecord::Insert { coll: self.name.clone(), doc: doc.clone() });
             }
             if let Err(e) = Self::insert_locked(&mut inner, doc) {
-                return Err((n, e));
+                logged.pop();
+                return match flush(&logged) {
+                    Ok(()) => Err((n, e)),
+                    Err(le) => Err((n, le)),
+                };
             }
             n += 1;
+        }
+        if let Err(e) = flush(&logged) {
+            return Err((n, e));
         }
         Ok(n)
     }
@@ -191,6 +242,7 @@ impl Collection {
     /// that already exists (same definition) is a no-op.
     pub fn create_index(&self, def: IndexDef) -> Result<()> {
         def.validate()?;
+        let wal = self.wal_handle();
         let mut inner = self.inner.write();
         if let Some(existing) = inner.indexes.iter().find(|i| i.def.name == def.name) {
             if existing.def == def {
@@ -198,11 +250,18 @@ impl Collection {
             }
             return Err(Error::IndexConflict(def.name));
         }
+        let logged = wal.as_ref().map(|_| def.clone());
         let mut idx = Index::new(def)?;
         for (id, doc) in inner.slab.iter() {
             idx.insert(id, doc)?;
         }
         inner.indexes.push(idx);
+        if let Some(wal) = wal {
+            wal.append(&WalRecord::CreateIndex {
+                coll: self.name.clone(),
+                def: logged.expect("cloned when wal attached"),
+            })?;
+        }
         Ok(())
     }
 
@@ -211,6 +270,7 @@ impl Collection {
         if name == "_id_" {
             return Err(Error::InvalidIndex("cannot drop the _id index".into()));
         }
+        let wal = self.wal_handle();
         let mut inner = self.inner.write();
         let pos = inner
             .indexes
@@ -218,6 +278,12 @@ impl Collection {
             .position(|i| i.def.name == name)
             .ok_or_else(|| Error::NoSuchIndex(name.to_owned()))?;
         inner.indexes.remove(pos);
+        if let Some(wal) = wal {
+            wal.append(&WalRecord::DropIndex {
+                coll: self.name.clone(),
+                name: name.to_owned(),
+            })?;
+        }
         Ok(())
     }
 
@@ -380,56 +446,82 @@ impl Collection {
         upsert: bool,
         multi: bool,
     ) -> Result<UpdateResult> {
+        let wal = self.wal_handle();
         let mut inner = self.inner.write();
         let plan = plan(filter, &inner.indexes);
         let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
-        let mut result = UpdateResult::default();
+        let mut logged: Vec<WalRecord> = Vec::new();
 
-        for id in ids {
-            let Some(doc) = inner.slab.get(id) else { continue };
-            if !matches_compiled(&compiled, doc) {
-                continue;
-            }
-            result.matched += 1;
-            let mut updated = doc.clone();
-            if apply_update(&mut updated, spec)? {
-                let size = encoded_size(&updated);
-                if size > MAX_DOCUMENT_SIZE {
-                    return Err(Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE });
+        // Applied post-images are logged even when a later document
+        // errors: their effects are in memory and must survive a crash.
+        let outcome = (|| -> Result<UpdateResult> {
+            let mut result = UpdateResult::default();
+            for id in ids {
+                let Some(doc) = inner.slab.get(id) else { continue };
+                if !matches_compiled(&compiled, doc) {
+                    continue;
                 }
-                let old = inner
-                    .slab
-                    .replace(id, updated.clone())
-                    .expect("doc exists");
-                for idx in &mut inner.indexes {
-                    idx.remove(id, &old);
-                    idx.insert(id, &updated)?;
+                result.matched += 1;
+                let mut updated = doc.clone();
+                if apply_update(&mut updated, spec)? {
+                    let size = encoded_size(&updated);
+                    if size > MAX_DOCUMENT_SIZE {
+                        return Err(Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE });
+                    }
+                    let old = inner
+                        .slab
+                        .replace(id, updated.clone())
+                        .expect("doc exists");
+                    for idx in &mut inner.indexes {
+                        idx.remove(id, &old);
+                        idx.insert(id, &updated)?;
+                    }
+                    // Log the post-image so replay is independent of
+                    // how the update expression computed it.
+                    if wal.is_some() {
+                        logged.push(WalRecord::Update { coll: self.name.clone(), doc: updated });
+                    }
+                    result.modified += 1;
                 }
-                result.modified += 1;
+                if !multi {
+                    break;
+                }
             }
-            if !multi {
-                break;
+
+            if result.matched == 0 && upsert {
+                let mut seed = upsert_seed(filter);
+                apply_update(&mut seed, spec)?;
+                let id = seed.ensure_id();
+                let record = wal
+                    .is_some()
+                    .then(|| WalRecord::Insert { coll: self.name.clone(), doc: seed.clone() });
+                Self::insert_locked(&mut inner, seed)?;
+                if let Some(r) = record {
+                    logged.push(r);
+                }
+                result.upserted_id = Some(id);
+            }
+            Ok(result)
+        })();
+
+        if let Some(wal) = wal {
+            if !logged.is_empty() {
+                wal.append_batch(&logged)?;
             }
         }
-
-        if result.matched == 0 && upsert {
-            let mut seed = upsert_seed(filter);
-            apply_update(&mut seed, spec)?;
-            let id = seed.ensure_id();
-            Self::insert_locked(&mut inner, seed)?;
-            result.upserted_id = Some(id);
-        }
-        Ok(result)
+        outcome
     }
 
     /// Deletes matching documents, returning the count removed.
     pub fn delete_many(&self, filter: &Filter) -> usize {
+        let wal = self.wal_handle();
         let mut inner = self.inner.write();
         let plan = plan(filter, &inner.indexes);
         let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         let mut removed = 0;
+        let mut removed_ids: Vec<Value> = Vec::new();
         for id in ids {
             let is_match = inner
                 .slab
@@ -442,7 +534,25 @@ impl Collection {
             for idx in &mut inner.indexes {
                 idx.remove(id, &old);
             }
+            if wal.is_some() {
+                if let Some(doc_id) = old.id() {
+                    removed_ids.push(doc_id.clone());
+                }
+            }
             removed += 1;
+        }
+        if let Some(wal) = wal {
+            if !removed_ids.is_empty() {
+                // Deletion already happened; a failed append means the
+                // delete is applied but not durable — the same
+                // not-acknowledged contract as a failed insert append,
+                // surfaced here as a best-effort (the return type
+                // predates the WAL and carries no error channel).
+                let _ = wal.append(&WalRecord::Delete {
+                    coll: self.name.clone(),
+                    ids: removed_ids,
+                });
+            }
         }
         removed
     }
@@ -538,6 +648,20 @@ impl Collection {
         for (_, doc) in inner.slab.iter() {
             f(doc);
         }
+    }
+
+    /// Fallible [`Collection::for_each`]: stops at the first error and
+    /// returns it, so callers like the dump writer do not keep encoding
+    /// documents into a sink that already failed.
+    pub fn try_for_each<E>(
+        &self,
+        mut f: impl FnMut(&Document) -> std::result::Result<(), E>,
+    ) -> std::result::Result<(), E> {
+        let inner = self.inner.read();
+        for (_, doc) in inner.slab.iter() {
+            f(doc)?;
+        }
+        Ok(())
     }
 
     /// Clones out all documents.

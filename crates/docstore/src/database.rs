@@ -4,6 +4,7 @@ use crate::agg::exec::LookupSource;
 use crate::agg::{Pipeline, Stage};
 use crate::collection::Collection;
 use crate::error::{Error, Result};
+use crate::wal::{Wal, WalRecord};
 use doclite_bson::Document;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -14,17 +15,40 @@ use std::sync::Arc;
 pub struct Database {
     name: String,
     collections: RwLock<BTreeMap<String, Arc<Collection>>>,
+    /// Write-ahead log shared by every collection when the database is
+    /// durable (see `docstore::wal::DurableDb`).
+    wal: RwLock<Option<Arc<Wal>>>,
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new(name: impl Into<String>) -> Self {
-        Database { name: name.into(), collections: RwLock::new(BTreeMap::new()) }
+        Database {
+            name: name.into(),
+            collections: RwLock::new(BTreeMap::new()),
+            wal: RwLock::new(None),
+        }
     }
 
     /// The database name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Routes writes on every existing and future collection through a
+    /// write-ahead log. Recovery attaches the WAL only after replay.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        // Lock order: collections map before the wal slot, matching
+        // `collection()` (map lock) → attach (wal slot).
+        let map = self.collections.read();
+        for coll in map.values() {
+            coll.attach_wal(Arc::clone(&wal));
+        }
+        *self.wal.write() = Some(wal);
+    }
+
+    fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal.read().clone()
     }
 
     /// Gets or creates a collection (MongoDB's implicit-creation
@@ -34,10 +58,13 @@ impl Database {
             return Arc::clone(c);
         }
         let mut map = self.collections.write();
-        Arc::clone(
-            map.entry(name.to_owned())
-                .or_insert_with(|| Arc::new(Collection::new(name))),
-        )
+        Arc::clone(map.entry(name.to_owned()).or_insert_with(|| {
+            let c = Arc::new(Collection::new(name));
+            if let Some(wal) = self.wal_handle() {
+                c.attach_wal(wal);
+            }
+            c
+        }))
     }
 
     /// Gets an existing collection.
@@ -56,7 +83,16 @@ impl Database {
 
     /// Drops a collection; returns whether it existed.
     pub fn drop_collection(&self, name: &str) -> bool {
-        self.collections.write().remove(name).is_some()
+        let existed = self.collections.write().remove(name).is_some();
+        if existed {
+            if let Some(wal) = self.wal_handle() {
+                // Best-effort, mirroring `delete_many`: the drop is
+                // applied; a failed append loses only durability of a
+                // write that was never acknowledged as durable.
+                let _ = wal.append(&WalRecord::DropCollection { coll: name.to_owned() });
+            }
+        }
+        existed
     }
 
     /// Collection names in sorted order.

@@ -4,47 +4,106 @@
 //! migrated database once and restoring it is much cheaper than
 //! re-migrating `.dat` files.
 //!
-//! File layout: magic `DLDUMP1\n`, then for each document its
-//! BSON-encoded bytes (each document already carries its own length
-//! prefix, so the stream is self-delimiting).
+//! ## Format v2 (`DLDUMP2\n`, written)
+//!
+//! Magic, then for each document its BSON-encoded bytes (self-delimiting
+//! via BSON's own length prefix) followed by a CRC32 trailer over those
+//! bytes, and finally an end-of-stream footer: a zero length word plus
+//! the document count as a `u64`. The footer makes truncation detectable
+//! — a stream that stops without it is corrupt, loudly — and the
+//! per-document CRC catches bit rot that still parses as BSON.
+//!
+//! ```text
+//! DLDUMP2\n  [doc bytes][crc32]  ...  [0u32][count: u64]
+//! ```
+//!
+//! ## Format v1 (`DLDUMP1\n`, read for back-compat)
+//!
+//! Magic then raw document bytes to EOF: no checksums, no footer. A v1
+//! stream ends cleanly only on a document boundary; EOF inside a
+//! document is an error.
+//!
+//! Dumps are written to a `.tmp` sibling and atomically renamed into
+//! place, so a crash mid-dump never leaves a half-written file where a
+//! good dump (or none) should be.
 
 use crate::collection::Collection;
 use crate::database::Database;
-use doclite_bson::{codec, Document};
+use crate::storage::{crc32, Crc32};
+use doclite_bson::{codec, Document, MAX_DOCUMENT_SIZE};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"DLDUMP1\n";
+const MAGIC_V1: &[u8; 8] = b"DLDUMP1\n";
+const MAGIC_V2: &[u8; 8] = b"DLDUMP2\n";
 
-/// Writes a collection's documents to a dump file. Returns the count.
+/// Writes a collection's documents to a dump file (format v2). The
+/// bytes land in a `.tmp` sibling first and are renamed over `path`
+/// only after a successful sync, so `path` is always either absent or a
+/// complete dump. Returns the count.
 pub fn dump_collection(coll: &Collection, path: &Path) -> io::Result<u64> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    let mut n = 0;
-    let mut err: Option<io::Error> = None;
-    coll.for_each(|doc| {
-        if err.is_some() {
-            return;
-        }
-        match w.write_all(&codec::encode_document(doc)) {
-            Ok(()) => n += 1,
-            Err(e) => err = Some(e),
-        }
-    });
-    if let Some(e) = err {
-        return Err(e);
-    }
+    let tmp = path.with_extension("tmp");
+    let file = File::create(&tmp)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC_V2)?;
+    let mut n: u64 = 0;
+    // try_for_each stops at the first I/O error instead of encoding the
+    // rest of the collection into a sink that already failed.
+    coll.try_for_each(|doc| -> io::Result<()> {
+        let bytes = codec::encode_document(doc);
+        w.write_all(&bytes)?;
+        w.write_all(&crc32(&bytes).to_le_bytes())?;
+        n += 1;
+        Ok(())
+    })?;
+    w.write_all(&0u32.to_le_bytes())?;
+    w.write_all(&n.to_le_bytes())?;
     w.flush()?;
+    w.into_inner()
+        .map_err(|e| io::Error::other(e.to_string()))?
+        .sync_data()?;
+    std::fs::rename(&tmp, path)?;
     Ok(n)
 }
 
-/// Streams documents out of a dump file.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DumpVersion {
+    V1,
+    V2,
+}
+
+/// Streams documents out of a dump file (either format version).
 pub struct DumpReader {
     r: BufReader<File>,
+    version: DumpVersion,
+    yielded: u64,
+    /// Set once the stream has terminated (cleanly or not), so the
+    /// iterator is fused and never re-reads past a footer.
+    done: bool,
+}
+
+/// Reads until `buf` is full or EOF; returns the number of bytes read.
+/// Unlike `read_exact`, a caller can distinguish "no bytes at all"
+/// (clean EOF at a boundary) from "some but not all" (truncation).
+fn read_fully(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(k) => filled += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
 impl DumpReader {
@@ -53,10 +112,29 @@ impl DumpReader {
         let mut r = BufReader::new(File::open(path)?);
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "not a doclite dump"));
+        let version = match &magic {
+            m if m == MAGIC_V1 => DumpVersion::V1,
+            m if m == MAGIC_V2 => DumpVersion::V2,
+            _ => return Err(invalid("not a doclite dump")),
+        };
+        Ok(DumpReader { r, version, yielded: 0, done: false })
+    }
+
+    /// Consumes and validates the v2 footer (the zero length word has
+    /// already been read).
+    fn finish_v2(&mut self) -> io::Result<()> {
+        let mut count_buf = [0u8; 8];
+        if read_fully(&mut self.r, &mut count_buf)? != 8 {
+            return Err(invalid("dump footer truncated"));
         }
-        Ok(DumpReader { r })
+        let count = u64::from_le_bytes(count_buf);
+        if count != self.yielded {
+            return Err(invalid(format!(
+                "dump footer count {count} != {} documents read",
+                self.yielded
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -64,25 +142,68 @@ impl Iterator for DumpReader {
     type Item = io::Result<Document>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        let mut len_buf = [0u8; 4];
-        match self.r.read_exact(&mut len_buf) {
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return None,
-            Err(e) => return Some(Err(e)),
-            Ok(()) => {}
+        if self.done {
+            return None;
         }
-        let len = u32::from_le_bytes(len_buf) as usize;
-        if len < 5 {
-            return Some(Err(io::Error::new(io::ErrorKind::InvalidData, "bad length")));
+        let mut step = || -> io::Result<Option<Document>> {
+            let mut len_buf = [0u8; 4];
+            match read_fully(&mut self.r, &mut len_buf)? {
+                0 => {
+                    // EOF at a document boundary: clean end for v1, a
+                    // missing footer (truncation) for v2.
+                    return match self.version {
+                        DumpVersion::V1 => Ok(None),
+                        DumpVersion::V2 => Err(invalid("dump ends without footer")),
+                    };
+                }
+                4 => {}
+                _ => return Err(invalid("dump truncated mid length prefix")),
+            }
+            let len = u32::from_le_bytes(len_buf) as usize;
+            if len == 0 && self.version == DumpVersion::V2 {
+                // End-of-stream sentinel: validate the count footer.
+                self.finish_v2()?;
+                return Ok(None);
+            }
+            if len < 5 {
+                return Err(invalid("bad length"));
+            }
+            if len > MAX_DOCUMENT_SIZE {
+                return Err(invalid(format!(
+                    "document of {len} bytes exceeds the {MAX_DOCUMENT_SIZE} byte cap"
+                )));
+            }
+            let mut buf = vec![0u8; len];
+            buf[..4].copy_from_slice(&len_buf);
+            if read_fully(&mut self.r, &mut buf[4..])? != len - 4 {
+                return Err(invalid("dump truncated mid document"));
+            }
+            if self.version == DumpVersion::V2 {
+                let mut crc_buf = [0u8; 4];
+                if read_fully(&mut self.r, &mut crc_buf)? != 4 {
+                    return Err(invalid("dump truncated mid checksum"));
+                }
+                let mut hasher = Crc32::new();
+                hasher.update(&buf);
+                if hasher.finish() != u32::from_le_bytes(crc_buf) {
+                    return Err(invalid("document checksum mismatch"));
+                }
+            }
+            let doc = codec::decode_document(&buf).map_err(|e| invalid(e.to_string()))?;
+            self.yielded += 1;
+            Ok(Some(doc))
+        };
+        match step() {
+            Ok(Some(doc)) => Some(Ok(doc)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
         }
-        let mut buf = vec![0u8; len];
-        buf[..4].copy_from_slice(&len_buf);
-        if let Err(e) = self.r.read_exact(&mut buf[4..]) {
-            return Some(Err(e));
-        }
-        Some(
-            codec::decode_document(&buf)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-        )
     }
 }
 
@@ -96,11 +217,11 @@ pub fn restore_collection(coll: &Collection, path: &Path) -> io::Result<u64> {
         n += 1;
         if batch.len() == 1024 {
             coll.insert_many(std::mem::take(&mut batch))
-                .map_err(|(_, e)| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                .map_err(|(_, e)| invalid(e.to_string()))?;
         }
     }
     coll.insert_many(batch)
-        .map_err(|(_, e)| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        .map_err(|(_, e)| invalid(e.to_string()))?;
     Ok(n)
 }
 
@@ -131,7 +252,7 @@ pub fn restore_database(db: &Database, dir: &Path) -> io::Result<Vec<(String, u6
         let name = path
             .file_stem()
             .and_then(|s| s.to_str())
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad dump name"))?
+            .ok_or_else(|| invalid("bad dump name"))?
             .to_owned();
         let n = restore_collection(&db.collection(&name), &path)?;
         out.push((name, n));
@@ -153,6 +274,20 @@ mod tests {
         dir
     }
 
+    /// Writes `coll` in the legacy v1 layout (magic + raw documents, no
+    /// checksums, no footer) for back-compat testing.
+    fn dump_v1(coll: &Collection, path: &Path) -> u64 {
+        let mut w = BufWriter::new(File::create(path).unwrap());
+        w.write_all(MAGIC_V1).unwrap();
+        let mut n = 0;
+        coll.for_each(|doc| {
+            w.write_all(&codec::encode_document(doc)).unwrap();
+            n += 1;
+        });
+        w.flush().unwrap();
+        n
+    }
+
     #[test]
     fn collection_roundtrip_preserves_documents_and_ids() {
         let dir = tmp("coll");
@@ -168,6 +303,35 @@ mod tests {
         let a = src.find(&Filter::eq("_id", 42i64));
         let b = dst.find(&Filter::eq("_id", 42i64));
         assert_eq!(a, b);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_dumps_still_restore() {
+        let dir = tmp("v1");
+        let src = Collection::new("src");
+        src.insert_many((0..100i64).map(|i| doc! {"_id" => i, "v" => i})).unwrap();
+        let path = dir.join("src.dump");
+        assert_eq!(dump_v1(&src, &path), 100);
+
+        let dst = Collection::new("dst");
+        assert_eq!(restore_collection(&dst, &path).unwrap(), 100);
+        assert_eq!(
+            src.find(&Filter::eq("_id", 7i64)),
+            dst.find(&Filter::eq("_id", 7i64))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dump_leaves_no_tmp_sibling_and_is_atomic() {
+        let dir = tmp("atomic");
+        let src = Collection::new("src");
+        src.insert_one(doc! {"x" => 1i64}).unwrap();
+        let path = dir.join("src.dump");
+        dump_collection(&src, &path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -208,6 +372,84 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
         let results: Vec<_> = DumpReader::open(&path).unwrap().collect();
         assert!(results.iter().any(|r| r.is_err()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_a_document_boundary_is_loud_in_v2() {
+        // A v2 stream cut exactly between documents parses every
+        // remaining document fine — only the missing footer reveals the
+        // loss. This is the case v1 could not detect at all.
+        let dir = tmp("boundary");
+        let src = Collection::new("src");
+        src.insert_many((0..3i64).map(|i| doc! {"_id" => i})).unwrap();
+        let path = dir.join("src.dump");
+        dump_collection(&src, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Strip the footer (4-byte sentinel + 8-byte count) and the
+        // last document (encoded size + 4-byte crc).
+        let doc_len = codec::encode_document(&doc! {"_id" => 2i64}).len();
+        let cut = bytes.len() - 12 - doc_len - 4;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let results: Vec<_> = DumpReader::open(&path).unwrap().collect();
+        assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 2);
+        let err = results.last().unwrap().as_ref().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_caught_by_document_checksum() {
+        let dir = tmp("bitflip");
+        let src = Collection::new("src");
+        src.insert_one(doc! {"_id" => 1i64, "v" => "payload"}).unwrap();
+        let path = dir.join("src.dump");
+        dump_collection(&src, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte in the middle of the document body (past the
+        // magic and the BSON length prefix).
+        let mid = MAGIC_V2.len() + 10;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let results: Vec<_> = DumpReader::open(&path).unwrap().collect();
+        assert!(results.iter().any(|r| r
+            .as_ref()
+            .is_err_and(|e| e.to_string().contains("checksum"))));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn footer_count_mismatch_is_rejected() {
+        let dir = tmp("count");
+        let src = Collection::new("src");
+        src.insert_many((0..5i64).map(|i| doc! {"_id" => i})).unwrap();
+        let path = dir.join("src.dump");
+        dump_collection(&src, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&99u64.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let results: Vec<_> = DumpReader::open(&path).unwrap().collect();
+        assert!(results
+            .last()
+            .unwrap()
+            .as_ref()
+            .is_err_and(|e| e.to_string().contains("footer count")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_document_length_is_rejected_on_restore() {
+        let dir = tmp("oversize");
+        let path = dir.join("x.dump");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V2);
+        bytes.extend_from_slice(&((MAX_DOCUMENT_SIZE as u32) + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let results: Vec<_> = DumpReader::open(&path).unwrap().collect();
+        assert!(results.last().unwrap().as_ref().is_err_and(|e| e
+            .to_string()
+            .contains("exceeds")));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

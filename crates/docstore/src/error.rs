@@ -26,6 +26,11 @@ pub enum Error {
     /// write concern could not be satisfied). Retryable: the request may
     /// succeed after failover or fault recovery.
     Unavailable(String),
+    /// A durability-layer failure: WAL I/O, checkpoint I/O, or a
+    /// recovery integrity check (checksum, fingerprint) that did not
+    /// pass. Carries the rendered cause; `io::Error` itself is not
+    /// `PartialEq`, which this enum requires.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -42,11 +47,18 @@ impl fmt::Display for Error {
             Error::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Error::ExprError(msg) => write!(f, "expression error: {msg}"),
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
+            Error::Storage(msg) => write!(f, "storage: {msg}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
 
 /// Engine result alias.
 pub type Result<T> = std::result::Result<T, Error>;

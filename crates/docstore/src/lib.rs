@@ -35,6 +35,7 @@ pub mod ordvalue;
 pub mod query;
 pub mod storage;
 pub mod update;
+pub mod wal;
 
 pub use agg::{
     default_exec_mode, set_default_exec_mode, Accumulator, ExecMode, Expr, GroupId, Pipeline,
@@ -47,5 +48,8 @@ pub use error::{Error, Result};
 pub use index::{IndexDef, IndexKind, SortOrder};
 pub use ordvalue::{CompoundKey, OrdValue};
 pub use query::{compile, matches_compiled, CmpOp, CompiledFilter, Filter};
-pub use storage::DocId;
+pub use storage::{crc32, Crc32, DocId, StorageFaults};
 pub use update::{UpdateOp, UpdateResult, UpdateSpec};
+pub use wal::{
+    db_fingerprint, scan_wal, DurableDb, RecoveryReport, SyncPolicy, Wal, WalOptions, WalRecord,
+};

@@ -1,6 +1,225 @@
-//! Document slot storage for a collection.
+//! Document slot storage for a collection, plus the on-disk storage
+//! primitives the durability subsystem builds on: a CRC32 checksum and
+//! an injectable [`StorageFaults`] layer that simulates the disk-level
+//! failure modes (crash mid-write, torn write, short read, transient
+//! EIO) a process kill or flaky volume produces.
 
 use doclite_bson::{codec::encoded_size, Document};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// CRC-32 (IEEE 802.3, the zlib/`crc32fast` polynomial), table-driven.
+/// Used for WAL frame checksums and the `DLDUMP2` per-document trailers.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 hasher (feed chunks, then [`Crc32::finish`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// The final checksum value.
+    pub fn finish(self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Injectable disk-fault state, mirroring the API shape of the sharding
+/// crate's network `Faults`: explicit deterministic knobs behind one
+/// relaxed-atomic fast-path guard, shared via `Arc` between the test
+/// harness and the file layer under test.
+///
+/// Fault semantics:
+///
+/// * **crash-after-N-bytes** — the next writes go through until `N`
+///   total bytes have passed, then the "process dies": the write that
+///   crosses the budget is cut short at the boundary (a torn write) and
+///   every later write fails. Models `kill -9` mid-append.
+/// * **torn write** — the next single write persists only its first
+///   half, then the layer crashes. Models a power cut mid-sector.
+/// * **short read** — reads are truncated to half the requested length
+///   once, surfacing as an `UnexpectedEof` to the reader above.
+/// * **transient EIO** — the next `N` writes fail with `io::ErrorKind::
+///   Other` but leave the file intact; a retry succeeds. Models a
+///   flaky volume.
+#[derive(Debug, Default)]
+pub struct StorageFaults {
+    /// Fast-path guard: true iff any fault knob is engaged.
+    active: AtomicBool,
+    /// Remaining write budget in bytes before a simulated crash
+    /// (`u64::MAX` = disabled).
+    crash_budget: AtomicU64,
+    /// Whether the crash budget is armed (distinguishes "no crash
+    /// configured" from "budget exhausted").
+    crash_armed: AtomicBool,
+    /// The next write is torn in half, then the layer crashes.
+    tear_next: AtomicBool,
+    /// Reads return half the requested bytes this many more times.
+    short_reads: AtomicU64,
+    /// Writes fail with a transient EIO this many more times.
+    eio_budget: AtomicU64,
+    /// Set once a simulated crash fired: all subsequent writes fail.
+    crashed: AtomicBool,
+}
+
+impl StorageFaults {
+    /// No faults, shareable.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn refresh_active(&self) {
+        let engaged = self.crash_armed.load(Ordering::Relaxed)
+            || self.tear_next.load(Ordering::Relaxed)
+            || self.short_reads.load(Ordering::Relaxed) > 0
+            || self.eio_budget.load(Ordering::Relaxed) > 0
+            || self.crashed.load(Ordering::Relaxed);
+        self.active.store(engaged, Ordering::Relaxed);
+    }
+
+    /// True iff any fault is configured — the healthy-path fast check.
+    pub fn active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Arms a crash after `n` more bytes are written.
+    pub fn crash_after_bytes(&self, n: u64) {
+        self.crash_budget.store(n, Ordering::Relaxed);
+        self.crash_armed.store(true, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    /// Tears the next write in half, then crashes.
+    pub fn tear_next_write(&self) {
+        self.tear_next.store(true, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    /// Truncates the next `n` reads to half their requested length.
+    pub fn short_read_next(&self, n: u64) {
+        self.short_reads.store(n, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    /// Fails the next `n` writes with a transient EIO (file untouched).
+    pub fn transient_eio(&self, n: u64) {
+        self.eio_budget.store(n, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    /// True once a simulated crash has fired (all writes fail until
+    /// [`StorageFaults::clear`]).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    /// Clears every fault, including a fired crash ("the process was
+    /// restarted").
+    pub fn clear(&self) {
+        self.crash_budget.store(u64::MAX, Ordering::Relaxed);
+        self.crash_armed.store(false, Ordering::Relaxed);
+        self.tear_next.store(false, Ordering::Relaxed);
+        self.short_reads.store(0, Ordering::Relaxed);
+        self.eio_budget.store(0, Ordering::Relaxed);
+        self.crashed.store(false, Ordering::Relaxed);
+        self.refresh_active();
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("simulated storage crash")
+    }
+
+    /// Writes `buf` to `w` under the configured faults. On a crash or
+    /// torn-write fault the surviving prefix is written (and flushed)
+    /// before the error returns, so the file holds exactly what a real
+    /// interrupted process would have persisted.
+    pub fn write_all(&self, w: &mut impl Write, buf: &[u8]) -> io::Result<()> {
+        if !self.active() {
+            return w.write_all(buf);
+        }
+        if self.crashed.load(Ordering::Relaxed) {
+            return Err(Self::crash_error());
+        }
+        if self.eio_budget.load(Ordering::Relaxed) > 0 {
+            self.eio_budget.fetch_sub(1, Ordering::Relaxed);
+            self.refresh_active();
+            return Err(io::Error::other("simulated transient EIO"));
+        }
+        if self.tear_next.swap(false, Ordering::Relaxed) {
+            w.write_all(&buf[..buf.len() / 2])?;
+            w.flush()?;
+            self.crashed.store(true, Ordering::Relaxed);
+            self.refresh_active();
+            return Err(Self::crash_error());
+        }
+        if self.crash_armed.load(Ordering::Relaxed) {
+            let budget = self.crash_budget.load(Ordering::Relaxed);
+            if (buf.len() as u64) > budget {
+                w.write_all(&buf[..budget as usize])?;
+                w.flush()?;
+                self.crash_budget.store(0, Ordering::Relaxed);
+                self.crashed.store(true, Ordering::Relaxed);
+                self.refresh_active();
+                return Err(Self::crash_error());
+            }
+            self.crash_budget.store(budget - buf.len() as u64, Ordering::Relaxed);
+        }
+        w.write_all(buf)
+    }
+
+    /// Reads into `buf` under the configured faults: a short-read fault
+    /// fills only half the buffer and reports that length.
+    pub fn read(&self, r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+        if self.active() && self.short_reads.load(Ordering::Relaxed) > 0 && buf.len() > 1 {
+            self.short_reads.fetch_sub(1, Ordering::Relaxed);
+            self.refresh_active();
+            let half = buf.len() / 2;
+            return r.read(&mut buf[..half]);
+        }
+        r.read(buf)
+    }
+}
 
 /// Internal document identifier: a slot number in the collection's record
 /// store. Stable for the life of the document (updates keep the slot).
@@ -135,5 +354,67 @@ mod tests {
         s.remove(a);
         let ids: Vec<DocId> = s.iter().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        let mut inc = Crc32::new();
+        inc.update(b"1234");
+        inc.update(b"56789");
+        assert_eq!(inc.finish(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crash_after_bytes_cuts_the_crossing_write_and_kills_later_ones() {
+        let f = StorageFaults::new();
+        f.crash_after_bytes(10);
+        let mut sink = Vec::new();
+        f.write_all(&mut sink, &[1u8; 6]).unwrap();
+        assert!(f.write_all(&mut sink, &[2u8; 6]).is_err());
+        assert_eq!(sink.len(), 10, "crossing write torn at the byte budget");
+        assert!(f.crashed());
+        assert!(f.write_all(&mut sink, &[3u8; 1]).is_err(), "dead after crash");
+        f.clear();
+        f.write_all(&mut sink, &[4u8; 4]).unwrap();
+        assert_eq!(sink.len(), 14);
+    }
+
+    #[test]
+    fn torn_write_persists_half_then_crashes() {
+        let f = StorageFaults::new();
+        f.tear_next_write();
+        let mut sink = Vec::new();
+        assert!(f.write_all(&mut sink, &[7u8; 8]).is_err());
+        assert_eq!(sink.len(), 4);
+        assert!(f.crashed());
+    }
+
+    #[test]
+    fn transient_eio_fails_without_touching_the_file() {
+        let f = StorageFaults::new();
+        f.transient_eio(2);
+        let mut sink = Vec::new();
+        assert!(f.write_all(&mut sink, b"abc").is_err());
+        assert!(f.write_all(&mut sink, b"abc").is_err());
+        assert!(sink.is_empty());
+        f.write_all(&mut sink, b"abc").unwrap();
+        assert_eq!(sink, b"abc");
+        assert!(!f.crashed(), "EIO is transient, not a crash");
+    }
+
+    #[test]
+    fn short_read_truncates_once() {
+        let f = StorageFaults::new();
+        f.short_read_next(1);
+        let data = [9u8; 8];
+        let mut buf = [0u8; 8];
+        let n = f.read(&mut &data[..], &mut buf).unwrap();
+        assert_eq!(n, 4);
+        let n = f.read(&mut &data[..], &mut buf).unwrap();
+        assert_eq!(n, 8);
     }
 }

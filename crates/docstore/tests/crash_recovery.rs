@@ -1,0 +1,262 @@
+//! Crash/recovery suite: WAL prefix cuts, torn writes, and bit flips.
+//!
+//! The central property: for a log cut at *any* byte inside the final
+//! frame, recovery reproduces exactly the state as of the last intact
+//! commit — never a torn document, never a lost earlier write.
+
+use doclite_bson::doc;
+use doclite_docstore::wal::{db_fingerprint, DurableDb, SyncPolicy, WalOptions};
+use doclite_docstore::{Filter, StorageFaults};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "doclite-crash-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts() -> WalOptions {
+    WalOptions { sync: SyncPolicy::Always, faults: None }
+}
+
+const WAL_MAGIC_LEN: usize = 8;
+const FRAME_HEADER: usize = 16;
+
+/// Byte offsets of frame starts, plus the end offset of the last frame.
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut pos = WAL_MAGIC_LEN;
+    let mut bounds = vec![pos];
+    while pos + FRAME_HEADER <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        if pos + FRAME_HEADER + len > bytes.len() {
+            break;
+        }
+        pos += FRAME_HEADER + len;
+        bounds.push(pos);
+    }
+    bounds
+}
+
+/// Recovers a store whose `wal.log` is `bytes` truncated to `cut`, and
+/// returns its fingerprint.
+fn fingerprint_of_prefix(dir: &PathBuf, bytes: &[u8], cut: usize) -> doclite_bson::Document {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    std::fs::write(dir.join("wal.log"), &bytes[..cut]).unwrap();
+    let (d, _) = DurableDb::open("db", dir, opts()).unwrap();
+    db_fingerprint(d.db())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cut the log at every byte boundary of the final frame: recovery
+    /// must equal the state as of the last intact commit, and the cut
+    /// bytes must register as a torn tail (except at the exact frame
+    /// boundary, where nothing is torn).
+    #[test]
+    fn prefix_cut_recovers_last_intact_commit(
+        keys in proptest::collection::vec(0i64..1_000_000, 2..7),
+        pad in 1usize..40,
+    ) {
+        let base = tmp("prefix");
+        {
+            let (d, _) = DurableDb::open("db", &base, opts()).unwrap();
+            let c = d.db().collection("c");
+            for (i, k) in keys.iter().enumerate() {
+                // _id = position so duplicate keys stay insertable.
+                c.insert_one(doc! {"_id" => i as i64, "k" => *k, "pad" => "x".repeat(pad)})
+                    .unwrap();
+            }
+        }
+        let bytes = std::fs::read(base.join("wal.log")).unwrap();
+        let bounds = frame_boundaries(&bytes);
+        prop_assert_eq!(bounds.len() - 1, keys.len(), "one frame per insert");
+        let prev = bounds[bounds.len() - 2];
+        let end = *bounds.last().unwrap();
+        prop_assert_eq!(end, bytes.len(), "no trailing garbage in a clean log");
+
+        let trial = tmp("prefix-trial");
+        let expect_prev = fingerprint_of_prefix(&trial, &bytes, prev);
+        let expect_full = fingerprint_of_prefix(&trial, &bytes, end);
+        prop_assert_ne!(&expect_prev, &expect_full);
+
+        for cut in prev..end {
+            let _ = std::fs::remove_dir_all(&trial);
+            std::fs::create_dir_all(&trial).unwrap();
+            std::fs::write(trial.join("wal.log"), &bytes[..cut]).unwrap();
+            let (d, report) = DurableDb::open("db", &trial, opts()).unwrap();
+            prop_assert_eq!(&db_fingerprint(d.db()), &expect_prev, "cut at byte {}", cut);
+            prop_assert_eq!(report.torn_tail, cut > prev, "cut at byte {}", cut);
+            prop_assert_eq!(report.frames_replayed as usize, keys.len() - 1);
+        }
+        let full = fingerprint_of_prefix(&trial, &bytes, end);
+        prop_assert_eq!(&full, &expect_full);
+
+        std::fs::remove_dir_all(&base).unwrap();
+        std::fs::remove_dir_all(&trial).unwrap();
+    }
+}
+
+/// A torn write (half the frame hits disk, then the process dies) rolls
+/// back to the pre-write state on recovery.
+#[test]
+fn torn_write_rolls_back_to_last_commit() {
+    let dir = tmp("torn");
+    let faults = StorageFaults::new();
+    {
+        let (d, _) = DurableDb::open(
+            "db",
+            &dir,
+            WalOptions { sync: SyncPolicy::Always, faults: Some(faults.clone()) },
+        )
+        .unwrap();
+        let c = d.db().collection("c");
+        c.insert_one(doc! {"_id" => 1i64, "v" => "keep"}).unwrap();
+        faults.tear_next_write();
+        let err = c.insert_one(doc! {"_id" => 2i64, "v" => "torn away"});
+        assert!(err.is_err(), "the write must not be acknowledged");
+        assert!(faults.crashed());
+    }
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    assert!(report.torn_tail, "half a frame is on disk");
+    assert_eq!(report.frames_replayed, 1);
+    let c = d.db().get_collection("c").unwrap();
+    assert_eq!(c.len(), 1);
+    assert!(c.find_one(&Filter::eq("_id", 1i64)).is_some());
+    assert!(c.find_one(&Filter::eq("_id", 2i64)).is_none());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A byte-budget crash cuts the log mid-frame at an arbitrary offset;
+/// recovery keeps every acknowledged write and drops the torn one.
+#[test]
+fn crash_after_bytes_preserves_acknowledged_prefix() {
+    let dir = tmp("budget");
+    let faults = StorageFaults::new();
+    {
+        let (d, _) = DurableDb::open(
+            "db",
+            &dir,
+            WalOptions { sync: SyncPolicy::Always, faults: Some(faults.clone()) },
+        )
+        .unwrap();
+        let c = d.db().collection("c");
+        // Arm a budget that admits a few whole frames and then dies
+        // somewhere inside a later one.
+        faults.crash_after_bytes(200);
+        let mut acked = 0i64;
+        for i in 0..100i64 {
+            match c.insert_one(doc! {"_id" => i, "v" => "some payload"}) {
+                Ok(_) => acked = i + 1,
+                Err(_) => break,
+            }
+        }
+        assert!(acked > 0, "the budget admits at least one frame");
+        assert!(faults.crashed(), "the budget is small enough to trip");
+    }
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    let c = d.db().get_collection("c").unwrap();
+    // Every acknowledged insert is present; the torn one is not. (The
+    // torn frame was cut mid-write, so a tail must have been discarded.)
+    assert!(report.torn_tail);
+    assert_eq!(c.len() as u64, report.frames_replayed);
+    for i in 0..report.frames_replayed as i64 {
+        assert!(
+            c.find_one(&Filter::eq("_id", i)).is_some(),
+            "acknowledged _id {i} lost"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A bit flip in the middle of the log is caught by the frame CRC:
+/// recovery stops at the corrupt frame rather than replaying garbage.
+#[test]
+fn bit_flip_is_caught_by_frame_crc() {
+    let dir = tmp("bitflip");
+    {
+        let (d, _) = DurableDb::open("db", &dir, opts()).unwrap();
+        let c = d.db().collection("c");
+        for i in 0..10i64 {
+            c.insert_one(doc! {"_id" => i, "v" => "payload payload"}).unwrap();
+        }
+    }
+    let path = dir.join("wal.log");
+    let mut bytes = std::fs::read(&path).unwrap();
+    let bounds = frame_boundaries(&bytes);
+    // Flip one byte inside the 6th frame's body.
+    let target = bounds[5] + FRAME_HEADER + 3;
+    bytes[target] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    assert!(report.torn_tail, "the corrupt frame and everything after it is dropped");
+    assert_eq!(report.frames_replayed, 5);
+    assert_eq!(d.db().get_collection("c").unwrap().len(), 5);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Transient EIO fails the write without corrupting the log: the store
+/// keeps working once the fault clears, and recovery sees every
+/// successfully acknowledged write.
+#[test]
+fn transient_eio_is_not_fatal_to_the_log() {
+    let dir = tmp("eio");
+    let faults = StorageFaults::new();
+    {
+        let (d, _) = DurableDb::open(
+            "db",
+            &dir,
+            WalOptions { sync: SyncPolicy::Always, faults: Some(faults.clone()) },
+        )
+        .unwrap();
+        let c = d.db().collection("c");
+        c.insert_one(doc! {"_id" => 1i64}).unwrap();
+        faults.transient_eio(1);
+        assert!(c.insert_one(doc! {"_id" => 2i64}).is_err(), "EIO surfaces");
+        // The fault has passed; later writes succeed.
+        c.insert_one(doc! {"_id" => 3i64}).unwrap();
+    }
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    assert!(!report.torn_tail, "EIO left no partial frame");
+    let c = d.db().get_collection("c").unwrap();
+    assert!(c.find_one(&Filter::eq("_id", 1i64)).is_some());
+    assert!(c.find_one(&Filter::eq("_id", 3i64)).is_some());
+    // _id 2 was never acknowledged; it is in memory pre-crash but has
+    // no durability claim. After recovery it is simply absent.
+    assert!(c.find_one(&Filter::eq("_id", 2i64)).is_none());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Checkpoint + post-checkpoint WAL writes + crash: recovery stitches
+/// both together.
+#[test]
+fn checkpoint_plus_wal_tail_recovers_combined_state() {
+    let dir = tmp("stitch");
+    {
+        let (d, _) = DurableDb::open("db", &dir, opts()).unwrap();
+        let c = d.db().collection("c");
+        c.insert_many((0..30i64).map(|i| doc! {"_id" => i, "v" => i})).unwrap();
+        d.checkpoint().unwrap();
+        c.insert_many((30..40i64).map(|i| doc! {"_id" => i, "v" => i})).unwrap();
+        c.delete_many(&Filter::eq("_id", 0i64));
+    }
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    assert_eq!(report.checkpoint_docs, 30);
+    assert!(report.frames_replayed >= 2, "inserts + delete replayed from the log");
+    let c = d.db().get_collection("c").unwrap();
+    assert_eq!(c.len(), 39);
+    assert!(c.find_one(&Filter::eq("_id", 0i64)).is_none());
+    assert!(c.find_one(&Filter::eq("_id", 39i64)).is_some());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

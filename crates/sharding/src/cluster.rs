@@ -9,8 +9,21 @@ use crate::replica::{ReadPreference, WriteConcern};
 use crate::router::{DegradedReads, Mongos};
 use crate::shard::Shard;
 use crate::shardkey::ShardKey;
+use doclite_docstore::wal::SyncPolicy;
 use doclite_docstore::Result;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Where and how durably the shards persist their data. Each shard's
+/// members keep their WAL + checkpoints under
+/// `<dir>/s<shard>/m<member>`.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory for the cluster's durability state.
+    pub dir: PathBuf,
+    /// Fsync cadence for every member WAL.
+    pub sync: SyncPolicy,
+}
 
 /// Build-time knobs for a [`ShardedCluster`]. `Default` reproduces the
 /// thesis deployment: three unreplicated shards, a free network, `w:1`
@@ -36,6 +49,9 @@ pub struct ClusterConfig {
     pub retry: RetryPolicy,
     /// What reads do when a whole shard stays unreachable.
     pub degraded_reads: DegradedReads,
+    /// Crash durability for shard members (`None` = in-memory only, the
+    /// thesis's evaluation setup).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -49,6 +65,7 @@ impl Default for ClusterConfig {
             read_preference: ReadPreference::default(),
             retry: RetryPolicy::default(),
             degraded_reads: DegradedReads::default(),
+            durability: None,
         }
     }
 }
@@ -78,7 +95,23 @@ impl ShardedCluster {
     /// the config server's shard registry.
     pub fn with_config(cfg: ClusterConfig) -> Self {
         let shards: Vec<Arc<Shard>> = (0..cfg.n_shards)
-            .map(|i| Arc::new(Shard::with_replicas(i, &cfg.db_name, cfg.replicas_per_shard)))
+            .map(|i| {
+                let shard = match &cfg.durability {
+                    // An unopenable durability directory is a
+                    // deployment error, not a runtime condition the
+                    // router could route around: fail loudly at build.
+                    Some(d) => Shard::with_durable_replicas(
+                        i,
+                        &cfg.db_name,
+                        cfg.replicas_per_shard,
+                        &d.dir.join(format!("s{i}")),
+                        d.sync,
+                    )
+                    .expect("shard durability directory must be usable"),
+                    None => Shard::with_replicas(i, &cfg.db_name, cfg.replicas_per_shard),
+                };
+                Arc::new(shard)
+            })
             .collect();
         let config = Arc::new(ConfigServer::new());
         for s in &shards {

@@ -37,7 +37,7 @@ pub use balancer::{Balancer, Migration};
 pub use capacity::{plan_cluster, ClusterPlan, ShardingFactors};
 pub use chaos::{ChaosSchedule, FaultAction, FaultEvent};
 pub use chunk::{Chunk, KeyBound, ShardId, DEFAULT_CHUNK_SIZE};
-pub use cluster::{ClusterConfig, ShardedCluster};
+pub use cluster::{ClusterConfig, DurabilityConfig, ShardedCluster};
 pub use config::{CollectionMeta, ConfigServer, ShardEntry};
 pub use network::{FaultKind, Faults, NetMode, NetStats, NetworkModel, RetryPolicy};
 pub use replica::{MemberState, ReadPreference, ReplicaSet, WriteConcern};

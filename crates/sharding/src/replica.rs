@@ -22,10 +22,12 @@
 //!   against pre-checked member health alone.
 
 use doclite_bson::Document;
+use doclite_docstore::wal::{DurableDb, RecoveryReport, SyncPolicy, WalOptions};
 use doclite_docstore::{
     Database, Error, Filter, FindOptions, IndexDef, Result, UpdateResult, UpdateSpec,
 };
 use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Health of one replica-set member.
@@ -33,13 +35,28 @@ use std::sync::Arc;
 pub enum MemberState {
     /// Serving reads/writes.
     Up,
-    /// Crashed or partitioned; receives no traffic and misses writes.
+    /// Unreachable (network fault); its process — and therefore its
+    /// in-memory data — is intact, and recovery only needs a resync of
+    /// the writes it missed.
     Down,
     /// A replicated apply failed on this member after the primary had
     /// already committed: its copy may silently trail the primary, so it
     /// receives no traffic until [`ReplicaSet::recover_member`] resyncs
     /// it from the primary.
     Stale,
+    /// The member's *process* died: its in-memory data is gone. A
+    /// durable member restarts from checkpoint + WAL
+    /// ([`ReplicaSet::restart_member`]); a non-durable one restarts
+    /// empty and relies entirely on resync from a surviving primary.
+    Crashed,
+}
+
+/// Per-member durability bookkeeping: where the WAL/checkpoint live and
+/// the live handle (dropped while the member is crashed).
+struct MemberDurability {
+    dir: PathBuf,
+    sync: SyncPolicy,
+    handle: Option<DurableDb>,
 }
 
 /// Where reads are served.
@@ -79,6 +96,7 @@ impl WriteConcern {
 struct Member {
     db: Arc<Database>,
     state: MemberState,
+    durable: Option<MemberDurability>,
 }
 
 /// A replica set: one primary plus secondaries holding copies of the
@@ -102,9 +120,40 @@ impl ReplicaSet {
             .map(|i| Member {
                 db: Arc::new(Database::new(format!("{name}_m{i}"))),
                 state: MemberState::Up,
+                durable: None,
             })
             .collect();
         ReplicaSet { name, members: RwLock::new(members), primary: RwLock::new(0) }
+    }
+
+    /// Creates a set whose members are durable: each member keeps a WAL
+    /// and checkpoints under `<base_dir>/m<i>`, so a crashed member can
+    /// restart with every write it acknowledged before dying. Reopening
+    /// an existing directory recovers whatever a previous incarnation
+    /// persisted.
+    pub fn new_durable(
+        name: impl Into<String>,
+        n: usize,
+        base_dir: &Path,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
+        assert!(n >= 1, "replica set needs at least one member");
+        let name = name.into();
+        let mut members = Vec::with_capacity(n);
+        for i in 0..n {
+            let dir = base_dir.join(format!("m{i}"));
+            let (handle, _) = DurableDb::open(
+                format!("{name}_m{i}"),
+                &dir,
+                WalOptions { sync, faults: None },
+            )?;
+            members.push(Member {
+                db: Arc::clone(handle.db()),
+                state: MemberState::Up,
+                durable: Some(MemberDurability { dir, sync, handle: Some(handle) }),
+            });
+        }
+        Ok(ReplicaSet { name, members: RwLock::new(members), primary: RwLock::new(0) })
     }
 
     /// The set name.
@@ -465,15 +514,38 @@ impl ReplicaSet {
     /// current primary (initial-sync semantics: its state is replaced by
     /// a copy of the primary's, index definitions included). The
     /// member's database handle stays the same `Arc`, so held references
-    /// observe the resynced state.
+    /// observe the resynced state. A [`MemberState::Crashed`] member is
+    /// routed through [`ReplicaSet::restart_member`] instead — its
+    /// in-memory data is gone and must come back from disk first.
     pub fn recover_member(&self, index: usize) {
+        if self.member_state(index) == MemberState::Crashed {
+            let _ = self.restart_member(index);
+            return;
+        }
         let mut members = self.members.write();
-        let primary = *self.primary.read();
-        if index == primary {
+        let mut primary = self.primary.write();
+        if index == *primary {
             members[index].state = MemberState::Up;
             return;
         }
-        // Rebuild the member's data in place from the primary.
+        if members[*primary].state == MemberState::Crashed {
+            // The configured primary is a crashed placeholder: the
+            // recovering member's intact memory is strictly newer than
+            // an empty shell, so elect it instead of resyncing from
+            // (i.e. being wiped by) the placeholder.
+            members[index].state = MemberState::Up;
+            *primary = index;
+            return;
+        }
+        Self::resync_from(&mut members, *primary, index);
+        members[index].state = MemberState::Up;
+    }
+
+    /// Rebuilds `index`'s data in place from `primary`'s copy. When the
+    /// target is durable (WAL attached), the drops and inserts are
+    /// logged like any other writes, so the resynced state is itself
+    /// crash-safe.
+    fn resync_from(members: &mut [Member], primary: usize, index: usize) {
         let target = Arc::clone(&members[index].db);
         for name in target.collection_names() {
             target.drop_collection(&name);
@@ -486,7 +558,113 @@ impl ReplicaSet {
             }
             dst.insert_many(src.all_docs()).ok();
         }
-        members[index].state = MemberState::Up;
+    }
+
+    /// Kills a member's *process*: its in-memory database is replaced by
+    /// an empty placeholder (memory does not survive a crash) and its
+    /// durability handle is dropped, releasing the WAL file. Only bytes
+    /// the WAL already wrote to disk survive. If the member was primary,
+    /// the lowest-index healthy member is elected (returns the new
+    /// primary, or `None` if none is left).
+    pub fn crash_member(&self, index: usize) -> Option<usize> {
+        let mut members = self.members.write();
+        {
+            let m = &mut members[index];
+            m.state = MemberState::Crashed;
+            m.db = Arc::new(Database::new(format!("{}_m{index}_crashed", self.name)));
+            if let Some(d) = &mut m.durable {
+                d.handle = None;
+            }
+        }
+        let mut primary = self.primary.write();
+        if *primary == index {
+            let next = members
+                .iter()
+                .position(|m| m.state == MemberState::Up)?;
+            *primary = next;
+        }
+        Some(*primary)
+    }
+
+    /// Restarts a crashed member. A durable member first recovers from
+    /// its checkpoint + WAL (the state as of its last acknowledged
+    /// write); a non-durable member comes back empty. Then:
+    ///
+    /// * if a healthy primary exists, the member resyncs from it (the
+    ///   authoritative copy may have moved on while the member was dead)
+    ///   and checkpoints, compacting the resync into a fresh baseline;
+    /// * if no member is healthy but the configured primary is merely
+    ///   [`MemberState::Down`]/[`MemberState::Stale`] — its memory
+    ///   intact and at least as new as our disk state — the restarted
+    ///   member waits as `Stale` rather than usurping it, and resyncs
+    ///   once that primary is back;
+    /// * otherwise (the configured primary itself crashed) the
+    ///   restarted member *becomes* primary, serving whatever its own
+    ///   durability layer preserved — the total-cluster-restart path,
+    ///   and exactly where WAL durability pays off. With per-member
+    ///   logs there is no cross-member opTime to compare, so the first
+    ///   member restarted wins the election; use `w:all` when a
+    ///   workload must survive arbitrary-order total restarts (opTime
+    ///   terms are future work).
+    pub fn restart_member(&self, index: usize) -> Result<RecoveryReport> {
+        let mut members = self.members.write();
+        let mut report = RecoveryReport::default();
+        if let Some(dur) = &members[index].durable {
+            let (handle, rep) = DurableDb::open(
+                format!("{}_m{index}", self.name),
+                &dur.dir,
+                WalOptions { sync: dur.sync, faults: None },
+            )?;
+            report = rep;
+            let m = &mut members[index];
+            m.db = Arc::clone(handle.db());
+            m.durable.as_mut().expect("checked above").handle = Some(handle);
+        }
+        let mut primary = self.primary.write();
+        let healthy_primary =
+            *primary != index && members[*primary].state == MemberState::Up;
+        if healthy_primary {
+            Self::resync_from(&mut members, *primary, index);
+            members[index].state = MemberState::Up;
+            if let Some(handle) = members[index]
+                .durable
+                .as_ref()
+                .and_then(|d| d.handle.as_ref())
+            {
+                handle.checkpoint()?;
+            }
+        } else if *primary != index
+            && matches!(
+                members[*primary].state,
+                MemberState::Down | MemberState::Stale
+            )
+        {
+            // The configured primary is unreachable but its memory is
+            // intact — it holds at least every write our disk does, and
+            // possibly later ones. Wait for it as a stale secondary
+            // rather than usurping it with an older disk image;
+            // `recover_member` resyncs us once a primary is healthy.
+            members[index].state = MemberState::Stale;
+        } else {
+            members[index].state = MemberState::Up;
+            *primary = index;
+        }
+        Ok(report)
+    }
+
+    /// Quiesced log compaction on every live durable member (test/ops
+    /// hook; a no-op for non-durable members).
+    pub fn checkpoint_all(&self) -> Result<()> {
+        let members = self.members.write();
+        for m in members.iter() {
+            if m.state != MemberState::Up {
+                continue;
+            }
+            if let Some(handle) = m.durable.as_ref().and_then(|d| d.handle.as_ref()) {
+                handle.checkpoint()?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -685,5 +863,107 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_set_panics() {
         let _ = ReplicaSet::new("rs0", 0);
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("doclite-rs-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crashed_durable_member_restarts_with_its_acked_writes() {
+        let dir = tmp("durable");
+        let rs = ReplicaSet::new_durable("rs0", 3, &dir, SyncPolicy::Always).unwrap();
+        for i in 0..10i64 {
+            rs.insert_one("c", doc! {"k" => i}, WriteConcern::All).unwrap();
+        }
+        rs.crash_member(2);
+        assert_eq!(rs.member_state(2), MemberState::Crashed);
+        // Memory is gone while crashed.
+        assert!(rs.member_db(2).get_collection("c").is_err());
+        // Writes continue on the survivors.
+        rs.insert_one("c", doc! {"k" => 100i64}, WriteConcern::Majority).unwrap();
+        let report = rs.restart_member(2).unwrap();
+        assert!(report.frames_replayed > 0 || report.checkpoint_docs > 0);
+        // Resynced from the primary: the missed write is present too.
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 11);
+        assert_eq!(rs.member_state(2), MemberState::Up);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crashed_primary_triggers_election_and_restart_resyncs() {
+        let dir = tmp("primary-crash");
+        let rs = ReplicaSet::new_durable("rs0", 3, &dir, SyncPolicy::Always).unwrap();
+        for i in 0..5i64 {
+            rs.insert_one("c", doc! {"k" => i}, WriteConcern::Majority).unwrap();
+        }
+        let new_primary = rs.crash_member(0).unwrap();
+        assert_eq!(new_primary, 1);
+        rs.insert_one("c", doc! {"k" => 99i64}, WriteConcern::Majority).unwrap();
+        rs.restart_member(0).unwrap();
+        assert_eq!(rs.member_db(0).get_collection("c").unwrap().len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn total_crash_restart_preserves_every_all_acked_write() {
+        // Every member crashes: only the durability layer can bring the
+        // data back. Writes acked at w:all are on every member's WAL,
+        // so whichever restarts first serves them all.
+        let dir = tmp("total-crash");
+        let rs = ReplicaSet::new_durable("rs0", 3, &dir, SyncPolicy::Always).unwrap();
+        for i in 0..20i64 {
+            rs.insert_one("c", doc! {"_id" => i}, WriteConcern::All).unwrap();
+        }
+        rs.crash_member(2);
+        rs.crash_member(1);
+        assert_eq!(rs.crash_member(0), None, "no healthy member left");
+        assert!(rs.insert_one("c", doc! {"_id" => 99i64}, WriteConcern::W1).is_err());
+
+        let report = rs.restart_member(1).unwrap();
+        assert_eq!(report.frames_replayed, 20);
+        assert_eq!(rs.primary_index(), 1, "restarted member becomes primary");
+        rs.restart_member(0).unwrap();
+        rs.restart_member(2).unwrap();
+        for i in 0..3 {
+            assert_eq!(
+                rs.member_db(i).get_collection("c").unwrap().len(),
+                20,
+                "member {i}"
+            );
+        }
+        rs.insert_one("c", doc! {"_id" => 100i64}, WriteConcern::All).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_durable_crash_restart_resyncs_from_surviving_primary() {
+        let rs = seeded(3);
+        rs.crash_member(2);
+        rs.insert_one("c", doc! {"k" => 77i64}, WriteConcern::Majority).unwrap();
+        rs.restart_member(2).unwrap();
+        // Nothing on disk, but the primary survived: full resync.
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 11);
+    }
+
+    #[test]
+    fn reopening_a_durable_set_directory_recovers_state() {
+        let dir = tmp("reopen");
+        {
+            let rs = ReplicaSet::new_durable("rs0", 2, &dir, SyncPolicy::Always).unwrap();
+            for i in 0..7i64 {
+                rs.insert_one("c", doc! {"_id" => i}, WriteConcern::All).unwrap();
+            }
+            rs.checkpoint_all().unwrap();
+            rs.insert_one("c", doc! {"_id" => 7i64}, WriteConcern::All).unwrap();
+        }
+        let rs = ReplicaSet::new_durable("rs0", 2, &dir, SyncPolicy::Always).unwrap();
+        for i in 0..2 {
+            assert_eq!(rs.member_db(i).get_collection("c").unwrap().len(), 8, "member {i}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -7,7 +7,9 @@
 
 use crate::chunk::ShardId;
 use crate::replica::{ReadPreference, ReplicaSet};
+use doclite_docstore::wal::SyncPolicy;
 use doclite_docstore::{Database, Result};
+use std::path::Path;
 use std::sync::Arc;
 
 /// A shard wraps a replica set of full document-store engines, exactly
@@ -34,6 +36,23 @@ impl Shard {
             name: format!("Shard{}", id + 1),
             rs: ReplicaSet::new(format!("{db_name}_s{id}"), members),
         }
+    }
+
+    /// Like [`Shard::with_replicas`], but every member is durable: WAL
+    /// and checkpoints live under `<base_dir>/m<member>`, so a crashed
+    /// member restarts with all of its acknowledged writes.
+    pub fn with_durable_replicas(
+        id: ShardId,
+        db_name: &str,
+        members: usize,
+        base_dir: &Path,
+        sync: SyncPolicy,
+    ) -> Result<Self> {
+        Ok(Shard {
+            id,
+            name: format!("Shard{}", id + 1),
+            rs: ReplicaSet::new_durable(format!("{db_name}_s{id}"), members, base_dir, sync)?,
+        })
     }
 
     /// The shard id.

@@ -5,13 +5,29 @@
 //! encoding, insertion order ignored).
 
 use doclite_bson::doc;
-use doclite_docstore::Filter;
-use doclite_sharding::chaos::{self, ChaosSchedule};
+use doclite_docstore::{Filter, SyncPolicy};
+use doclite_sharding::chaos::{self, ChaosSchedule, FaultAction};
 use doclite_sharding::{
-    ClusterConfig, DegradedReads, NetworkModel, ReadPreference, RetryPolicy, ShardKey,
-    ShardedCluster, WriteConcern,
+    ClusterConfig, DegradedReads, DurabilityConfig, MemberState, NetworkModel, ReadPreference,
+    RetryPolicy, ShardKey, ShardedCluster, WriteConcern,
 };
 use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique scratch directory per test (and per proptest case): chaos
+/// tests run in one process, so a counter + pid disambiguates.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn chaos_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("doclite_chaos_{tag}_{}_{n}", std::process::id()));
+    // A stale directory from an interrupted earlier run must not leak
+    // its WAL/checkpoint state into this one.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn replicated_cluster(
     n_shards: usize,
@@ -23,6 +39,30 @@ fn replicated_cluster(
         replicas_per_shard: replicas,
         db_name: "chaos".into(),
         write_concern: concern,
+        ..ClusterConfig::default()
+    });
+    cluster
+        .shard_collection("facts", ShardKey::range(["k"]), 4 * 1024)
+        .unwrap();
+    cluster
+}
+
+/// Like [`replicated_cluster`], but every member persists a WAL and
+/// checkpoints under `dir`, so crashed members restart with their
+/// acknowledged writes instead of an empty database.
+fn durable_cluster(
+    n_shards: usize,
+    replicas: usize,
+    concern: WriteConcern,
+    dir: &Path,
+    sync: SyncPolicy,
+) -> ShardedCluster {
+    let cluster = ShardedCluster::with_config(ClusterConfig {
+        n_shards,
+        replicas_per_shard: replicas,
+        db_name: "chaos".into(),
+        write_concern: concern,
+        durability: Some(DurabilityConfig { dir: dir.to_path_buf(), sync }),
         ..ClusterConfig::default()
     });
     cluster
@@ -286,6 +326,136 @@ fn request_timeouts_fail_oversized_scatter_legs() {
     assert!(cluster.router().net_stats().timed_out() > 0);
 }
 
+/// The durability tentpole: a seeded schedule that *crashes* member
+/// processes (memory lost, disk kept) and restarts them, interleaved
+/// with link failures and partitions, all under live traffic. After
+/// repairing everything the members converge bit-identically and every
+/// acknowledged write — including those whose acking member later
+/// crashed — is still present.
+#[test]
+fn seeded_crash_restart_schedule_converges_with_durability() {
+    let dir = chaos_dir("seeded");
+    let cluster =
+        durable_cluster(3, 3, WriteConcern::Majority, &dir, SyncPolicy::EveryN(8));
+    load_and_balance(&cluster, 120);
+
+    let schedule = ChaosSchedule::seeded(0xD15C, 200, 3, 3);
+    let crashes = schedule
+        .events()
+        .iter()
+        .filter(|e| matches!(e.action, FaultAction::CrashMember { .. }))
+        .count();
+    let restarts = schedule
+        .events()
+        .iter()
+        .filter(|e| matches!(e.action, FaultAction::RestartMember { .. }))
+        .count();
+    assert!(
+        crashes > 0 && restarts > 0,
+        "seed must exercise the crash path ({crashes} crashes, {restarts} restarts)"
+    );
+
+    let mut acked: Vec<i64> = Vec::new();
+    for step in 0..200usize {
+        schedule.apply_due(&cluster, step);
+        let k = 1000 + step as i64;
+        if cluster.router().insert_one("facts", doc! {"k" => k}).is_ok() {
+            acked.push(k);
+        }
+        if step % 16 == 0 {
+            // Reads mid-chaos may fail against a partitioned shard but
+            // must never panic or wedge.
+            let _ = cluster.router().try_find_with(
+                "facts",
+                &Filter::True,
+                &Default::default(),
+            );
+        }
+        if step == 100 {
+            // A mid-run checkpoint on every live member: later restarts
+            // recover from checkpoint + WAL tail, not the log alone.
+            for shard in cluster.router().shards() {
+                shard.replica_set().checkpoint_all().unwrap();
+            }
+        }
+    }
+    assert!(!acked.is_empty(), "the schedule always leaves a primary");
+
+    chaos::heal_all(&cluster);
+    chaos::check_convergence(&cluster).unwrap();
+    for k in acked {
+        assert_eq!(
+            cluster.router().find("facts", &Filter::eq("k", k)).len(),
+            1,
+            "acknowledged write k={k} lost across crash/restart churn"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every member of a shard crashes — no in-memory copy survives — and
+/// the data comes back from checkpoint + WAL alone. `w:all` writes make
+/// every member's disk authoritative, so the restart order (first
+/// restarted member becomes primary) cannot lose anything.
+#[test]
+fn total_shard_crash_recovers_every_acked_write_from_disk() {
+    let dir = chaos_dir("total");
+    let cluster = durable_cluster(1, 3, WriteConcern::All, &dir, SyncPolicy::Always);
+    for i in 0..40i64 {
+        cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
+    }
+    // Compact the first half into checkpoints, then keep writing so
+    // recovery must stitch checkpoint state and the WAL tail together.
+    let rs = cluster.router().shards()[0].replica_set();
+    rs.checkpoint_all().unwrap();
+    for i in 40..60i64 {
+        cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
+    }
+
+    for m in 0..3 {
+        rs.crash_member(m);
+    }
+    for m in 0..3 {
+        assert_eq!(
+            rs.member_db(m).get_collection("facts").map(|c| c.len()).unwrap_or(0),
+            0,
+            "a crashed member must hold nothing in memory"
+        );
+    }
+
+    chaos::heal_all(&cluster);
+    chaos::check_convergence(&cluster).unwrap();
+    assert_eq!(cluster.router().find("facts", &Filter::True).len(), 60);
+    // The shard-key index came back too (recovered from the WAL's
+    // create-index frame), so targeted queries still work.
+    assert!(cluster
+        .router()
+        .explain_targeting("facts", &Filter::eq("k", 30i64))
+        .is_targeted());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A crashed member that restarts while its shard still has a healthy
+/// primary resyncs the writes it missed while dead.
+#[test]
+fn restarted_member_catches_up_on_writes_it_missed() {
+    let dir = chaos_dir("catchup");
+    let cluster = durable_cluster(1, 3, WriteConcern::Majority, &dir, SyncPolicy::Always);
+    for i in 0..10i64 {
+        cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
+    }
+    let rs = cluster.router().shards()[0].replica_set();
+    rs.crash_member(2);
+    for i in 10..25i64 {
+        cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
+    }
+    let report = rs.restart_member(2).unwrap();
+    assert!(report.frames_replayed > 0, "the WAL held the pre-crash writes");
+    assert_eq!(rs.member_db(2).get_collection("facts").unwrap().len(), 25);
+    chaos::check_convergence(&cluster).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[derive(Clone, Debug)]
 enum Op {
     /// Insert k with w:1 (false) or w:majority (true).
@@ -344,5 +514,89 @@ proptest! {
         chaos::heal_all(&cluster);
         chaos::check_convergence(&cluster).unwrap();
         prop_assert_eq!(cluster.router().collection_len("facts"), 120 + acked);
+    }
+}
+
+#[derive(Clone, Debug)]
+enum DurableOp {
+    /// Insert k with w:1 (false) or w:majority (true).
+    Write { k: i64, majority: bool },
+    Fail { shard: usize, member: usize },
+    Crash { shard: usize, member: usize },
+    Recover { shard: usize, member: usize },
+}
+
+fn durable_op_strategy() -> impl Strategy<Value = DurableOp> {
+    // Write arm doubled for weight, as in `op_strategy`.
+    prop_oneof![
+        (0..5_000i64, any::<bool>())
+            .prop_map(|(k, majority)| DurableOp::Write { k, majority }),
+        (5_000..10_000i64, any::<bool>())
+            .prop_map(|(k, majority)| DurableOp::Write { k, majority }),
+        (0..2usize, 0..3usize).prop_map(|(shard, member)| DurableOp::Fail { shard, member }),
+        (0..2usize, 0..3usize).prop_map(|(shard, member)| DurableOp::Crash { shard, member }),
+        (0..2usize, 0..3usize)
+            .prop_map(|(shard, member)| DurableOp::Recover { shard, member }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any interleaving of writes, link failures, and *process crashes*
+    /// against a durable cluster converges with one document per
+    /// acknowledged write. Crashes follow the same invariant the
+    /// seeded schedule keeps — never crash the last healthy member of a
+    /// shard (with per-member WALs there is no cross-member opTime, so
+    /// a full-crash shard elects whichever member restarts first;
+    /// `w:all` is the contract for surviving that, covered by
+    /// `total_shard_crash_recovers_every_acked_write_from_disk`).
+    #[test]
+    fn interleaved_writes_crashes_and_failovers_converge_durably(
+        ops in proptest::collection::vec(durable_op_strategy(), 1..60)
+    ) {
+        let dir = chaos_dir("prop");
+        let mut cluster =
+            durable_cluster(2, 3, WriteConcern::W1, &dir, SyncPolicy::Never);
+        load_and_balance(&cluster, 120);
+        let mut acked = 0usize;
+        for op in ops {
+            match op {
+                DurableOp::Write { k, majority } => {
+                    cluster.router_mut().set_write_concern(if majority {
+                        WriteConcern::Majority
+                    } else {
+                        WriteConcern::W1
+                    });
+                    if cluster.router().insert_one("facts", doc! {"k" => k}).is_ok() {
+                        acked += 1;
+                    }
+                }
+                DurableOp::Fail { shard, member } => {
+                    let rs = cluster.router().shards()[shard].replica_set();
+                    // Failing the link of a dead process is meaningless
+                    // (and would erase the crashed marker).
+                    if rs.member_state(member) != MemberState::Crashed {
+                        rs.fail_member(member);
+                    }
+                }
+                DurableOp::Crash { shard, member } => {
+                    let rs = cluster.router().shards()[shard].replica_set();
+                    let up = (0..rs.member_count())
+                        .filter(|&m| rs.member_state(m) == MemberState::Up)
+                        .count();
+                    if rs.member_state(member) == MemberState::Up && up > 1 {
+                        rs.crash_member(member);
+                    }
+                }
+                DurableOp::Recover { shard, member } => {
+                    cluster.router().shards()[shard].replica_set().recover_member(member);
+                }
+            }
+        }
+        chaos::heal_all(&cluster);
+        chaos::check_convergence(&cluster).unwrap();
+        prop_assert_eq!(cluster.router().collection_len("facts"), 120 + acked);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
