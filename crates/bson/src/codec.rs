@@ -71,6 +71,14 @@ pub fn encoded_size(doc: &Document) -> usize {
         + 1
 }
 
+/// The encoded payload size of a single value (excluding the element
+/// type byte and key), computed without allocating. Lets callers that
+/// pack values into size-bounded containers (e.g. the WAL's chunked
+/// delete frames) budget precisely.
+pub fn encoded_value_size(v: &Value) -> usize {
+    value_payload_size(v)
+}
+
 fn value_payload_size(v: &Value) -> usize {
     match v {
         Value::Null => 0,

@@ -8,7 +8,7 @@ use crate::query::matcher::{compile, matches_compiled, CompiledFilter};
 use crate::query::planner::{plan, Plan, PlanKind};
 use crate::storage::{DocId, Slab};
 use crate::update::{apply_update, upsert_seed, UpdateResult, UpdateSpec};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{delete_records_chunked, Wal, WalRecord};
 use doclite_bson::{codec::encoded_size, Document, Value, MAX_DOCUMENT_SIZE};
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -159,18 +159,25 @@ impl Collection {
         let wal = self.wal_handle();
         let logged = wal.as_ref().map(|_| doc.clone());
         let mut inner = self.inner.write();
-        Self::insert_locked(&mut inner, doc)?;
+        let slot = Self::insert_locked(&mut inner, doc)?;
         if let Some(wal) = wal {
-            wal.append(&WalRecord::Insert {
+            if let Err(e) = wal.append(&WalRecord::Insert {
                 coll: self.name.clone(),
                 doc: logged.expect("cloned when wal attached"),
-            })?;
+            }) {
+                // The append rewound the log; undo the apply too, so the
+                // errored insert is absent everywhere.
+                Self::rollback_inserts(&mut inner, &[slot]);
+                return Err(e);
+            }
         }
         Ok(id)
     }
 
     /// Inserts many documents; stops at the first error, returning the
-    /// count inserted so far alongside the error.
+    /// count inserted so far alongside the error. If the batch's WAL
+    /// append fails, every insert of this call is rolled back (memory
+    /// rejoins the rewound log) and the count reported is 0.
     pub fn insert_many(
         &self,
         docs: impl IntoIterator<Item = Document>,
@@ -179,6 +186,7 @@ impl Collection {
         let mut inner = self.inner.write();
         let mut n = 0;
         let mut logged: Vec<WalRecord> = Vec::new();
+        let mut applied: Vec<DocId> = Vec::new();
         // The successfully-inserted prefix is logged (as one group
         // commit) even when a later document errors: those inserts are
         // applied and must survive a crash.
@@ -194,28 +202,42 @@ impl Collection {
             if size > MAX_DOCUMENT_SIZE {
                 return match flush(&logged) {
                     Ok(()) => Err((n, Error::DocumentTooLarge { size, max: MAX_DOCUMENT_SIZE })),
-                    Err(e) => Err((n, e)),
+                    Err(e) => {
+                        Self::rollback_inserts(&mut inner, &applied);
+                        Err((0, e))
+                    }
                 };
             }
             if wal.is_some() {
                 logged.push(WalRecord::Insert { coll: self.name.clone(), doc: doc.clone() });
             }
-            if let Err(e) = Self::insert_locked(&mut inner, doc) {
-                logged.pop();
-                return match flush(&logged) {
-                    Ok(()) => Err((n, e)),
-                    Err(le) => Err((n, le)),
-                };
+            match Self::insert_locked(&mut inner, doc) {
+                Ok(slot) => {
+                    if wal.is_some() {
+                        applied.push(slot);
+                    }
+                }
+                Err(e) => {
+                    logged.pop();
+                    return match flush(&logged) {
+                        Ok(()) => Err((n, e)),
+                        Err(le) => {
+                            Self::rollback_inserts(&mut inner, &applied);
+                            Err((0, le))
+                        }
+                    };
+                }
             }
             n += 1;
         }
         if let Err(e) = flush(&logged) {
-            return Err((n, e));
+            Self::rollback_inserts(&mut inner, &applied);
+            return Err((0, e));
         }
         Ok(n)
     }
 
-    fn insert_locked(inner: &mut Inner, doc: Document) -> Result<()> {
+    fn insert_locked(inner: &mut Inner, doc: Document) -> Result<DocId> {
         // Validate unique indexes before touching state.
         for idx in &inner.indexes {
             if idx.def.unique {
@@ -235,7 +257,20 @@ impl Collection {
             idx.insert(id, doc_ref)
                 .expect("uniqueness pre-validated");
         }
-        Ok(())
+        Ok(id)
+    }
+
+    /// Undoes applied-but-unlogged inserts after a WAL append failure
+    /// (the append already rewound the log), so memory and log agree
+    /// again and a later seal fingerprint stays reproducible.
+    fn rollback_inserts(inner: &mut Inner, slots: &[DocId]) {
+        for slot in slots.iter().rev() {
+            if let Some(doc) = inner.slab.remove(*slot) {
+                for idx in &mut inner.indexes {
+                    idx.remove(*slot, &doc);
+                }
+            }
+        }
     }
 
     /// Creates an index; backfills existing documents. Creating an index
@@ -257,10 +292,13 @@ impl Collection {
         }
         inner.indexes.push(idx);
         if let Some(wal) = wal {
-            wal.append(&WalRecord::CreateIndex {
+            if let Err(e) = wal.append(&WalRecord::CreateIndex {
                 coll: self.name.clone(),
                 def: logged.expect("cloned when wal attached"),
-            })?;
+            }) {
+                inner.indexes.pop();
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -277,12 +315,15 @@ impl Collection {
             .iter()
             .position(|i| i.def.name == name)
             .ok_or_else(|| Error::NoSuchIndex(name.to_owned()))?;
-        inner.indexes.remove(pos);
+        let removed = inner.indexes.remove(pos);
         if let Some(wal) = wal {
-            wal.append(&WalRecord::DropIndex {
+            if let Err(e) = wal.append(&WalRecord::DropIndex {
                 coll: self.name.clone(),
                 name: name.to_owned(),
-            })?;
+            }) {
+                inner.indexes.insert(pos, removed);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -452,6 +493,10 @@ impl Collection {
         let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         let mut logged: Vec<WalRecord> = Vec::new();
+        // Pre-images (and any upserted slot), kept only while a WAL is
+        // attached, so a failed append can undo the in-memory applies.
+        let mut undo: Vec<(DocId, Document)> = Vec::new();
+        let mut upserted_slot: Option<DocId> = None;
 
         // Applied post-images are logged even when a later document
         // errors: their effects are in memory and must survive a crash.
@@ -480,6 +525,7 @@ impl Collection {
                     // Log the post-image so replay is independent of
                     // how the update expression computed it.
                     if wal.is_some() {
+                        undo.push((id, old));
                         logged.push(WalRecord::Update { coll: self.name.clone(), doc: updated });
                     }
                     result.modified += 1;
@@ -496,8 +542,9 @@ impl Collection {
                 let record = wal
                     .is_some()
                     .then(|| WalRecord::Insert { coll: self.name.clone(), doc: seed.clone() });
-                Self::insert_locked(&mut inner, seed)?;
+                let slot = Self::insert_locked(&mut inner, seed)?;
                 if let Some(r) = record {
+                    upserted_slot = Some(slot);
                     logged.push(r);
                 }
                 result.upserted_id = Some(id);
@@ -507,14 +554,42 @@ impl Collection {
 
         if let Some(wal) = wal {
             if !logged.is_empty() {
-                wal.append_batch(&logged)?;
+                if let Err(e) = wal.append_batch(&logged) {
+                    // The append rewound the log; undo the applies in
+                    // reverse order so memory rejoins it.
+                    if let Some(slot) = upserted_slot {
+                        Self::rollback_inserts(&mut inner, &[slot]);
+                    }
+                    for (id, old) in undo.into_iter().rev() {
+                        let new = inner.slab.replace(id, old).expect("doc exists");
+                        let Inner { slab, indexes } = &mut *inner;
+                        let old_ref = slab.get(id).expect("just restored");
+                        for idx in indexes.iter_mut() {
+                            idx.remove(id, &new);
+                            idx.insert(id, old_ref).expect("was indexed before");
+                        }
+                    }
+                    return Err(e);
+                }
             }
         }
         outcome
     }
 
-    /// Deletes matching documents, returning the count removed.
+    /// Deletes matching documents, returning the count removed. A WAL
+    /// append failure rolls the whole delete back (see
+    /// [`Collection::try_delete_many`]) and reports 0 removed; callers
+    /// that need the error itself should use the fallible form.
     pub fn delete_many(&self, filter: &Filter) -> usize {
+        self.try_delete_many(filter).unwrap_or(0)
+    }
+
+    /// Fallible [`Collection::delete_many`]. The removed `_id`s are
+    /// logged as size-bounded `Delete` frames in one group commit; on
+    /// append failure the log is rewound, every removal is reinserted,
+    /// and the error is returned — the delete either fully happened
+    /// (memory and log) or not at all.
+    pub fn try_delete_many(&self, filter: &Filter) -> Result<usize> {
         let wal = self.wal_handle();
         let mut inner = self.inner.write();
         let plan = plan(filter, &inner.indexes);
@@ -522,6 +597,7 @@ impl Collection {
         let ids = Self::fetch_candidates(&inner, &plan);
         let mut removed = 0;
         let mut removed_ids: Vec<Value> = Vec::new();
+        let mut undo: Vec<Document> = Vec::new();
         for id in ids {
             let is_match = inner
                 .slab
@@ -538,23 +614,23 @@ impl Collection {
                 if let Some(doc_id) = old.id() {
                     removed_ids.push(doc_id.clone());
                 }
+                undo.push(old);
             }
             removed += 1;
         }
         if let Some(wal) = wal {
             if !removed_ids.is_empty() {
-                // Deletion already happened; a failed append means the
-                // delete is applied but not durable — the same
-                // not-acknowledged contract as a failed insert append,
-                // surfaced here as a best-effort (the return type
-                // predates the WAL and carries no error channel).
-                let _ = wal.append(&WalRecord::Delete {
-                    coll: self.name.clone(),
-                    ids: removed_ids,
-                });
+                let records = delete_records_chunked(&self.name, removed_ids);
+                if let Err(e) = wal.append_batch(&records) {
+                    for doc in undo.into_iter().rev() {
+                        Self::insert_locked(&mut inner, doc)
+                            .expect("rollback reinserts a doc that was just removed");
+                    }
+                    return Err(e);
+                }
             }
         }
-        removed
+        Ok(removed)
     }
 
     /// Runs an aggregation pipeline. A trailing `$out` stage is ignored

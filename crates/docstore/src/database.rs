@@ -81,18 +81,29 @@ impl Database {
         self.collections.read().contains_key(name)
     }
 
-    /// Drops a collection; returns whether it existed.
+    /// Drops a collection; returns whether it existed. A WAL append
+    /// failure rolls the drop back (see
+    /// [`Database::try_drop_collection`]) and reports `false`.
     pub fn drop_collection(&self, name: &str) -> bool {
-        let existed = self.collections.write().remove(name).is_some();
-        if existed {
-            if let Some(wal) = self.wal_handle() {
-                // Best-effort, mirroring `delete_many`: the drop is
-                // applied; a failed append loses only durability of a
-                // write that was never acknowledged as durable.
-                let _ = wal.append(&WalRecord::DropCollection { coll: name.to_owned() });
+        self.try_drop_collection(name).unwrap_or(false)
+    }
+
+    /// Fallible [`Database::drop_collection`]: on WAL append failure the
+    /// collection is restored (the append already rewound the log) and
+    /// the error is returned, so the drop either fully happened — in
+    /// memory and in the log — or not at all.
+    pub fn try_drop_collection(&self, name: &str) -> Result<bool> {
+        // The map lock is held across the append so the rollback cannot
+        // interleave with a concurrent re-creation of the name.
+        let mut map = self.collections.write();
+        let Some(coll) = map.remove(name) else { return Ok(false) };
+        if let Some(wal) = self.wal_handle() {
+            if let Err(e) = wal.append(&WalRecord::DropCollection { coll: name.to_owned() }) {
+                map.insert(name.to_owned(), coll);
+                return Err(e);
             }
         }
-        existed
+        Ok(true)
     }
 
     /// Collection names in sorted order.
@@ -119,7 +130,7 @@ impl Database {
         let source = self.get_collection(collection)?;
         let results = source.aggregate_with(pipeline, Some(self))?;
         if let Some(Stage::Out(target)) = pipeline.stages().last() {
-            self.drop_collection(target);
+            self.try_drop_collection(target)?;
             let out = self.collection(target);
             // Move the result set into the target collection instead of
             // cloning every document on the way in; the returned

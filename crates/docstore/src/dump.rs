@@ -29,7 +29,7 @@
 
 use crate::collection::Collection;
 use crate::database::Database;
-use crate::storage::{crc32, Crc32};
+use crate::storage::{crc32, fsync_dir, Crc32};
 use doclite_bson::{codec, Document, MAX_DOCUMENT_SIZE};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -67,6 +67,11 @@ pub fn dump_collection(coll: &Collection, path: &Path) -> io::Result<u64> {
         .map_err(|e| io::Error::other(e.to_string()))?
         .sync_data()?;
     std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable: without the directory fsync a
+    // power loss can forget the swap even though the file data synced.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fsync_dir(parent)?;
+    }
     Ok(n)
 }
 

@@ -65,6 +65,13 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     h.finish()
 }
 
+/// Fsyncs a directory, making renames and file creations inside it
+/// durable. A rename without this can be undone by a power loss even
+/// after the renamed file's own contents were synced.
+pub fn fsync_dir(dir: &std::path::Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
 /// Injectable disk-fault state, mirroring the API shape of the sharding
 /// crate's network `Faults`: explicit deterministic knobs behind one
 /// relaxed-atomic fast-path guard, shared via `Arc` between the test

@@ -42,7 +42,8 @@ use crate::dump::{dump_collection, restore_collection};
 use crate::error::{Error, Result};
 use crate::index::{IndexDef, IndexKind, SortOrder};
 use crate::query::filter::Filter;
-use crate::storage::{crc32, Crc32, StorageFaults};
+use crate::storage::{crc32, fsync_dir, Crc32, StorageFaults};
+use doclite_bson::codec::encoded_value_size;
 use doclite_bson::{codec, doc, Document, Value, MAX_DOCUMENT_SIZE};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -224,6 +225,15 @@ struct WalInner {
     file: File,
     next_seq: u64,
     commits_since_sync: u64,
+    /// Length of the valid frame region. The file can transiently be
+    /// longer after a failed append (torn bytes) until the rewind
+    /// truncates it back to this.
+    len: u64,
+    /// Set when a failed append could not be rewound (or an fsync
+    /// failed): the tail state is then unknown, and appending past a
+    /// torn region would leave frames a recovery scan can never reach,
+    /// so further appends and seals are refused instead.
+    poisoned: Option<String>,
 }
 
 /// The write-ahead log: an append-only checksummed frame stream.
@@ -260,7 +270,13 @@ impl Wal {
             path,
             sync: opts.sync,
             faults: opts.faults,
-            inner: Mutex::new(WalInner { file, next_seq, commits_since_sync: 0 }),
+            inner: Mutex::new(WalInner {
+                file,
+                next_seq,
+                commits_since_sync: 0,
+                len: valid_len,
+                poisoned: None,
+            }),
         }))
     }
 
@@ -272,6 +288,28 @@ impl Wal {
     /// The sequence number the next frame will carry.
     pub fn next_seq(&self) -> u64 {
         self.inner.lock().next_seq
+    }
+
+    /// Raises the next sequence number to at least `min_next`. Recovery
+    /// calls this with the checkpoint watermark + 1: after a checkpoint
+    /// truncated the log, a reopened (empty) WAL would otherwise restart
+    /// at 1 and issue sequence numbers at or below the watermark, which
+    /// the next replay skips as already-checkpointed.
+    pub fn reserve_seq(&self, min_next: u64) {
+        let mut inner = self.inner.lock();
+        inner.next_seq = inner.next_seq.max(min_next);
+    }
+
+    /// Why the log refuses writes, if a prior failure poisoned it.
+    pub fn poisoned(&self) -> Option<String> {
+        self.inner.lock().poisoned.clone()
+    }
+
+    fn ensure_usable(inner: &WalInner) -> Result<()> {
+        match &inner.poisoned {
+            Some(r) => Err(Error::Storage(format!("WAL disabled: {r}"))),
+            None => Ok(()),
+        }
     }
 
     fn encode_frame(seq: u64, record: &WalRecord) -> Vec<u8> {
@@ -290,12 +328,50 @@ impl Wal {
     fn write_frame(&self, inner: &mut WalInner, record: &WalRecord) -> Result<u64> {
         let seq = inner.next_seq;
         let frame = Self::encode_frame(seq, record);
+        let body_len = frame.len() - FRAME_HEADER;
+        if body_len > MAX_FRAME_BODY {
+            // A frame over the scan cap would be written fine but
+            // rejected — along with everything after it — by the next
+            // recovery scan as a torn tail. Refuse it up front.
+            return Err(Error::Storage(format!(
+                "WAL frame body of {body_len} bytes exceeds the {MAX_FRAME_BODY} byte cap"
+            )));
+        }
         match &self.faults {
             Some(f) => f.write_all(&mut inner.file, &frame)?,
             None => inner.file.write_all(&frame)?,
         }
+        inner.len += frame.len() as u64;
         inner.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Restores the file to its pre-append state after a failed frame
+    /// write: a torn frame left at the tail would make every *later*
+    /// append unreachable to the recovery scan. Poisons the log when the
+    /// truncation itself fails.
+    fn rewind(&self, inner: &mut WalInner, start_len: u64, start_seq: u64, cause: &Error) {
+        inner.next_seq = start_seq;
+        if self.faults.as_ref().is_some_and(|f| f.crashed()) {
+            // A (simulated) crash means the process is dead: a real one
+            // never cleans its own tail, so leave the torn bytes for the
+            // recovery scan and refuse further appends instead.
+            inner.poisoned = Some(format!("append failed after a storage crash ({cause})"));
+            return;
+        }
+        let restored = inner
+            .file
+            .set_len(start_len)
+            .and_then(|()| inner.file.seek(SeekFrom::Start(start_len)).map(|_| ()));
+        match restored {
+            Ok(()) => inner.len = start_len,
+            Err(e) => {
+                inner.poisoned = Some(format!(
+                    "append failed ({cause}) and the rewind to offset {start_len} also \
+                     failed ({e})"
+                ));
+            }
+        }
     }
 
     fn commit(&self, inner: &mut WalInner) -> Result<()> {
@@ -306,37 +382,59 @@ impl Wal {
             SyncPolicy::Never => false,
         };
         if due {
-            inner.file.sync_data()?;
+            inner
+                .file
+                .sync_data()
+                .map_err(|e| Error::Storage(format!("WAL fsync failed: {e}")))?;
             inner.commits_since_sync = 0;
         }
         Ok(())
     }
 
     /// Appends one record as one commit; returns its sequence number.
+    /// On failure the log is rewound to its pre-append state (or
+    /// poisoned if even that fails), so an error here means "nothing was
+    /// logged", never "something half was".
     pub fn append(&self, record: &WalRecord) -> Result<u64> {
-        let mut inner = self.inner.lock();
-        let seq = self.write_frame(&mut inner, record)?;
-        self.commit(&mut inner)?;
-        Ok(seq)
+        self.append_batch(std::slice::from_ref(record))
     }
 
     /// Appends a batch of records as a *single* commit (group commit):
     /// all frames are written, then the sync policy is consulted once.
-    /// Returns the sequence number of the last frame.
+    /// Returns the sequence number of the last frame. Failure semantics
+    /// as in [`Wal::append`]: the whole batch is rewound.
     pub fn append_batch(&self, records: &[WalRecord]) -> Result<u64> {
         let mut inner = self.inner.lock();
+        Self::ensure_usable(&inner)?;
+        let (start_len, start_seq) = (inner.len, inner.next_seq);
         let mut last = inner.next_seq;
         for r in records {
-            last = self.write_frame(&mut inner, r)?;
+            match self.write_frame(&mut inner, r) {
+                Ok(seq) => last = seq,
+                Err(e) => {
+                    self.rewind(&mut inner, start_len, start_seq, &e);
+                    return Err(e);
+                }
+            }
         }
-        self.commit(&mut inner)?;
+        if let Err(e) = self.commit(&mut inner) {
+            // The frames reached the OS but their durability is unknown
+            // (a failed fsync makes no promise about earlier commits
+            // either); refusing further writes is the only honest state.
+            inner.poisoned = Some(format!("commit fsync failed: {e}"));
+            return Err(e);
+        }
         Ok(last)
     }
 
     /// Forces an fsync regardless of policy.
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
-        inner.file.sync_data()?;
+        Self::ensure_usable(&inner)?;
+        if let Err(e) = inner.file.sync_data() {
+            inner.poisoned = Some(format!("explicit fsync failed: {e}"));
+            return Err(e.into());
+        }
         inner.commits_since_sync = 0;
         Ok(())
     }
@@ -345,13 +443,47 @@ impl Wal {
     /// absorbed its contents). Sequence numbering continues; it never
     /// restarts.
     pub fn truncate(&self) -> Result<()> {
-        let inner = self.inner.lock();
+        let mut inner = self.inner.lock();
+        Self::ensure_usable(&inner)?;
         inner.file.set_len(WAL_MAGIC.len() as u64)?;
-        let mut file = &inner.file;
-        file.seek(SeekFrom::End(0))?;
-        file.sync_data()?;
+        inner.len = WAL_MAGIC.len() as u64;
+        inner.file.seek(SeekFrom::End(0))?;
+        inner.file.sync_data()?;
         Ok(())
     }
+
+    #[cfg(test)]
+    fn poison_for_test(&self, reason: &str) {
+        self.inner.lock().poisoned = Some(reason.to_owned());
+    }
+}
+
+/// Splits a list of deleted `_id`s into [`WalRecord::Delete`] frames
+/// whose encoded bodies each stay within the scan cap — a delete of any
+/// size then logs as several bounded frames (one group commit via
+/// [`Wal::append_batch`]) instead of one oversized frame a recovery
+/// scan would reject as a torn tail.
+pub fn delete_records_chunked(coll: &str, ids: Vec<Value>) -> Vec<WalRecord> {
+    // Per-element cost: type byte + array index key (≤ 20 digits) + NUL
+    // + payload. Budgeting chunks to MAX_DOCUMENT_SIZE leaves the
+    // frame's fixed fields comfortably inside MAX_FRAME_BODY's slack.
+    let cost = |v: &Value| 1 + 20 + 1 + encoded_value_size(v);
+    let mut records = Vec::new();
+    let mut chunk: Vec<Value> = Vec::new();
+    let mut chunk_size = 0usize;
+    for id in ids {
+        let c = cost(&id);
+        if !chunk.is_empty() && chunk_size + c > MAX_DOCUMENT_SIZE {
+            records.push(WalRecord::Delete { coll: coll.to_owned(), ids: std::mem::take(&mut chunk) });
+            chunk_size = 0;
+        }
+        chunk_size += c;
+        chunk.push(id);
+    }
+    if !chunk.is_empty() {
+        records.push(WalRecord::Delete { coll: coll.to_owned(), ids: chunk });
+    }
+    records
 }
 
 /// One decoded frame.
@@ -490,6 +622,10 @@ pub struct RecoveryReport {
     pub checkpoint_docs: u64,
     /// WAL frames replayed on top of the checkpoint.
     pub frames_replayed: u64,
+    /// WAL frames skipped because their sequence number was at or below
+    /// the checkpoint's watermark (the checkpoint already contains their
+    /// effects — the crash-between-swap-and-truncate window).
+    pub frames_skipped: u64,
     /// Sequence number of the last replayed frame (0 = none).
     pub last_seq: u64,
     /// Whether a torn tail was discarded.
@@ -535,18 +671,32 @@ impl DurableDb {
         let manifest = [dir.join("checkpoint"), dir.join("checkpoint.tmp")]
             .into_iter()
             .find_map(|d| read_manifest(&d.join("MANIFEST")).map(|m| (d, m)));
+        let mut watermark = 0u64;
         if let Some((ckpt_dir, manifest)) = manifest {
+            // The manifest records the WAL high-water sequence the
+            // checkpoint absorbed; a crash between the swap and the log
+            // truncation leaves those frames in the log, and replaying
+            // them over the checkpoint would double-apply (inserts hit
+            // the unique _id index and the store could never reopen).
+            if let Some(Value::Int64(s)) = manifest.get("wal_seq") {
+                watermark = *s as u64;
+            }
             restore_checkpoint(&db, &ckpt_dir, &manifest, &mut report)?;
         }
 
-        // 2. Replay the log. `Wal::open` re-scans and truncates the
-        //    torn tail; scanning here first yields the frames to apply.
+        // 2. Replay the log, skipping frames the checkpoint already
+        //    contains. `Wal::open` re-scans and truncates the torn
+        //    tail; scanning here first yields the frames to apply.
         let wal_path = dir.join("wal.log");
         let mut sealed_fp = None;
         if wal_path.exists() {
             let scan = scan_wal(&wal_path)?;
             report.torn_tail = scan.torn_tail;
             for frame in &scan.frames {
+                if frame.seq <= watermark {
+                    report.frames_skipped += 1;
+                    continue;
+                }
                 apply_record(&db, &frame.record)?;
                 report.frames_replayed += 1;
                 report.last_seq = frame.seq;
@@ -573,6 +723,9 @@ impl DurableDb {
         }
 
         let wal = Wal::open(&wal_path, opts.clone())?;
+        // An empty (checkpoint-truncated) log would restart numbering at
+        // 1; keep it past the watermark so new frames are never skipped.
+        wal.reserve_seq(watermark + 1);
         db.attach_wal(Arc::clone(&wal));
         Ok((DurableDb { db, wal, dir, opts }, report))
     }
@@ -603,6 +756,11 @@ impl DurableDb {
             std::fs::remove_dir_all(&tmp)?;
         }
         std::fs::create_dir_all(&tmp)?;
+        // Everything logged so far (the database is quiesced) is about
+        // to be absorbed by this checkpoint; recording the high-water
+        // sequence lets recovery skip these frames if we die after the
+        // swap below but before the log truncation.
+        let watermark = self.wal.next_seq().saturating_sub(1);
 
         let mut entries = Vec::new();
         for name in self.db.collection_names() {
@@ -622,12 +780,25 @@ impl DurableDb {
                 "indexes" => Value::Array(indexes),
             }));
         }
-        write_manifest(&tmp.join("MANIFEST"), &doc! {"collections" => Value::Array(entries)})?;
+        write_manifest(
+            &tmp.join("MANIFEST"),
+            &doc! {
+                "collections" => Value::Array(entries),
+                "wal_seq" => watermark as i64,
+            },
+        )?;
+        // The manifest's directory entry must be durable before the
+        // directory is swapped into place.
+        fsync_dir(&tmp)?;
 
         if fin.exists() {
             std::fs::remove_dir_all(&fin)?;
         }
         std::fs::rename(&tmp, &fin)?;
+        // Persist the rename before dropping the log: otherwise a power
+        // loss could keep the truncation but lose the swap, leaving the
+        // old (or no) checkpoint plus an empty log.
+        fsync_dir(&self.dir)?;
         self.wal.truncate()
     }
 
@@ -855,6 +1026,151 @@ mod tests {
         assert!(report.torn_tail, "bit flip truncates the log at the corrupt frame");
         assert!(!report.sealed);
         assert_eq!(d.db().collection_names().len(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_crash_window_is_closed_by_the_watermark() {
+        let dir = tmp("ckpt-window");
+        {
+            let (d, _) = DurableDb::open("db", &dir, opts_always()).unwrap();
+            let c = d.db().collection("c");
+            c.insert_many((0..25i64).map(|i| doc! {"_id" => i})).unwrap();
+            // Simulate dying after the checkpoint swap but before the
+            // log truncation: snapshot the log, checkpoint, put the full
+            // log back. Recovery then sees a checkpoint that already
+            // contains every frame in the log.
+            let log = std::fs::read(dir.join("wal.log")).unwrap();
+            d.checkpoint().unwrap();
+            std::fs::write(dir.join("wal.log"), &log).unwrap();
+        }
+        let (d, report) = DurableDb::open("db", &dir, opts_always()).unwrap();
+        assert_eq!(report.checkpoint_docs, 25);
+        assert_eq!(report.frames_skipped, 25, "checkpointed frames skipped, not re-applied");
+        assert_eq!(report.frames_replayed, 0);
+        assert_eq!(d.db().get_collection("c").unwrap().len(), 25);
+        // Fresh writes must land *above* the watermark, else the next
+        // recovery would skip them as already checkpointed.
+        d.db().get_collection("c").unwrap().insert_one(doc! {"_id" => 100i64}).unwrap();
+        drop(d);
+        let (d, report) = DurableDb::open("db", &dir, opts_always()).unwrap();
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(d.db().get_collection("c").unwrap().len(), 26);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_log_resumes_numbering_above_the_watermark() {
+        let dir = tmp("reserve");
+        {
+            let (d, _) = DurableDb::open("db", &dir, opts_always()).unwrap();
+            d.db().collection("c").insert_many((0..5i64).map(|i| doc! {"_id" => i})).unwrap();
+            d.checkpoint().unwrap();
+        }
+        // The log is empty post-checkpoint; a reopened WAL would restart
+        // numbering at 1 without the reservation.
+        let (d, _) = DurableDb::open("db", &dir, opts_always()).unwrap();
+        assert_eq!(d.wal().next_seq(), 6);
+        d.db().get_collection("c").unwrap().insert_one(doc! {"_id" => 10i64}).unwrap();
+        drop(d);
+        let (d, report) = DurableDb::open("db", &dir, opts_always()).unwrap();
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(d.db().get_collection("c").unwrap().len(), 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_and_the_log_stays_usable() {
+        let dir = tmp("oversize");
+        let wal = Wal::open(dir.join("wal.log"), opts_always()).unwrap();
+        wal.append(&WalRecord::DropCollection { coll: "a".into() }).unwrap();
+        let huge: Vec<Value> =
+            (0..18).map(|_| Value::String("x".repeat(1024 * 1024))).collect();
+        assert!(wal.append(&WalRecord::Delete { coll: "c".into(), ids: huge }).is_err());
+        assert!(wal.poisoned().is_none(), "refused up front, not a poison event");
+        wal.append(&WalRecord::DropCollection { coll: "b".into() }).unwrap();
+        let scan = scan_wal(&dir.join("wal.log")).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.frames.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn chunked_delete_frames_stay_under_the_scan_cap_in_order() {
+        // 40 one-megabyte string ids: one Delete frame would be ~40 MB,
+        // far over the cap; chunking must split without reordering.
+        let ids: Vec<Value> = (0..40)
+            .map(|i| Value::String(format!("{i:04}-{}", "x".repeat(1024 * 1024))))
+            .collect();
+        let records = delete_records_chunked("c", ids.clone());
+        assert!(records.len() > 1, "a ~40 MB delete must split");
+        let mut flattened = Vec::new();
+        for r in &records {
+            let body = codec::encode_document(&r.to_doc());
+            assert!(body.len() <= MAX_FRAME_BODY, "chunk body {} over the cap", body.len());
+            let WalRecord::Delete { coll, ids } = r else { panic!("non-delete record") };
+            assert_eq!(coll, "c");
+            flattened.extend(ids.iter().cloned());
+        }
+        assert_eq!(flattened, ids);
+        assert!(delete_records_chunked("c", Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn failed_append_rewinds_and_the_retry_reuses_the_sequence() {
+        let dir = tmp("rewind");
+        let faults = StorageFaults::new();
+        let wal = Wal::open(
+            dir.join("wal.log"),
+            WalOptions { sync: SyncPolicy::Always, faults: Some(Arc::clone(&faults)) },
+        )
+        .unwrap();
+        wal.append(&WalRecord::DropCollection { coll: "a".into() }).unwrap();
+        faults.transient_eio(1);
+        assert!(wal.append(&WalRecord::DropCollection { coll: "b".into() }).is_err());
+        assert!(wal.poisoned().is_none(), "a clean rewind keeps the log usable");
+        // The retry lands exactly where the failed frame would have —
+        // same offset, same sequence number, no gap for a scan to trip
+        // on.
+        wal.append(&WalRecord::DropCollection { coll: "b".into() }).unwrap();
+        let scan = scan_wal(&dir.join("wal.log")).unwrap();
+        assert!(!scan.torn_tail);
+        assert_eq!(scan.frames.iter().map(|f| f.seq).collect::<Vec<_>>(), vec![1, 2]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_mid_append_poisons_and_leaves_the_tail_for_recovery() {
+        let dir = tmp("crash-poison");
+        let faults = StorageFaults::new();
+        let wal = Wal::open(
+            dir.join("wal.log"),
+            WalOptions { sync: SyncPolicy::Always, faults: Some(Arc::clone(&faults)) },
+        )
+        .unwrap();
+        wal.append(&WalRecord::DropCollection { coll: "a".into() }).unwrap();
+        // Die 10 bytes into the next frame: a torn prefix hits the file
+        // and stays there — a dead process cannot rewind itself.
+        faults.crash_after_bytes(10);
+        assert!(wal.append(&WalRecord::DropCollection { coll: "b".into() }).is_err());
+        assert!(wal.poisoned().is_some(), "post-crash the log refuses writes");
+        assert!(wal.append(&WalRecord::DropCollection { coll: "c".into() }).is_err());
+        let scan = scan_wal(&dir.join("wal.log")).unwrap();
+        assert!(scan.torn_tail, "the torn prefix is left for the recovery scan");
+        assert_eq!(scan.frames.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_wal_refuses_appends_and_syncs() {
+        let dir = tmp("poison");
+        let wal = Wal::open(dir.join("wal.log"), opts_always()).unwrap();
+        wal.poison_for_test("injected");
+        let err = wal.append(&WalRecord::DropCollection { coll: "a".into() }).unwrap_err();
+        assert!(err.to_string().contains("WAL disabled"), "unexpected error: {err}");
+        assert!(wal.sync().is_err());
+        assert!(wal.truncate().is_err());
+        assert_eq!(wal.poisoned().as_deref(), Some("injected"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -6,7 +6,7 @@
 
 use doclite_bson::doc;
 use doclite_docstore::wal::{db_fingerprint, DurableDb, SyncPolicy, WalOptions};
-use doclite_docstore::{Filter, StorageFaults};
+use doclite_docstore::{Filter, StorageFaults, UpdateSpec};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -224,6 +224,9 @@ fn transient_eio_is_not_fatal_to_the_log() {
         c.insert_one(doc! {"_id" => 1i64}).unwrap();
         faults.transient_eio(1);
         assert!(c.insert_one(doc! {"_id" => 2i64}).is_err(), "EIO surfaces");
+        // The failed insert was rolled back from memory too, so the
+        // live store already matches what recovery will rebuild.
+        assert_eq!(c.len(), 1);
         // The fault has passed; later writes succeed.
         c.insert_one(doc! {"_id" => 3i64}).unwrap();
     }
@@ -232,9 +235,99 @@ fn transient_eio_is_not_fatal_to_the_log() {
     let c = d.db().get_collection("c").unwrap();
     assert!(c.find_one(&Filter::eq("_id", 1i64)).is_some());
     assert!(c.find_one(&Filter::eq("_id", 3i64)).is_some());
-    // _id 2 was never acknowledged; it is in memory pre-crash but has
-    // no durability claim. After recovery it is simply absent.
+    // _id 2 was never acknowledged anywhere: not in the log, and rolled
+    // back from memory when the append failed.
     assert!(c.find_one(&Filter::eq("_id", 2i64)).is_none());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A WAL append failure rolls the in-memory apply back, so the live
+/// store never diverges from what recovery would rebuild — and a
+/// clean-shutdown seal written later still verifies.
+#[test]
+fn eio_rolls_back_insert_update_and_delete_in_memory() {
+    let dir = tmp("eio-rollback");
+    let faults = StorageFaults::new();
+    {
+        let (d, _) = DurableDb::open(
+            "db",
+            &dir,
+            WalOptions { sync: SyncPolicy::Always, faults: Some(faults.clone()) },
+        )
+        .unwrap();
+        let c = d.db().collection("c");
+        c.insert_one(doc! {"_id" => 1i64, "v" => "original"}).unwrap();
+
+        // Insert rollback: the same _id stays insertable afterwards.
+        faults.transient_eio(1);
+        assert!(c.insert_one(doc! {"_id" => 2i64}).is_err());
+        assert_eq!(c.len(), 1);
+        c.insert_one(doc! {"_id" => 2i64}).unwrap();
+
+        // Update rollback: the document keeps its pre-update value.
+        faults.transient_eio(1);
+        assert!(c
+            .update(&Filter::eq("_id", 1i64), &UpdateSpec::set("v", "changed"), false, true)
+            .is_err());
+        assert_eq!(
+            c.find_one(&Filter::eq("_id", 1i64)).unwrap().get("v"),
+            Some(&doclite_bson::Value::from("original"))
+        );
+
+        // Upsert rollback: the seeded document does not survive.
+        faults.transient_eio(1);
+        assert!(c
+            .update(&Filter::eq("_id", 9i64), &UpdateSpec::set("v", "seed"), true, true)
+            .is_err());
+        assert!(c.find_one(&Filter::eq("_id", 9i64)).is_none());
+
+        // Delete rollback: the fallible form errors, the documents stay.
+        faults.transient_eio(1);
+        assert!(c.try_delete_many(&Filter::True).is_err());
+        assert_eq!(c.len(), 2);
+        // The infallible wrapper reports 0 removed under the same fault.
+        faults.transient_eio(1);
+        assert_eq!(c.delete_many(&Filter::eq("_id", 2i64)), 0);
+        assert_eq!(c.len(), 2);
+
+        // Memory matches the log, so the seal fingerprint verifies.
+        d.seal().unwrap();
+    }
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    assert!(report.sealed, "fingerprint of the rolled-back state verifies");
+    let c = d.db().get_collection("c").unwrap();
+    assert_eq!(c.len(), 2);
+    assert_eq!(
+        c.find_one(&Filter::eq("_id", 1i64)).unwrap().get("v"),
+        Some(&doclite_bson::Value::from("original"))
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A delete large enough that a single WAL frame would blow the scan cap
+/// (and, pre-fix, silently truncate the log) survives recovery via
+/// chunked Delete frames.
+#[test]
+fn huge_delete_survives_recovery_via_chunked_frames() {
+    let dir = tmp("huge-delete");
+    {
+        let (d, _) = DurableDb::open("db", &dir, opts()).unwrap();
+        let c = d.db().collection("c");
+        // ~700 KB string _ids × 40 docs ≈ 28 MB of ids: far over the
+        // one-frame cap once logged as a single Delete record.
+        for i in 0..40i64 {
+            c.insert_one(doc! {"_id" => format!("{i:04}-{}", "x".repeat(700 * 1024))})
+                .unwrap();
+        }
+        assert_eq!(c.delete_many(&Filter::True), 40);
+        // A write *after* the delete: pre-fix, the oversized frame made
+        // this one unreachable to the recovery scan.
+        d.db().collection("after").insert_one(doc! {"_id" => 1i64}).unwrap();
+    }
+    let (d, report) = DurableDb::open("db", &dir, opts()).unwrap();
+    assert!(!report.torn_tail, "chunked frames all scan cleanly");
+    assert_eq!(d.db().get_collection("c").unwrap().len(), 0, "deletes replayed");
+    assert_eq!(d.db().get_collection("after").unwrap().len(), 1, "later write reachable");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

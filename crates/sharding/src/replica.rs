@@ -429,11 +429,12 @@ impl ReplicaSet {
     ) -> Result<usize> {
         self.replicate_with(
             concern,
-            |db| {
-                Ok(db
-                    .get_collection(collection)
-                    .map(|c| c.delete_many(filter))
-                    .unwrap_or(0))
+            // The fallible form surfaces a primary-side WAL append
+            // failure (the delete was rolled back) instead of
+            // acknowledging a count the log cannot reproduce.
+            |db| match db.get_collection(collection) {
+                Ok(c) => c.try_delete_many(filter),
+                Err(_) => Ok(0),
             },
             |db, _| {
                 db.get_collection(collection)
