@@ -31,3 +31,18 @@ pub use report::{fmt_duration, TextTable};
 pub use selectivity::{measure as measure_selectivity, Selectivity};
 pub use store::Store;
 pub use translate::{translate_denormalized, TranslateError, Translation};
+
+/// Compile-time proof that an [`Environment`] (and the `Store` view the
+/// workloads call through) can be shared across stress worker threads.
+#[allow(dead_code)]
+fn assert_shared_types_are_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Environment>();
+    fn check_store(s: &Environment) -> &(dyn Store + Send + Sync) {
+        match s {
+            Environment::Standalone(db) => db,
+            Environment::Sharded(c) => c.router(),
+        }
+    }
+    let _ = check_store;
+}

@@ -53,3 +53,17 @@ pub use update::{UpdateOp, UpdateResult, UpdateSpec};
 pub use wal::{
     db_fingerprint, scan_wal, DurableDb, RecoveryReport, SyncPolicy, Wal, WalOptions, WalRecord,
 };
+
+/// Compile-time proof that the types worker threads share by reference
+/// in the stress driver are `Send + Sync`. Never called; a violation
+/// (e.g. an accidental `Rc` or raw-cell field) fails the build here
+/// instead of deep inside a `thread::scope` in a downstream crate.
+#[allow(dead_code)]
+fn assert_shared_types_are_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Database>();
+    check::<Collection>();
+    check::<DurableDb>();
+    check::<Wal>();
+    check::<StorageFaults>();
+}

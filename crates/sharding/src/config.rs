@@ -199,26 +199,30 @@ impl ConfigServer {
         left_fraction: f64,
     ) -> bool {
         self.with_meta_mut(collection, |meta| {
-            let Some(chunk) = meta.chunks.get(chunk_index) else { return false };
-            // The split point must fall strictly inside the chunk.
-            if !chunk.contains(&split_key)
-                || chunk.min.cmp_key(&split_key) == std::cmp::Ordering::Equal
-            {
+            do_split(meta, chunk_index, split_key, left_fraction)
+        })
+        .unwrap_or(false)
+    }
+
+    /// Key-addressed variant of [`Self::split_chunk`] for concurrent
+    /// callers: the target chunk is located by `locate` *under the
+    /// config lock* (indices observed outside it may have shifted under
+    /// a concurrent split), and the split is skipped unless the chunk
+    /// still exceeds the collection's size threshold and isn't jumbo.
+    pub fn split_chunk_at_key(
+        &self,
+        collection: &str,
+        locate: &CompoundKey,
+        split_key: CompoundKey,
+        left_fraction: f64,
+    ) -> bool {
+        self.with_meta_mut(collection, |meta| {
+            let idx = meta.chunk_for(locate);
+            let chunk = &meta.chunks[idx];
+            if chunk.bytes <= meta.max_chunk_size || chunk.jumbo {
                 return false;
             }
-            let mut left = chunk.clone();
-            let mut right = chunk.clone();
-            left.max = KeyBound::Key(split_key.clone());
-            right.min = KeyBound::Key(split_key);
-            let lf = left_fraction.clamp(0.0, 1.0);
-            left.bytes = (chunk.bytes as f64 * lf) as usize;
-            left.docs = (chunk.docs as f64 * lf) as usize;
-            right.bytes = chunk.bytes - left.bytes;
-            right.docs = chunk.docs - left.docs;
-            left.jumbo = false;
-            right.jumbo = false;
-            meta.chunks.splice(chunk_index..=chunk_index, [left, right]);
-            true
+            do_split(meta, idx, split_key, left_fraction)
         })
         .unwrap_or(false)
     }
@@ -236,6 +240,33 @@ impl ConfigServer {
         })
         .unwrap_or(false)
     }
+}
+
+/// Performs the split on a locked metadata view. The split point must
+/// fall strictly inside the chunk or the split is refused.
+fn do_split(
+    meta: &mut CollectionMeta,
+    chunk_index: usize,
+    split_key: CompoundKey,
+    left_fraction: f64,
+) -> bool {
+    let Some(chunk) = meta.chunks.get(chunk_index) else { return false };
+    if !chunk.contains(&split_key) || chunk.min.cmp_key(&split_key) == std::cmp::Ordering::Equal {
+        return false;
+    }
+    let mut left = chunk.clone();
+    let mut right = chunk.clone();
+    left.max = KeyBound::Key(split_key.clone());
+    right.min = KeyBound::Key(split_key);
+    let lf = left_fraction.clamp(0.0, 1.0);
+    left.bytes = (chunk.bytes as f64 * lf) as usize;
+    left.docs = (chunk.docs as f64 * lf) as usize;
+    right.bytes = chunk.bytes - left.bytes;
+    right.docs = chunk.docs - left.docs;
+    left.jumbo = false;
+    right.jumbo = false;
+    meta.chunks.splice(chunk_index..=chunk_index, [left, right]);
+    true
 }
 
 #[cfg(test)]

@@ -45,3 +45,18 @@ pub use router::{DegradedReads, Mongos, ScatterMode};
 pub use shard::Shard;
 pub use shardkey::{Partitioning, ShardKey};
 pub use targeting::{target, Targeting};
+
+/// Compile-time proof that everything the router shares across worker
+/// threads is `Send + Sync`. Never called; a violation fails the build
+/// here instead of deep inside a downstream `thread::scope`.
+#[allow(dead_code)]
+fn assert_shared_types_are_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Mongos>();
+    check::<ShardedCluster>();
+    check::<Shard>();
+    check::<ReplicaSet>();
+    check::<ConfigServer>();
+    check::<NetStats>();
+    check::<Faults>();
+}

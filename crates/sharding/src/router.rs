@@ -274,17 +274,23 @@ impl Mongos {
                         .replica_set()
                         .insert_one(collection, doc, self.write_concern)
                 })?;
+                // Re-derive the target chunk *by key, under the config
+                // lock*: a concurrent split may have shifted chunk
+                // indices since the routing snapshot above, and charging
+                // a stale index would credit the wrong chunk's
+                // byte/doc totals.
                 let needs_split = self
                     .config
                     .with_meta_mut(collection, |m| {
-                        let c = &mut m.chunks[chunk_idx];
+                        let idx = m.chunk_for(&key);
+                        let c = &mut m.chunks[idx];
                         c.bytes += bytes;
                         c.docs += 1;
                         c.bytes > m.max_chunk_size && !c.jumbo
                     })
                     .unwrap_or(false);
                 if needs_split {
-                    self.try_split(collection, chunk_idx);
+                    self.try_split(collection, &key);
                 }
             }
         }
@@ -327,21 +333,27 @@ impl Mongos {
         Ok(n)
     }
 
-    /// Attempts to split a chunk at the median shard-key value of its
-    /// resident documents. If every document shares one key value the
-    /// chunk is marked **jumbo** and left alone (thesis Fig 2.7).
-    fn try_split(&self, collection: &str, chunk_idx: usize) {
+    /// Attempts to split the chunk containing `key` at the median
+    /// shard-key value of its resident documents. If every document
+    /// shares one key value the chunk is marked **jumbo** and left alone
+    /// (thesis Fig 2.7).
+    ///
+    /// The chunk is addressed by a resident key rather than by index:
+    /// concurrent splits reshuffle chunk indices, so the final split is
+    /// re-located and re-validated against the size threshold under the
+    /// config lock ([`ConfigServer::split_chunk_at_key`]).
+    fn try_split(&self, collection: &str, key: &CompoundKey) {
         let Some(meta) = self.config.meta(collection) else { return };
-        let Some(chunk) = meta.chunks.get(chunk_idx) else { return };
+        let chunk = &meta.chunks[meta.chunk_for(key)];
         let shard = self.shard(chunk.shard);
         let Ok(coll) = shard.db().get_collection(collection) else { return };
 
         // Collect the chunk's resident keys from the owning shard.
         let mut keys: Vec<CompoundKey> = Vec::new();
         coll.for_each(|doc| {
-            let key = meta.key.extract(doc);
-            if chunk.contains(&key) {
-                keys.push(key);
+            let k = meta.key.extract(doc);
+            if chunk.contains(&k) {
+                keys.push(k);
             }
         });
         // One metadata round-trip to the shard for the split vector.
@@ -352,9 +364,13 @@ impl Mongos {
         keys.sort();
         let median = keys[keys.len() / 2].clone();
         if keys.first() == keys.last() {
-            // Unsplittable: same shard-key value throughout.
+            // Unsplittable: same shard-key value throughout. Re-locate
+            // by key and re-check the threshold under the lock so a
+            // concurrently shrunk chunk isn't frozen by mistake.
             self.config.with_meta_mut(collection, |m| {
-                if let Some(c) = m.chunks.get_mut(chunk_idx) {
+                let idx = m.chunk_for(key);
+                let c = &mut m.chunks[idx];
+                if c.bytes > m.max_chunk_size {
                     c.jumbo = true;
                 }
             });
@@ -367,14 +383,7 @@ impl Mongos {
         {
             match keys.iter().find(|k| **k > median) {
                 Some(k) => k.clone(),
-                None => {
-                    self.config.with_meta_mut(collection, |m| {
-                        if let Some(c) = m.chunks.get_mut(chunk_idx) {
-                            c.jumbo = true;
-                        }
-                    });
-                    return;
-                }
+                None => return,
             }
         } else {
             median
@@ -382,7 +391,7 @@ impl Mongos {
         let left = keys.iter().filter(|k| **k < split_key).count();
         let left_fraction = left as f64 / keys.len() as f64;
         self.config
-            .split_chunk(collection, chunk_idx, split_key, left_fraction);
+            .split_chunk_at_key(collection, key, split_key, left_fraction);
     }
 
     /// Routes a find: targeted when the filter pins the shard key,
@@ -516,8 +525,12 @@ impl Mongos {
         F: Fn(ShardId) -> T + Sync,
         B: Fn(&T) -> usize,
     {
+        // A targeted single-leg read has nothing to overlap: run it
+        // inline instead of paying a thread spawn per operation (the
+        // dominant cost for point reads under the stress driver).
         let results: Vec<T> = match self.scatter {
             ScatterMode::Sequential => shard_ids.iter().map(|&id| run(id)).collect(),
+            ScatterMode::Parallel if shard_ids.len() == 1 => vec![run(shard_ids[0])],
             ScatterMode::Parallel => std::thread::scope(|s| {
                 let run = &run;
                 let handles: Vec<_> = shard_ids

@@ -1,0 +1,168 @@
+//! Multi-threaded router regressions: chunk accounting under concurrent
+//! splits, exactly-once warning drains, and lossless NetStats counters
+//! when many worker threads share one `Mongos`.
+
+use doclite_bson::doc;
+use doclite_docstore::Filter;
+use doclite_sharding::{
+    ClusterConfig, DegradedReads, NetworkModel, RetryPolicy, ShardKey, ShardedCluster,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn cluster(n_shards: usize) -> ShardedCluster {
+    ShardedCluster::with_config(ClusterConfig {
+        n_shards,
+        db_name: "conc".into(),
+        network: NetworkModel::free(),
+        ..ClusterConfig::default()
+    })
+}
+
+/// 8 inserter threads race against live chunk splits (tiny threshold):
+/// the chunk map's byte/doc totals must account for every insert exactly,
+/// and the map invariants must hold. Regression for the stale-index
+/// write in `insert_routed` (a concurrent split shifted chunk indices
+/// between the routing snapshot and the accounting update, crediting the
+/// wrong chunk).
+#[test]
+fn chunk_accounting_is_exact_under_concurrent_splits() {
+    const THREADS: i64 = 8;
+    const DOCS: i64 = 250;
+    let cluster = cluster(3);
+    cluster
+        .shard_collection("facts", ShardKey::range(["k"]), 4 * 1024)
+        .unwrap();
+    let router = cluster.router();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..DOCS {
+                    router
+                        .insert_one(
+                            "facts",
+                            doc! {"k" => t * DOCS + i, "pad" => "y".repeat(40)},
+                        )
+                        .unwrap();
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * DOCS) as usize;
+    assert_eq!(router.count("facts", &Filter::True), total);
+
+    let meta = router.config().meta("facts").unwrap();
+    meta.check_invariants().unwrap();
+    assert!(meta.chunks.len() > 1, "splits must have happened");
+    let docs: usize = meta.chunks.iter().map(|c| c.docs).sum();
+    assert_eq!(docs, total, "chunk doc accounting drifted");
+
+    // Every chunk's accounting must track the shard-resident reality,
+    // not just the totals. Split-time apportioning estimates the
+    // left/right division from a key snapshot (as MongoDB's split
+    // vectors do), so inserts racing a split can shift a few documents
+    // across one boundary — but the stale-index bug this guards against
+    // credits entire runs of inserts to the wrong chunk, which blows
+    // far past this tolerance.
+    for (i, chunk) in meta.chunks.iter().enumerate() {
+        let mut resident = 0usize;
+        let coll = router.shards()[chunk.shard]
+            .db()
+            .get_collection("facts")
+            .unwrap();
+        coll.for_each(|d| {
+            if chunk.contains(&meta.key.extract(d)) {
+                resident += 1;
+            }
+        });
+        let drift = chunk.docs.abs_diff(resident);
+        assert!(
+            drift <= 4,
+            "chunk {i} claims {} docs but holds {resident} (drift {drift})",
+            chunk.docs
+        );
+    }
+}
+
+/// Concurrent broadcast readers against a partitioned shard record one
+/// warning per degraded read, and concurrent `take_warnings` drainers
+/// see each warning exactly once.
+#[test]
+fn warnings_drain_exactly_once_under_concurrency() {
+    const READERS: usize = 4;
+    const READS: usize = 50;
+    let mut cluster = ShardedCluster::with_config(ClusterConfig {
+        n_shards: 3,
+        db_name: "warn".into(),
+        network: NetworkModel::free(),
+        retry: RetryPolicy::none(),
+        ..ClusterConfig::default()
+    });
+    cluster.router_mut().set_degraded_reads(DegradedReads::Partial);
+    cluster
+        .shard_collection("facts", ShardKey::range(["k"]), 64 * 1024)
+        .unwrap();
+    let router = cluster.router();
+    for i in 0..30i64 {
+        router.insert_one("facts", doc! {"k" => i}).unwrap();
+    }
+    router.faults().set_partitioned(0, true);
+
+    let drained = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            s.spawn(|| {
+                for _ in 0..READS {
+                    // Broadcast read: the partitioned shard's leg fails
+                    // and Partial mode records exactly one warning.
+                    let _ = router.try_find_with("facts", &Filter::True, &Default::default());
+                }
+            });
+        }
+        // Two drainers race the readers; whatever they pull must never
+        // be seen twice.
+        for _ in 0..2 {
+            let drained = &drained;
+            s.spawn(move || {
+                for _ in 0..200 {
+                    let got = router.take_warnings().len();
+                    drained.fetch_add(got, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+    let leftover = router.take_warnings().len();
+    assert_eq!(
+        drained.load(Ordering::Relaxed) + leftover,
+        READERS * READS,
+        "warnings were lost or double-drained"
+    );
+}
+
+/// NetStats counters are atomic: 8 threads charging in parallel lose
+/// nothing and the exchange/byte totals come out exact.
+#[test]
+fn net_stats_counters_are_exact_under_concurrency() {
+    const THREADS: u64 = 8;
+    const CHARGES: u64 = 10_000;
+    let cluster = cluster(2);
+    let stats = cluster.router().net_stats();
+    let model = NetworkModel::free();
+    let before_ex = stats.exchanges();
+    let before_bytes = stats.bytes();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stats = &stats;
+            let model = &model;
+            s.spawn(move || {
+                for i in 0..CHARGES {
+                    stats.charge(model, (t * CHARGES + i) as usize % 97);
+                }
+            });
+        }
+    });
+    let expect_bytes: u64 = (0..THREADS * CHARGES).map(|v| v % 97).sum();
+    assert_eq!(stats.exchanges() - before_ex, THREADS * CHARGES);
+    assert_eq!(stats.bytes() - before_bytes, expect_bytes);
+}

@@ -1,0 +1,408 @@
+//! The multi-threaded workload driver.
+//!
+//! N workers share one target and one op-id sequence. In fixed-rate mode
+//! they also share one [`RateLimiter`]: each worker claims the next
+//! schedule slot, sleeps until it, runs the op, and records latency from
+//! the slot's *intended* start — so an op that queues behind a stall is
+//! charged its full wait (coordinated-omission correction). In
+//! max-throughput mode workers run back-to-back and latency is the
+//! plain service time.
+
+use crate::hist::LogHistogram;
+use crate::sched::{RateLimiter, RateMode};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// One operation stream. `run` is called from every worker thread with a
+/// globally unique op id and a per-worker deterministic RNG.
+pub trait Workload: Sync {
+    /// Executes one operation. Errors are counted, not fatal.
+    fn run(&self, op_id: u64, rng: &mut SmallRng) -> doclite_docstore::Result<()>;
+}
+
+impl<F> Workload for F
+where
+    F: Fn(u64, &mut SmallRng) -> doclite_docstore::Result<()> + Sync,
+{
+    fn run(&self, op_id: u64, rng: &mut SmallRng) -> doclite_docstore::Result<()> {
+        self(op_id, rng)
+    }
+}
+
+/// Driver knobs.
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Worker threads sharing the target.
+    pub threads: usize,
+    /// Pacing mode.
+    pub mode: RateMode,
+    /// Unrecorded warmup before the measured window opens.
+    pub warmup: Duration,
+    /// Length of the measured window.
+    pub duration: Duration,
+    /// Optional cap on measured ops; the run stops at whichever of
+    /// duration / max_ops is hit first.
+    pub max_ops: Option<u64>,
+    /// Root seed; worker `w` derives its RNG deterministically from
+    /// `seed` and `w`.
+    pub seed: u64,
+    /// Print live progress lines to stderr about once a second.
+    pub progress: bool,
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            threads: 1,
+            mode: RateMode::MaxThroughput,
+            warmup: Duration::from_millis(200),
+            duration: Duration::from_secs(2),
+            max_ops: None,
+            seed: 0xD0C1,
+            progress: false,
+        }
+    }
+}
+
+/// Aggregate result of one stress run.
+pub struct StressResult {
+    /// Ops recorded in the measured window.
+    pub ops: u64,
+    /// Errors among them.
+    pub errors: u64,
+    /// Measured-window wall time.
+    pub elapsed: Duration,
+    /// Merged latency histogram (nanoseconds).
+    pub hist: LogHistogram,
+    /// Recorded ops per worker (deterministic-seeding visibility).
+    pub per_worker_ops: Vec<u64>,
+}
+
+impl StressResult {
+    /// Ops/second over the measured window.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / secs
+        }
+    }
+
+    /// Percentile latency in microseconds.
+    pub fn p_us(&self, p: f64) -> f64 {
+        self.hist.percentile(p) as f64 / 1_000.0
+    }
+
+    /// One-line summary for progress output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:>8} ops  {:>9.0} ops/s  p50 {:>8.1}us  p99 {:>9.1}us  p99.9 {:>9.1}us  max {:>9.1}us{}",
+            self.ops,
+            self.throughput(),
+            self.p_us(50.0),
+            self.p_us(99.0),
+            self.p_us(99.9),
+            self.hist.max() as f64 / 1_000.0,
+            if self.errors > 0 {
+                format!("  ERRORS {}", self.errors)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Deterministic per-worker RNG seed: the root seed mixed with the
+/// worker index through a splitmix-style multiply, so every worker draws
+/// an independent, reproducible stream.
+pub fn worker_seed(seed: u64, worker: usize) -> u64 {
+    let mut z = seed ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Op ids at or above this mean "stop": a worker observing one exits.
+/// Storing it into the shared op counter halts every worker at its next
+/// claim (cql-stress's invalid-op-id scheme).
+const ASK_TO_STOP: u64 = 1 << 63;
+
+/// Runs `workload` under `cfg` and returns the merged result.
+pub fn run_stress<W: Workload + ?Sized>(workload: &W, cfg: &StressConfig) -> StressResult {
+    assert!(cfg.threads >= 1, "need at least one worker");
+    let started = Instant::now();
+    let record_after = started + cfg.warmup;
+    let deadline = record_after + cfg.duration;
+
+    let op_ids = AtomicU64::new(0);
+    let measured = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let limiter = match cfg.mode {
+        RateMode::FixedRate(r) => Some(RateLimiter::new(started, r)),
+        RateMode::MaxThroughput => None,
+    };
+    let hists: Vec<LogHistogram> = (0..cfg.threads).map(|_| LogHistogram::new()).collect();
+    let mut per_worker_ops = vec![0u64; cfg.threads];
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = hists
+            .iter()
+            .enumerate()
+            .map(|(w, hist)| {
+                let op_ids = &op_ids;
+                let measured = &measured;
+                let errors = &errors;
+                let limiter = limiter.as_ref();
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(worker_seed(cfg.seed, w));
+                    let mut my_ops = 0u64;
+                    loop {
+                        let id = op_ids.fetch_add(1, Ordering::Relaxed);
+                        if id >= ASK_TO_STOP {
+                            break;
+                        }
+                        let intended = limiter.map(|l| l.issue_next_start_time());
+                        match intended {
+                            Some(t) => {
+                                // A slot past the deadline will never be
+                                // measured; don't sleep into it.
+                                if t >= deadline {
+                                    break;
+                                }
+                                let now = Instant::now();
+                                if t > now {
+                                    std::thread::sleep(t - now);
+                                }
+                            }
+                            None => {
+                                if Instant::now() >= deadline {
+                                    break;
+                                }
+                            }
+                        }
+                        let begin = Instant::now();
+                        let res = workload.run(id, &mut rng);
+                        let end = Instant::now();
+                        // Coordinated omission: charge from the intended
+                        // start when one exists, not the actual one.
+                        let latency = end.duration_since(intended.unwrap_or(begin));
+                        if end >= record_after {
+                            hist.record_duration(latency);
+                            if res.is_err() {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            my_ops += 1;
+                            let total = measured.fetch_add(1, Ordering::Relaxed) + 1;
+                            if let Some(cap) = cfg.max_ops {
+                                if total >= cap {
+                                    op_ids.store(ASK_TO_STOP, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    my_ops
+                })
+            })
+            .collect();
+
+        if cfg.progress {
+            let done = &done;
+            let measured = &measured;
+            s.spawn(move || {
+                let mut last_ops = 0u64;
+                let mut last_t = Instant::now();
+                while !done.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if last_t.elapsed() >= Duration::from_secs(1) {
+                        let m = measured.load(Ordering::Relaxed);
+                        eprintln!(
+                            "    t+{:5.1}s  {:>9} ops  {:>9.0} ops/s",
+                            started.elapsed().as_secs_f64(),
+                            m,
+                            (m - last_ops) as f64 / last_t.elapsed().as_secs_f64()
+                        );
+                        last_ops = m;
+                        last_t = Instant::now();
+                    }
+                }
+            });
+        }
+
+        for (w, h) in handles.into_iter().enumerate() {
+            per_worker_ops[w] = h.join().expect("stress worker panicked");
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let finished = Instant::now();
+    let merged = LogHistogram::new();
+    for h in &hists {
+        merged.merge(h);
+    }
+    StressResult {
+        ops: measured.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        elapsed: finished.saturating_duration_since(record_after),
+        hist: merged,
+        per_worker_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn max_throughput_runs_and_stops_on_time() {
+        let cfg = StressConfig {
+            threads: 2,
+            warmup: Duration::from_millis(20),
+            duration: Duration::from_millis(120),
+            ..StressConfig::default()
+        };
+        let r = run_stress(
+            &|_id: u64, _rng: &mut SmallRng| {
+                std::thread::sleep(Duration::from_micros(200));
+                Ok(())
+            },
+            &cfg,
+        );
+        assert!(r.ops > 0);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.ops, r.hist.count());
+        assert_eq!(r.per_worker_ops.iter().sum::<u64>(), r.ops);
+        // Latency of a 200us op must be recorded in the right ballpark.
+        assert!(r.p_us(50.0) >= 200.0, "p50 {}", r.p_us(50.0));
+    }
+
+    #[test]
+    fn max_ops_cap_stops_early() {
+        let cfg = StressConfig {
+            threads: 4,
+            warmup: Duration::ZERO,
+            duration: Duration::from_secs(30),
+            max_ops: Some(500),
+            ..StressConfig::default()
+        };
+        let start = Instant::now();
+        let r = run_stress(&|_id: u64, _rng: &mut SmallRng| Ok(()), &cfg);
+        assert!(start.elapsed() < Duration::from_secs(10));
+        // Every worker may overshoot by at most its in-flight op.
+        assert!(r.ops >= 500 && r.ops < 500 + 4, "{}", r.ops);
+    }
+
+    #[test]
+    fn errors_are_counted_not_fatal() {
+        let cfg = StressConfig {
+            threads: 2,
+            warmup: Duration::ZERO,
+            duration: Duration::from_secs(5),
+            max_ops: Some(100),
+            ..StressConfig::default()
+        };
+        let n = AtomicUsize::new(0);
+        let r = run_stress(
+            &|_id: u64, _rng: &mut SmallRng| {
+                if n.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                    Err(doclite_docstore::Error::InvalidQuery("boom".into()))
+                } else {
+                    Ok(())
+                }
+            },
+            &cfg,
+        );
+        assert!(r.errors > 0);
+        assert_eq!(r.ops, r.hist.count());
+    }
+
+    #[test]
+    fn fixed_rate_offers_approximately_the_rate() {
+        let cfg = StressConfig {
+            threads: 2,
+            mode: RateMode::FixedRate(500.0),
+            warmup: Duration::from_millis(50),
+            duration: Duration::from_millis(400),
+            ..StressConfig::default()
+        };
+        let r = run_stress(&|_id: u64, _rng: &mut SmallRng| Ok(()), &cfg);
+        let t = r.throughput();
+        assert!(t > 300.0 && t < 700.0, "offered-rate throughput {t}");
+    }
+
+    /// The coordinated-omission acceptance test: at a low offered rate a
+    /// single injected stall must inflate the recorded p99, because the
+    /// ops queued behind it are charged from their *intended* starts.
+    #[test]
+    fn injected_stall_inflates_p99_at_low_rate() {
+        let slow_op = |id: u64, _rng: &mut SmallRng| {
+            if id == 40 {
+                // One 60ms stall in an otherwise instant stream.
+                std::thread::sleep(Duration::from_millis(60));
+            }
+            Ok(())
+        };
+        let cfg = StressConfig {
+            threads: 1,
+            mode: RateMode::FixedRate(200.0), // 5ms between intended starts
+            warmup: Duration::ZERO,
+            duration: Duration::from_millis(500),
+            ..StressConfig::default()
+        };
+        let r = run_stress(&slow_op, &cfg);
+        // ~100 ops at 200/s for 0.5s; the stall backs up ~12 slots whose
+        // corrected latencies step down 60, 55, 50, ... ms.
+        assert!(r.ops >= 50, "{}", r.ops);
+        assert!(
+            r.p_us(99.0) >= 30_000.0,
+            "CO-corrected p99 should see the stall: {}us",
+            r.p_us(99.0)
+        );
+        // Control: the same stream without the stall stays fast.
+        let calm = run_stress(&|_id: u64, _rng: &mut SmallRng| Ok(()), &cfg);
+        assert!(
+            calm.p_us(99.0) < 30_000.0,
+            "calm p99 {}us",
+            calm.p_us(99.0)
+        );
+    }
+
+    #[test]
+    fn worker_seeding_is_deterministic() {
+        use rand::Rng;
+        // A single worker replays the same value stream for the same
+        // seed, and a different stream for a different seed.
+        let cfg = StressConfig {
+            threads: 1,
+            warmup: Duration::ZERO,
+            duration: Duration::from_secs(5),
+            max_ops: Some(200),
+            seed: 42,
+            ..StressConfig::default()
+        };
+        let sample = |cfg: &StressConfig| {
+            let vals = std::sync::Mutex::new(Vec::new());
+            run_stress(
+                &|_id: u64, rng: &mut SmallRng| {
+                    vals.lock().unwrap().push(rng.random_range(0..1_000_000u64));
+                    Ok(())
+                },
+                cfg,
+            );
+            let v = vals.into_inner().unwrap();
+            v[..200.min(v.len())].to_vec()
+        };
+        let a = sample(&cfg);
+        assert_eq!(a, sample(&cfg));
+        assert_ne!(a, sample(&StressConfig { seed: 43, ..cfg.clone() }));
+
+        // Distinct workers derive distinct seeds from one root seed.
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..64).map(|w| worker_seed(42, w)).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+}

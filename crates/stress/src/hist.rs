@@ -1,0 +1,285 @@
+//! A lock-free log-bucketed latency histogram (HdrHistogram-style).
+//!
+//! Values (nanoseconds) are assigned to buckets that are exact below 64
+//! and logarithmic above: each power-of-two octave is divided into
+//! [`SUB_BUCKETS`] equal sub-buckets, bounding the relative recording
+//! error by `1 / SUB_BUCKETS` (~3.1%). Every bucket is an `AtomicU64`
+//! bumped with a relaxed `fetch_add`, so any number of worker threads
+//! record into one histogram — or into private histograms merged at the
+//! end — without locks and without losing counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave `[2^k, 2^(k+1))` is split into
+/// this many linear sub-buckets.
+pub const SUB_BUCKETS: u64 = 32;
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros(); // 5
+
+/// Exact region: values below `2 * SUB_BUCKETS` get one bucket each.
+const EXACT_LIMIT: u64 = SUB_BUCKETS * 2;
+
+/// Bucket count covering the full `u64` range:
+/// 64 exact buckets + 32 per octave for octaves 6..=63.
+const N_BUCKETS: usize = EXACT_LIMIT as usize + (64 - SUB_BITS as usize - 1) * SUB_BUCKETS as usize;
+
+/// The histogram. ~15 KiB of atomics; cheap to allocate per worker.
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a value: identity below [`EXACT_LIMIT`], otherwise
+/// log-linear on the top `SUB_BITS + 1` significant bits.
+fn bucket_index(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS + 1
+    let octave = msb - SUB_BITS; // 1-based above the exact region
+    let sub = (v >> octave) & (SUB_BUCKETS - 1);
+    EXACT_LIMIT as usize + (octave as usize - 1) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Upper bound (inclusive) of a bucket — what percentile queries report,
+/// so reported quantiles never understate the true value.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < EXACT_LIMIT as usize {
+        return idx as u64;
+    }
+    let rel = idx - EXACT_LIMIT as usize;
+    let octave = (rel / SUB_BUCKETS as usize + 1) as u32;
+    let sub = (rel % SUB_BUCKETS as usize) as u64;
+    // Width minus one is added first so the topmost bucket's bound
+    // (u64::MAX exactly) doesn't overflow mid-expression.
+    ((SUB_BUCKETS + sub) << octave) + ((1u64 << octave) - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        // `AtomicU64` has no Copy, so build the boxed array from a Vec.
+        let v: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets = v.into_boxed_slice().try_into().expect("length matches");
+        LogHistogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one value. Lock-free; safe from any number of threads.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records a `Duration` in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (exact, not bucketed). 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value (exact). 0 when empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Mean of recorded values. 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// The value at percentile `p` (0–100): the upper bound of the first
+    /// bucket whose cumulative count reaches `ceil(p/100 * count)`.
+    /// Within one bucket (~3.1% relative error) of the exact
+    /// sorted-vector percentile; the true maximum caps the answer.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let target = target.min(n);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_high(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Adds every count from `other` into `self` (worker → global merge).
+    pub fn merge(&self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Snapshot of the non-empty buckets as `(index, count)` pairs —
+    /// lets tests compare two histograms structurally.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect()
+    }
+
+    /// The bucket index a raw value falls into (exposed for the
+    /// "within one bucket of exact" property tests).
+    pub fn bucket_of(v: u64) -> usize {
+        bucket_index(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_identity() {
+        for v in 0..EXACT_LIMIT {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_high(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover() {
+        // Every bucket's high bound maps back to the same bucket, and
+        // bounds strictly increase.
+        let mut prev = 0u64;
+        for i in 0..N_BUCKETS {
+            let hi = bucket_high(i);
+            assert_eq!(bucket_index(hi), i, "high bound of bucket {i}");
+            if i > 0 {
+                assert!(hi > prev, "bucket {i} bound not increasing");
+            }
+            prev = hi;
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // For values above the exact region the bucket width is at most
+        // v / SUB_BUCKETS, i.e. ~3.1% relative error.
+        for v in [100u64, 1_000, 12_345, 1_000_000, 123_456_789, u64::MAX / 2] {
+            let hi = bucket_high(bucket_index(v));
+            assert!(hi >= v);
+            assert!(
+                (hi - v) as f64 <= v as f64 / SUB_BUCKETS as f64,
+                "v={v} hi={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1ms steps in ns-ish units
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        // Exact values are 500_000 and 990_000; allow one bucket.
+        assert!((p50 as f64 - 500_000.0).abs() / 500_000.0 < 0.04, "{p50}");
+        assert!((p99 as f64 - 990_000.0).abs() / 990_000.0 < 0.04, "{p99}");
+        assert_eq!(h.percentile(100.0), 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.min(), 1000);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let all = LogHistogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7 + 3);
+            all.record(v * 7 + 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 131 + 11);
+            all.record(v * 131 + 11);
+        }
+        a.merge(&b);
+        assert_eq!(a.nonzero_buckets(), all.nonzero_buckets());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.min(), all.min());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 80_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,507 @@
+//! The stress report: one JSON document per run
+//! (`reports/BENCH_stress.json`), plus a schema validator built on a
+//! minimal self-contained JSON parser (the workspace deliberately has no
+//! JSON dependency). CI runs the smoke stress and validates the emitted
+//! file against the same checks.
+
+use crate::driver::StressResult;
+use std::fmt::Write as _;
+
+/// Schema tag the validator pins.
+pub const SCHEMA: &str = "doclite-stress/v1";
+
+/// One workload × deployment × thread-count × mode measurement.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub workload: String,
+    pub deployment: String,
+    pub threads: usize,
+    pub mode: String,
+    pub ops: u64,
+    pub errors: u64,
+    pub elapsed_s: f64,
+    pub throughput_ops_s: f64,
+    pub p50_us: f64,
+    pub p90_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+    pub max_us: f64,
+    pub mean_us: f64,
+}
+
+impl CellResult {
+    /// Extracts a cell from a finished run.
+    pub fn from_run(
+        workload: &str,
+        deployment: &str,
+        threads: usize,
+        mode: &str,
+        r: &StressResult,
+    ) -> Self {
+        CellResult {
+            workload: workload.to_owned(),
+            deployment: deployment.to_owned(),
+            threads,
+            mode: mode.to_owned(),
+            ops: r.ops,
+            errors: r.errors,
+            elapsed_s: r.elapsed.as_secs_f64(),
+            throughput_ops_s: r.throughput(),
+            p50_us: r.p_us(50.0),
+            p90_us: r.p_us(90.0),
+            p99_us: r.p_us(99.0),
+            p999_us: r.p_us(99.9),
+            max_us: r.hist.max() as f64 / 1_000.0,
+            mean_us: r.hist.mean() / 1_000.0,
+        }
+    }
+}
+
+/// Read-only max-throughput scaling between two thread counts on one
+/// deployment (the acceptance headline).
+#[derive(Clone, Debug)]
+pub struct Scaling {
+    pub workload: String,
+    pub deployment: String,
+    pub threads_lo: usize,
+    pub threads_hi: usize,
+    pub ratio: f64,
+}
+
+/// The full report.
+#[derive(Clone, Debug, Default)]
+pub struct StressReport {
+    pub sf: f64,
+    pub thread_counts: Vec<usize>,
+    pub cells: Vec<CellResult>,
+    pub scaling: Vec<Scaling>,
+}
+
+fn fnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".to_owned()
+    }
+}
+
+impl StressReport {
+    /// Serializes to the `doclite-stress/v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(s, "  \"sf\": {},", fnum(self.sf));
+        let threads: Vec<String> = self.thread_counts.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(s, "  \"thread_counts\": [{}],", threads.join(", "));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": \"{}\", \"deployment\": \"{}\", \"threads\": {}, \
+                 \"mode\": \"{}\", \"ops\": {}, \"errors\": {}, \"elapsed_s\": {}, \
+                 \"throughput_ops_s\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \
+                 \"p999_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
+                c.workload,
+                c.deployment,
+                c.threads,
+                c.mode,
+                c.ops,
+                c.errors,
+                fnum(c.elapsed_s),
+                fnum(c.throughput_ops_s),
+                fnum(c.p50_us),
+                fnum(c.p90_us),
+                fnum(c.p99_us),
+                fnum(c.p999_us),
+                fnum(c.max_us),
+                fnum(c.mean_us),
+            );
+            s.push_str(if i + 1 < self.cells.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"scaling\": [\n");
+        for (i, sc) in self.scaling.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"workload\": \"{}\", \"deployment\": \"{}\", \"threads_lo\": {}, \
+                 \"threads_hi\": {}, \"ratio\": {}}}",
+                sc.workload,
+                sc.deployment,
+                sc.threads_lo,
+                sc.threads_hi,
+                fnum(sc.ratio),
+            );
+            s.push_str(if i + 1 < self.scaling.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+// ----- minimal JSON parser (validation only) ---------------------------
+
+/// A parsed JSON value. Objects keep insertion order; numbers are `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array, if this is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON text. Supports the full value grammar the reports use
+/// (no `\u` escapes beyond pass-through).
+pub fn parse_json(text: &str) -> std::result::Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> std::result::Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                members.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    v: Json,
+) -> std::result::Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> std::result::Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                out.push(match esc {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    other => other as char,
+                });
+                *pos += 1;
+            }
+            c => {
+                out.push(c as char);
+                *pos += 1;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> std::result::Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+// ----- schema validation -----------------------------------------------
+
+fn cell_num(cell: &Json, key: &str) -> std::result::Result<f64, String> {
+    cell.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("cell missing numeric field '{key}'"))
+}
+
+/// Validates a serialized report against the `doclite-stress/v1` schema:
+/// required fields, percentile ordering, ≥2 distinct thread counts per
+/// deployment, and both deployments present.
+pub fn validate_report(text: &str) -> std::result::Result<(), String> {
+    let root = parse_json(text)?;
+    if root.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag must be '{SCHEMA}'"));
+    }
+    root.get("sf")
+        .and_then(Json::as_num)
+        .filter(|sf| *sf > 0.0)
+        .ok_or("'sf' must be a positive number")?;
+    let cells = root
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("'cells' must be an array")?;
+    if cells.is_empty() {
+        return Err("'cells' must be non-empty".into());
+    }
+    let mut threads_by_deployment: std::collections::BTreeMap<String, std::collections::BTreeSet<u64>> =
+        Default::default();
+    for cell in cells {
+        for key in ["workload", "deployment", "mode"] {
+            cell.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("cell missing string field '{key}'"))?;
+        }
+        let threads = cell_num(cell, "threads")?;
+        if threads < 1.0 {
+            return Err("cell 'threads' must be >= 1".into());
+        }
+        for key in ["ops", "errors", "elapsed_s", "throughput_ops_s", "mean_us"] {
+            cell_num(cell, key)?;
+        }
+        let p50 = cell_num(cell, "p50_us")?;
+        let p90 = cell_num(cell, "p90_us")?;
+        let p99 = cell_num(cell, "p99_us")?;
+        let p999 = cell_num(cell, "p999_us")?;
+        let max = cell_num(cell, "max_us")?;
+        if !(p50 <= p90 && p90 <= p99 && p99 <= p999 && p999 <= max) {
+            return Err(format!(
+                "percentiles out of order: p50={p50} p90={p90} p99={p99} p99.9={p999} max={max}"
+            ));
+        }
+        let dep = cell.get("deployment").and_then(Json::as_str).expect("checked");
+        threads_by_deployment
+            .entry(dep.to_owned())
+            .or_default()
+            .insert(threads as u64);
+    }
+    for dep in ["standalone", "sharded"] {
+        let counts = threads_by_deployment
+            .get(dep)
+            .ok_or_else(|| format!("no cells for deployment '{dep}'"))?;
+        if counts.len() < 2 {
+            return Err(format!(
+                "deployment '{dep}' needs >=2 distinct thread counts, got {counts:?}"
+            ));
+        }
+    }
+    let scaling = root
+        .get("scaling")
+        .and_then(Json::as_arr)
+        .ok_or("'scaling' must be an array")?;
+    for sc in scaling {
+        cell_num(sc, "ratio")?;
+        cell_num(sc, "threads_lo")?;
+        cell_num(sc, "threads_hi")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(dep: &str, threads: usize) -> CellResult {
+        CellResult {
+            workload: "read_only".into(),
+            deployment: dep.into(),
+            threads,
+            mode: "max".into(),
+            ops: 1000,
+            errors: 0,
+            elapsed_s: 1.0,
+            throughput_ops_s: 1000.0,
+            p50_us: 10.0,
+            p90_us: 20.0,
+            p99_us: 30.0,
+            p999_us: 40.0,
+            max_us: 50.0,
+            mean_us: 12.0,
+        }
+    }
+
+    fn full_report() -> StressReport {
+        StressReport {
+            sf: 0.002,
+            thread_counts: vec![1, 4],
+            cells: vec![
+                cell("standalone", 1),
+                cell("standalone", 4),
+                cell("sharded", 1),
+                cell("sharded", 4),
+            ],
+            scaling: vec![Scaling {
+                workload: "read_only".into(),
+                deployment: "sharded".into(),
+                threads_lo: 1,
+                threads_hi: 4,
+                ratio: 3.1,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_report_validates() {
+        let json = full_report().to_json();
+        validate_report(&json).unwrap();
+    }
+
+    #[test]
+    fn parser_handles_nested_values() {
+        let v = parse_json(r#"{"a": [1, 2.5, "x", true, null], "b": {"c": -3e2}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_num(), Some(-300.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_missing_deployment() {
+        let mut r = full_report();
+        r.cells.retain(|c| c.deployment != "sharded");
+        let err = validate_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("sharded"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_single_thread_count() {
+        let mut r = full_report();
+        r.cells.retain(|c| c.deployment != "standalone" || c.threads == 1);
+        let err = validate_report(&r.to_json()).unwrap_err();
+        assert!(err.contains("thread counts"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_unordered_percentiles() {
+        let mut r = full_report();
+        r.cells[0].p99_us = 5.0; // below p90
+        assert!(validate_report(&r.to_json()).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema_tag() {
+        let json = full_report().to_json().replace(SCHEMA, "other/v0");
+        assert!(validate_report(&json).is_err());
+    }
+}

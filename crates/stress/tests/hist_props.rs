@@ -1,0 +1,122 @@
+//! Property tests for the log-bucketed histogram: percentiles stay
+//! within one bucket of the exact sorted-vector percentile across random
+//! distributions, and merging is associative and commutative.
+
+use doclite_stress::LogHistogram;
+use proptest::prelude::*;
+
+/// The exact percentile under the histogram's rank rule: the
+/// `ceil(p/100 * n)`-th smallest value (1-based, clamped).
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((p / 100.0) * n).ceil().max(1.0).min(n) as usize;
+    sorted[rank - 1]
+}
+
+fn build(values: &[u64]) -> LogHistogram {
+    let h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn assert_within_one_bucket(values: &[u64], p: f64) {
+    let h = build(values);
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let exact = exact_percentile(&sorted, p);
+    let got = h.percentile(p);
+    // Same bucket (or an adjacent one), never below the exact value,
+    // and no further above it than one bucket width.
+    let db = (LogHistogram::bucket_of(got) as i64 - LogHistogram::bucket_of(exact) as i64).abs();
+    assert!(db <= 1, "p{p}: got {got} exact {exact}: {db} buckets apart");
+    assert!(got >= exact, "p{p}: got {got} below exact {exact}");
+    let width = (exact / 32).max(1);
+    assert!(
+        got - exact <= width,
+        "p{p}: got {got} exceeds exact {exact} by more than a bucket ({width})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentiles_match_sorted_vector_narrow(
+        values in prop::collection::vec(0u64..100_000, 1..300),
+    ) {
+        for p in [0.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_within_one_bucket(&values, p);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_sorted_vector_full_range(
+        values in prop::collection::vec(any::<u64>(), 1..300),
+    ) {
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            assert_within_one_bucket(&values, p);
+        }
+    }
+
+    #[test]
+    fn percentiles_match_sorted_vector_latency_shaped(
+        // Microsecond-to-minute latencies with a heavy tail, the shape
+        // the driver actually records.
+        base in prop::collection::vec(1_000u64..1_000_000, 1..200),
+        tail in prop::collection::vec(1_000_000u64..60_000_000_000, 0..20),
+    ) {
+        let mut values = base;
+        values.extend(tail);
+        for p in [50.0, 90.0, 99.0, 99.9] {
+            assert_within_one_bucket(&values, p);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+        c in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        // (a ⊕ b) ⊕ c
+        let left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a ⊕ (b ⊕ c)
+        let bc = build(&b);
+        bc.merge(&build(&c));
+        let right = build(&a);
+        right.merge(&bc);
+        // b ⊕ a (commutativity, against a ⊕ b)
+        let ab = build(&a);
+        ab.merge(&build(&b));
+        let ba = build(&b);
+        ba.merge(&build(&a));
+
+        for (x, y) in [(&left, &right), (&ab, &ba)] {
+            prop_assert_eq!(x.nonzero_buckets(), y.nonzero_buckets());
+            prop_assert_eq!(x.count(), y.count());
+            prop_assert_eq!(x.max(), y.max());
+            prop_assert_eq!(x.min(), y.min());
+            prop_assert!((x.mean() - y.mean()).abs() <= f64::EPSILON * x.mean().abs().max(1.0) * 4.0);
+        }
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+    }
+
+    #[test]
+    fn merged_percentiles_equal_combined_recording(
+        a in prop::collection::vec(1_000u64..10_000_000, 1..150),
+        b in prop::collection::vec(1_000u64..10_000_000, 1..150),
+    ) {
+        let merged = build(&a);
+        merged.merge(&build(&b));
+        let mut all = a.clone();
+        all.extend(&b);
+        let combined = build(&all);
+        for p in [50.0, 99.0, 99.9] {
+            prop_assert_eq!(merged.percentile(p), combined.percentile(p));
+        }
+    }
+}
