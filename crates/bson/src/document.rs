@@ -96,6 +96,12 @@ impl Document {
         crate::path::resolve_path(self, path)
     }
 
+    /// Borrowed-form [`Document::get_path`]: no clone unless the path
+    /// fans out through an array (see [`crate::path::resolve_path_ref`]).
+    pub fn get_path_ref<'a>(&'a self, path: &str) -> Option<crate::path::Resolved<'a>> {
+        crate::path::resolve_path_ref(self, path)
+    }
+
     /// Sets a value at a dotted path, creating intermediate embedded
     /// documents as needed. Fails (returns `false`) if an intermediate
     /// component exists but is not a document.

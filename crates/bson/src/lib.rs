@@ -27,7 +27,7 @@ pub mod value;
 pub use codec::{decode_document, encode_document, CodecError};
 pub use document::Document;
 pub use oid::ObjectId;
-pub use path::FieldPath;
+pub use path::{resolve_path_ref, CompiledPath, FieldPath, Resolved};
 pub use value::Value;
 
 /// Maximum encoded size of a single document, mirroring MongoDB's 16 MB

@@ -7,7 +7,7 @@
 use super::expr::Expr;
 use crate::error::Result;
 use crate::ordvalue::OrdValue;
-use doclite_bson::{Document, Value};
+use doclite_bson::{Document, Resolved, Value};
 
 /// An accumulator specification: the operator plus its argument
 /// expression.
@@ -79,53 +79,61 @@ impl AccState {
     /// Folds one document into the state.
     pub fn accumulate(&mut self, spec: &Accumulator, doc: &Document) -> Result<()> {
         let v = spec_expr(spec).eval(doc)?;
+        self.accumulate_resolved(Resolved::Owned(v));
+        Ok(())
+    }
+
+    /// Folds an already-evaluated input value into the state. Inspection
+    /// (numeric extraction, extremum comparison, set membership) happens
+    /// by reference; the value is taken by move only where the state
+    /// actually retains it, so the kernel's borrowed inputs stay
+    /// clone-free for `$sum`/`$avg`, rejected extrema, and set duplicates.
+    pub(crate) fn accumulate_resolved(&mut self, v: Resolved<'_>) {
         match self {
             AccState::Sum { total, integral, seen } => {
-                if let Some(n) = v.as_f64() {
+                if let Some(n) = v.as_value().as_f64() {
                     *total += n;
-                    *integral &= matches!(v, Value::Int32(_) | Value::Int64(_));
+                    *integral &= matches!(v.as_value(), Value::Int32(_) | Value::Int64(_));
                     *seen = true;
                 }
             }
             AccState::Avg { total, count } => {
-                if let Some(n) = v.as_f64() {
+                if let Some(n) = v.as_value().as_f64() {
                     *total += n;
                     *count += 1;
                 }
             }
             AccState::Min(cur) => {
-                if !v.is_null()
+                if !v.as_value().is_null()
                     && cur
                         .as_ref()
-                        .is_none_or(|c| v.canonical_cmp(c) == std::cmp::Ordering::Less)
+                        .is_none_or(|c| v.as_value().canonical_cmp(c) == std::cmp::Ordering::Less)
                 {
-                    *cur = Some(v);
+                    *cur = Some(v.into_value());
                 }
             }
             AccState::Max(cur) => {
-                if !v.is_null()
-                    && cur
-                        .as_ref()
-                        .is_none_or(|c| v.canonical_cmp(c) == std::cmp::Ordering::Greater)
+                if !v.as_value().is_null()
+                    && cur.as_ref().is_none_or(|c| {
+                        v.as_value().canonical_cmp(c) == std::cmp::Ordering::Greater
+                    })
                 {
-                    *cur = Some(v);
+                    *cur = Some(v.into_value());
                 }
             }
             AccState::First(cur) => {
                 if cur.is_none() {
-                    *cur = Some(v);
+                    *cur = Some(v.into_value());
                 }
             }
-            AccState::Last(cur) => *cur = Some(v),
-            AccState::Push(items) => items.push(v),
+            AccState::Last(cur) => *cur = Some(v.into_value()),
+            AccState::Push(items) => items.push(v.into_value()),
             AccState::AddToSet(set) => {
-                let ov = OrdValue(v);
-                if !set.contains(&ov) {
-                    set.push(ov);
+                if !set.iter().any(|ov| ov.0.canonical_eq(v.as_value())) {
+                    set.push(OrdValue(v.into_value()));
                 }
             }
         }
-        Ok(())
     }
 
     /// Final value for the group.

@@ -5,15 +5,14 @@
 //! into the target collection, because only the database knows how to
 //! create collections.
 
-use super::accum::AccState;
-use super::expr::Expr;
-use super::stage::{GroupId, ProjectField, Stage};
+use super::kernel::{
+    lookup_stage, sort_documents_compiled, unwind_parts_compiled, CompiledProject,
+    CompiledSortSpec, GroupKernel,
+};
+use super::stage::Stage;
 use crate::error::Result;
-use crate::ordvalue::OrdValue;
 use crate::query::matcher::{compile, matches_compiled};
-use doclite_bson::{Document, Value};
-use std::cmp::Ordering;
-use std::collections::HashMap;
+use doclite_bson::{CompiledPath, Document, Value};
 
 /// Supplies foreign collections to `$lookup` stages. Implemented by
 /// [`crate::database::Database`]; the sharded router resolves lookups
@@ -22,6 +21,21 @@ use std::collections::HashMap;
 pub trait LookupSource {
     /// All documents of a collection, or `None` if it does not exist.
     fn collection_docs(&self, name: &str) -> Option<Vec<Document>>;
+
+    /// Runs `f` over the collection's documents *borrowed* in place —
+    /// the execution kernel's `$lookup` path, which builds its join
+    /// table without cloning the foreign collection. `f` must be
+    /// invoked exactly once; a missing collection yields an empty
+    /// iterator. The default forwards to [`Self::collection_docs`]
+    /// (cloning) so existing implementors stay correct.
+    fn with_collection_docs(
+        &self,
+        name: &str,
+        f: &mut dyn for<'a> FnMut(&mut (dyn Iterator<Item = &'a Document> + 'a)),
+    ) {
+        let docs = self.collection_docs(name).unwrap_or_default();
+        f(&mut docs.iter());
+    }
 }
 
 /// Runs the stages (excluding any trailing `$out`) over the input.
@@ -71,144 +85,45 @@ fn execute_stage(
             d.set(name.clone(), Value::Int64(docs.len() as i64));
             Ok(vec![d])
         }
-        Stage::Unwind(path) => Ok(unwind(docs, path)),
+        Stage::Unwind(path) => {
+            let path = CompiledPath::new(path.strip_prefix('$').unwrap_or(path));
+            let mut out = Vec::with_capacity(docs.len());
+            for doc in &docs {
+                out.extend(unwind_parts_compiled(doc, &path));
+            }
+            Ok(out)
+        }
         Stage::Lookup { from, local_field, foreign_field, as_field } => {
             let Some(source) = source else {
                 return Err(crate::error::Error::InvalidQuery(
                     "$lookup requires a database context (use Database::aggregate)".into(),
                 ));
             };
-            let foreign = source.collection_docs(from).unwrap_or_default();
-            Ok(lookup(docs, &foreign, local_field, foreign_field, as_field))
+            Ok(lookup_stage(docs, source, from, local_field, foreign_field, as_field))
         }
-        Stage::Project(fields) => docs.iter().map(|d| project(d, fields)).collect(),
-        Stage::Group { id, fields } => group(docs, id, fields),
+        Stage::Project(fields) => {
+            let cp = CompiledProject::new(fields);
+            docs.iter().map(|d| cp.apply(d)).collect()
+        }
+        Stage::Group { id, fields } => {
+            let mut gk = GroupKernel::new(id, fields);
+            for doc in &docs {
+                gk.feed(doc)?;
+            }
+            Ok(gk.finish())
+        }
         Stage::Out(_) => Ok(docs), // materialization happens in the caller
     }
 }
 
 /// Stable multi-key sort under canonical order; missing paths sort as
-/// `Null` (i.e. first ascending), matching MongoDB.
+/// `Null` (i.e. first ascending), matching MongoDB. Compiles the spec
+/// and delegates to the kernel's decorate–sort–undecorate pass.
 pub fn sort_documents(docs: &mut [Document], spec: &[(String, i32)]) {
-    docs.sort_by(|a, b| {
-        for (path, dir) in spec {
-            let va = a.get_path(path).unwrap_or(Value::Null);
-            let vb = b.get_path(path).unwrap_or(Value::Null);
-            let mut ord = va.canonical_cmp(&vb);
-            if *dir < 0 {
-                ord = ord.reverse();
-            }
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    });
+    sort_documents_compiled(docs, &CompiledSortSpec::new(spec));
 }
 
-/// `$lookup`: hash the foreign collection on `foreign_field`, then give
-/// every input document an `as_field` array of its matches. A missing
-/// local field joins as `Null` (matching MongoDB, where null ↔ missing
-/// in lookup equality); an array-valued local field matches any element.
-fn lookup(
-    docs: Vec<Document>,
-    foreign: &[Document],
-    local_field: &str,
-    foreign_field: &str,
-    as_field: &str,
-) -> Vec<Document> {
-    let mut by_key: HashMap<OrdValue, Vec<&Document>> = HashMap::new();
-    for f in foreign {
-        let key = OrdValue(f.get_path(foreign_field).unwrap_or(Value::Null));
-        by_key.entry(key).or_default().push(f);
-    }
-    let empty: Vec<&Document> = Vec::new();
-    docs.into_iter()
-        .map(|mut d| {
-            let local = d.get_path(local_field).unwrap_or(Value::Null);
-            let matches: Vec<&Document> = match &local {
-                Value::Array(items) => {
-                    let mut out = Vec::new();
-                    for item in items {
-                        if let Some(ms) = by_key.get(&OrdValue(item.clone())) {
-                            out.extend(ms.iter().copied());
-                        }
-                    }
-                    out
-                }
-                v => by_key.get(&OrdValue(v.clone())).unwrap_or(&empty).clone(),
-            };
-            d.set(
-                as_field,
-                Value::Array(matches.into_iter().map(|m| Value::Document(m.clone())).collect()),
-            );
-            d
-        })
-        .collect()
-}
-
-fn unwind(docs: Vec<Document>, path: &str) -> Vec<Document> {
-    let path = path.strip_prefix('$').unwrap_or(path);
-    let mut out = Vec::with_capacity(docs.len());
-    for doc in docs {
-        match doc.get_path(path) {
-            Some(Value::Array(items)) => {
-                for item in items {
-                    let mut clone = doc.clone();
-                    clone.set_path(path, item);
-                    out.push(clone);
-                }
-            }
-            // MongoDB 3.0 semantics: missing/null/empty-array drop the doc;
-            // a non-array value passes through unchanged.
-            Some(Value::Null) | None => {}
-            Some(_) => out.push(doc),
-        }
-    }
-    out
-}
-
-pub(crate) fn project(doc: &Document, fields: &[(String, ProjectField)]) -> Result<Document> {
-    let inclusion = fields
-        .iter()
-        .any(|(k, f)| !matches!(f, ProjectField::Exclude) && k != "_id");
-    if inclusion {
-        let mut out = Document::new();
-        // _id is carried along unless explicitly excluded.
-        let id_excluded = fields
-            .iter()
-            .any(|(k, f)| k == "_id" && matches!(f, ProjectField::Exclude));
-        if !id_excluded {
-            if let Some(id) = doc.id() {
-                out.set("_id", id.clone());
-            }
-        }
-        for (key, field) in fields {
-            match field {
-                ProjectField::Exclude => {}
-                ProjectField::Include => {
-                    if let Some(v) = doc.get_path(key) {
-                        out.set_path(key, v);
-                    }
-                }
-                ProjectField::Compute(expr) => {
-                    let v = expr.eval(doc)?;
-                    out.set_path(key, v);
-                }
-            }
-        }
-        Ok(out)
-    } else {
-        // Exclusion mode: copy everything except the listed paths.
-        let mut out = doc.clone();
-        for (key, _) in fields {
-            remove_path(&mut out, key);
-        }
-        Ok(out)
-    }
-}
-
-fn remove_path(doc: &mut Document, path: &str) {
+pub(crate) fn remove_path(doc: &mut Document, path: &str) {
     match path.split_once('.') {
         None => {
             doc.remove(path);
@@ -221,57 +136,12 @@ fn remove_path(doc: &mut Document, path: &str) {
     }
 }
 
-fn group(
-    docs: Vec<Document>,
-    id: &GroupId,
-    fields: &[(String, super::accum::Accumulator)],
-) -> Result<Vec<Document>> {
-    // Group keys hash under canonical semantics; insertion order of first
-    // appearance is preserved so output is deterministic.
-    let mut order: Vec<OrdValue> = Vec::new();
-    let mut groups: HashMap<OrdValue, Vec<AccState>> = HashMap::new();
-
-    let id_expr = match id {
-        GroupId::Null => Expr::Literal(Value::Null),
-        GroupId::Expr(e) => e.clone(),
-    };
-
-    for doc in &docs {
-        let key = OrdValue(id_expr.eval(doc)?);
-        let states = match groups.get_mut(&key) {
-            Some(s) => s,
-            None => {
-                order.push(key.clone());
-                groups
-                    .entry(key)
-                    .or_insert_with(|| fields.iter().map(|(_, a)| AccState::new(a)).collect())
-            }
-        };
-        for (state, (_, spec)) in states.iter_mut().zip(fields) {
-            state.accumulate(spec, doc)?;
-        }
-    }
-
-    // `$group` on empty input with `_id: null` yields no documents in
-    // MongoDB's aggregate() (unlike SQL aggregates without GROUP BY).
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let states = groups.remove(&key).expect("key recorded in order");
-        let mut d = Document::with_capacity(fields.len() + 1);
-        d.set("_id", key.into_value());
-        for (state, (name, _)) in states.into_iter().zip(fields) {
-            d.set(name.clone(), state.finish());
-        }
-        out.push(d);
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::agg::accum::Accumulator;
-    use crate::agg::stage::Pipeline;
+    use crate::agg::expr::Expr;
+    use crate::agg::stage::{GroupId, Pipeline, ProjectField};
     use crate::query::filter::Filter;
     use doclite_bson::{array, doc};
 
@@ -438,7 +308,8 @@ mod tests {
 #[cfg(test)]
 mod lookup_tests {
     use super::*;
-    use crate::agg::stage::Pipeline;
+    use crate::agg::expr::Expr;
+    use crate::agg::stage::{GroupId, Pipeline};
     use crate::database::Database;
     use crate::query::filter::Filter;
     use doclite_bson::{array, doc};

@@ -192,13 +192,18 @@ impl Expr {
     }
 }
 
-fn numeric_operand(v: &Value, op: &str) -> Result<f64> {
+pub(crate) fn numeric_operand(v: &Value, op: &str) -> Result<f64> {
     v.as_f64().ok_or_else(|| {
         Error::ExprError(format!("{op} requires numeric operands, got {}", v.type_name()))
     })
 }
 
-fn binary_numeric(a: &Value, b: &Value, op: &str, f: impl Fn(f64, f64) -> f64) -> Result<Value> {
+pub(crate) fn binary_numeric(
+    a: &Value,
+    b: &Value,
+    op: &str,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value> {
     if a.is_null() || b.is_null() {
         return Ok(Value::Null);
     }
@@ -229,7 +234,7 @@ fn fold_numeric(
     Ok(acc.map_or(Value::Null, |n| make_numeric(n, integral)))
 }
 
-fn is_integral(v: &Value) -> bool {
+pub(crate) fn is_integral(v: &Value) -> bool {
     matches!(v, Value::Int32(_) | Value::Int64(_))
 }
 
@@ -237,7 +242,7 @@ fn both_integral(a: &Value, b: &Value) -> bool {
     is_integral(a) && is_integral(b)
 }
 
-fn make_numeric(n: f64, integral: bool) -> Value {
+pub(crate) fn make_numeric(n: f64, integral: bool) -> Value {
     if integral && n.fract() == 0.0 && n.abs() < i64::MAX as f64 {
         Value::Int64(n as i64)
     } else {

@@ -5,12 +5,14 @@
 pub mod accum;
 pub mod exec;
 pub mod expr;
+pub mod kernel;
 pub mod stage;
 pub mod stream;
 
 pub use accum::Accumulator;
 pub use exec::{execute, execute_with, sort_documents, LookupSource};
 pub use expr::Expr;
+pub use kernel::{CompiledExpr, CompiledSortSpec};
 pub use stage::{GroupId, Pipeline, ProjectField, Stage};
 pub use stream::{
     compare_sort_keys, default_exec_mode, execute_streaming, set_default_exec_mode, sort_keys,

@@ -20,16 +20,15 @@
 //! The old executor stays available behind [`ExecMode`] for equivalence
 //! testing and for the ablation benchmarks.
 
-use super::accum::AccState;
-use super::exec::{project, LookupSource};
-use super::expr::Expr;
-use super::stage::{GroupId, Stage};
+use super::exec::LookupSource;
+use super::kernel::{
+    lookup_stage, unwind_parts_compiled, CompiledProject, CompiledSortSpec, GroupKernel,
+};
+use super::stage::Stage;
 use crate::error::{Error, Result};
-use crate::ordvalue::OrdValue;
 use crate::query::matcher::{compile, matches_compiled};
-use doclite_bson::{Document, Value};
+use doclite_bson::{CompiledPath, Document, Value};
 use std::cmp::Ordering;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU8, Ordering as AtomicOrdering};
 
 /// Which aggregation executor a collection uses.
@@ -152,23 +151,28 @@ pub fn run_streaming<'a>(
                 DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(it.take(*n))),
                 DocStream::Owned(it) => DocStream::Owned(Box::new(it.take(*n))),
             },
-            Stage::Project(fields) => match docs {
-                DocStream::Borrowed(it) => {
-                    DocStream::Owned(Box::new(it.map(move |d| project(d, fields))))
-                }
-                DocStream::Owned(it) => DocStream::Owned(Box::new(
-                    it.map(move |r| r.and_then(|d| project(&d, fields))),
-                )),
-            },
-            Stage::Unwind(path) => {
-                let path = path.strip_prefix('$').unwrap_or(path);
+            Stage::Project(fields) => {
+                let cp = CompiledProject::new(fields);
                 match docs {
-                    DocStream::Borrowed(it) => DocStream::Owned(Box::new(
-                        it.flat_map(move |d| unwind_parts(d, path).into_iter().map(Ok)),
+                    DocStream::Borrowed(it) => {
+                        DocStream::Owned(Box::new(it.map(move |d| cp.apply(d))))
+                    }
+                    DocStream::Owned(it) => DocStream::Owned(Box::new(
+                        it.map(move |r| r.and_then(|d| cp.apply(&d))),
                     )),
+                }
+            }
+            Stage::Unwind(path) => {
+                let path = CompiledPath::new(path.strip_prefix('$').unwrap_or(path));
+                match docs {
+                    DocStream::Borrowed(it) => DocStream::Owned(Box::new(it.flat_map(
+                        move |d| unwind_parts_compiled(d, &path).into_iter().map(Ok),
+                    ))),
                     DocStream::Owned(it) => {
                         DocStream::Owned(Box::new(it.flat_map(move |r| match r {
-                            Ok(d) => unwind_parts(&d, path).into_iter().map(Ok).collect(),
+                            Ok(d) => {
+                                unwind_parts_compiled(&d, &path).into_iter().map(Ok).collect()
+                            }
                             Err(e) => vec![Err(e)],
                         })))
                     }
@@ -180,40 +184,23 @@ pub fn run_streaming<'a>(
                         "$lookup requires a database context (use Database::aggregate)".into(),
                     ));
                 };
-                let foreign = source.collection_docs(from).unwrap_or_default();
-                let mut by_key: HashMap<OrdValue, Vec<Document>> = HashMap::new();
-                for f in foreign {
-                    let key = OrdValue(f.get_path(foreign_field).unwrap_or(Value::Null));
-                    by_key.entry(key).or_default().push(f);
-                }
-                let attach = move |mut d: Document| -> Document {
-                    let local = d.get_path(local_field).unwrap_or(Value::Null);
-                    let matches: Vec<Value> = match &local {
-                        Value::Array(items) => items
-                            .iter()
-                            .flat_map(|item| {
-                                by_key.get(&OrdValue(item.clone())).into_iter().flatten()
-                            })
-                            .map(|m| Value::Document(m.clone()))
-                            .collect(),
-                        v => by_key
-                            .get(&OrdValue(v.clone()))
-                            .into_iter()
-                            .flatten()
-                            .map(|m| Value::Document(m.clone()))
-                            .collect(),
-                    };
-                    d.set(as_field, Value::Array(matches));
-                    d
+                // $lookup is a pipeline breaker here: the input is
+                // materialized so the join can run once against a hash
+                // table over *borrowed* foreign documents (held in place
+                // by `with_collection_docs`) instead of cloning the
+                // whole foreign collection per execution.
+                let input: Vec<Document> = match docs {
+                    DocStream::Borrowed(it) => it.cloned().collect(),
+                    DocStream::Owned(it) => it.collect::<Result<_>>()?,
                 };
-                match docs {
-                    DocStream::Borrowed(it) => {
-                        DocStream::Owned(Box::new(it.map(move |d| Ok(attach(d.clone())))))
-                    }
-                    DocStream::Owned(it) => {
-                        DocStream::Owned(Box::new(it.map(move |r| r.map(&attach))))
-                    }
-                }
+                DocStream::from_vec(lookup_stage(
+                    input,
+                    source,
+                    from,
+                    local_field,
+                    foreign_field,
+                    as_field,
+                ))
             }
             Stage::Sort(spec) => {
                 // Fuse directly following $skip/$limit stages into a
@@ -231,51 +218,20 @@ pub fn run_streaming<'a>(
                 sort_window(docs, spec, start, end)?
             }
             Stage::Group { id, fields } => {
-                let id_expr = match id {
-                    GroupId::Null => Expr::Literal(Value::Null),
-                    GroupId::Expr(e) => e.clone(),
-                };
-                let mut order: Vec<OrdValue> = Vec::new();
-                let mut groups: HashMap<OrdValue, Vec<AccState>> = HashMap::new();
-                let mut feed = |doc: &Document| -> Result<()> {
-                    let key = OrdValue(id_expr.eval(doc)?);
-                    let states = match groups.get_mut(&key) {
-                        Some(s) => s,
-                        None => {
-                            order.push(key.clone());
-                            groups.entry(key).or_insert_with(|| {
-                                fields.iter().map(|(_, a)| AccState::new(a)).collect()
-                            })
-                        }
-                    };
-                    for (state, (_, spec)) in states.iter_mut().zip(fields.iter()) {
-                        state.accumulate(spec, doc)?;
-                    }
-                    Ok(())
-                };
+                let mut gk = GroupKernel::new(id, fields);
                 match docs {
                     DocStream::Borrowed(it) => {
                         for d in it {
-                            feed(d)?;
+                            gk.feed(d)?;
                         }
                     }
                     DocStream::Owned(it) => {
                         for r in it {
-                            feed(&r?)?;
+                            gk.feed(&r?)?;
                         }
                     }
                 }
-                let mut out = Vec::with_capacity(order.len());
-                for key in order {
-                    let states = groups.remove(&key).expect("key recorded in order");
-                    let mut d = Document::with_capacity(fields.len() + 1);
-                    d.set("_id", key.into_value());
-                    for (state, (name, _)) in states.into_iter().zip(fields.iter()) {
-                        d.set(name.clone(), state.finish());
-                    }
-                    out.push(d);
-                }
-                DocStream::from_vec(out)
+                DocStream::from_vec(gk.finish())
             }
             Stage::Count(name) => {
                 let n = match docs {
@@ -302,68 +258,59 @@ pub fn run_streaming<'a>(
     }
 }
 
-/// `$sort` with a fused `[start, end)` window: keys are extracted once
-/// per document, references (or already-owned documents) are sorted
-/// stably by `(key, input position)`, and only window survivors are
-/// cloned. Identical ordering to [`super::exec::sort_documents`].
+/// `$sort` with a fused `[start, end)` window: the spec is compiled
+/// once, keys are extracted once per document as *borrowed*
+/// [`doclite_bson::Resolved`]s, an index permutation is sorted stably by
+/// `(key, input position)`, and only window survivors are cloned (or
+/// moved, for an already-owned stream). Identical ordering to
+/// [`super::exec::sort_documents`].
 fn sort_window<'a>(
     docs: DocStream<'a>,
     spec: &[(String, i32)],
     start: usize,
     end: usize,
 ) -> Result<DocStream<'a>> {
+    let cs = CompiledSortSpec::new(spec);
     let out: Vec<Document> = match docs {
         DocStream::Borrowed(it) => {
-            let mut keyed: Vec<(Vec<Value>, usize, &Document)> = it
-                .enumerate()
-                .map(|(i, d)| (sort_keys(d, spec), i, d))
-                .collect();
-            keyed.sort_unstable_by(|a, b| {
-                compare_sort_keys(&a.0, &b.0, spec).then(a.1.cmp(&b.1))
-            });
-            // A $limit followed by a larger $skip leaves start > end;
-            // clamp start second so the window is empty, not inverted.
-            let hi = end.min(keyed.len());
-            let lo = start.min(hi);
-            keyed[lo..hi].iter().map(|(_, _, d)| (*d).clone()).collect()
+            let docs: Vec<&Document> = it.collect();
+            let window = sorted_window_indices(&cs, &docs, start, end);
+            window.into_iter().map(|i| docs[i].clone()).collect()
         }
         DocStream::Owned(it) => {
             let docs: Vec<Document> = it.collect::<Result<_>>()?;
-            let mut keyed: Vec<(Vec<Value>, usize, Document)> = docs
+            let window = {
+                let refs: Vec<&Document> = docs.iter().collect();
+                sorted_window_indices(&cs, &refs, start, end)
+            };
+            // Move (not clone) the survivors out of the owned input.
+            let mut slots: Vec<Option<Document>> = docs.into_iter().map(Some).collect();
+            window
                 .into_iter()
-                .enumerate()
-                .map(|(i, d)| (sort_keys(&d, spec), i, d))
-                .collect();
-            keyed.sort_unstable_by(|a, b| {
-                compare_sort_keys(&a.0, &b.0, spec).then(a.1.cmp(&b.1))
-            });
-            let hi = end.min(keyed.len());
-            let lo = start.min(hi);
-            keyed
-                .drain(lo..hi)
-                .map(|(_, _, d)| d)
+                .map(|i| slots[i].take().expect("window indices are unique"))
                 .collect()
         }
     };
     Ok(DocStream::from_vec(out))
 }
 
-/// One document's `$unwind` expansion (MongoDB 3.0 semantics: arrays
-/// expand per element, missing/null/empty drop the document, a scalar
-/// passes through unchanged).
-fn unwind_parts(doc: &Document, path: &str) -> Vec<Document> {
-    match doc.get_path(path) {
-        Some(Value::Array(items)) => items
-            .into_iter()
-            .map(|item| {
-                let mut clone = doc.clone();
-                clone.set_path(path, item);
-                clone
-            })
-            .collect(),
-        Some(Value::Null) | None => Vec::new(),
-        Some(_) => vec![doc.clone()],
-    }
+/// Sorts `docs` by the compiled spec (stable via index tiebreak) and
+/// returns the input indices of the `[start, end)` window survivors in
+/// output order.
+fn sorted_window_indices(
+    cs: &CompiledSortSpec,
+    docs: &[&Document],
+    start: usize,
+    end: usize,
+) -> Vec<usize> {
+    let keys: Vec<_> = docs.iter().map(|d| cs.key_refs(d)).collect();
+    let mut perm: Vec<usize> = (0..docs.len()).collect();
+    perm.sort_unstable_by(|&a, &b| cs.compare(&keys[a], &keys[b]).then(a.cmp(&b)));
+    // A $limit followed by a larger $skip leaves start > end; clamp
+    // start second so the window is empty, not inverted.
+    let hi = end.min(perm.len());
+    let lo = start.min(hi);
+    perm[lo..hi].to_vec()
 }
 
 #[cfg(test)]
@@ -371,7 +318,8 @@ mod tests {
     use super::*;
     use crate::agg::accum::Accumulator;
     use crate::agg::exec;
-    use crate::agg::stage::Pipeline;
+    use crate::agg::expr::Expr;
+    use crate::agg::stage::{GroupId, Pipeline};
     use crate::query::filter::Filter;
     use doclite_bson::{array, doc};
 

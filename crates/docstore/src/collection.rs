@@ -1,6 +1,6 @@
 //! Collections: the unit of storage, indexing, and querying.
 
-use crate::agg::{exec, stream, ExecMode, Pipeline, Stage};
+use crate::agg::{exec, stream, CompiledSortSpec, ExecMode, Pipeline, Stage};
 use crate::error::{Error, Result};
 use crate::index::{extract_keys, Index, IndexDef, IndexKind, SortOrder};
 use crate::query::filter::Filter;
@@ -405,22 +405,14 @@ impl Collection {
             .collect();
 
         if !opts.sort.is_empty() {
-            // Stable sort over references: identical ordering (including
-            // ties) to sorting the cloned documents, without the clones.
-            matched.sort_by(|a, b| {
-                for (path, dir) in &opts.sort {
-                    let va = a.get_path(path).unwrap_or(Value::Null);
-                    let vb = b.get_path(path).unwrap_or(Value::Null);
-                    let mut ord = va.canonical_cmp(&vb);
-                    if *dir < 0 {
-                        ord = ord.reverse();
-                    }
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            // Stable sort over references with keys extracted once per
+            // document (borrowed, not cloned): identical ordering
+            // (including ties) to sorting the cloned documents.
+            let cs = CompiledSortSpec::new(&opts.sort);
+            let keys: Vec<_> = matched.iter().map(|d| cs.key_refs(d)).collect();
+            let mut perm: Vec<usize> = (0..matched.len()).collect();
+            perm.sort_unstable_by(|&a, &b| cs.compare(&keys[a], &keys[b]).then(a.cmp(&b)));
+            matched = perm.into_iter().map(|i| matched[i]).collect();
         }
         let lo = opts.skip.min(matched.len());
         let hi = if opts.limit > 0 {
@@ -744,6 +736,15 @@ impl Collection {
     pub fn all_docs(&self) -> Vec<Document> {
         let inner = self.inner.read();
         inner.slab.iter().map(|(_, d)| d.clone()).collect()
+    }
+
+    /// Runs `f` over the collection's documents borrowed straight from
+    /// storage, holding the read lock for the duration — the clone-free
+    /// backing for [`crate::agg::LookupSource::with_collection_docs`].
+    /// `f` must not call back into this collection (the lock is held).
+    pub fn with_docs(&self, f: &mut dyn for<'a> FnMut(&mut (dyn Iterator<Item = &'a Document> + 'a))) {
+        let inner = self.inner.read();
+        f(&mut inner.slab.iter().map(|(_, d)| d));
     }
 }
 

@@ -146,6 +146,21 @@ impl LookupSource for Database {
     fn collection_docs(&self, name: &str) -> Option<Vec<Document>> {
         self.get_collection(name).ok().map(|c| c.all_docs())
     }
+
+    fn with_collection_docs(
+        &self,
+        name: &str,
+        f: &mut dyn for<'a> FnMut(&mut (dyn Iterator<Item = &'a Document> + 'a)),
+    ) {
+        // Borrow the foreign collection's documents in place under its
+        // read lock instead of cloning them all (the default impl);
+        // $lookup builds its join table from the borrowed iterator and
+        // clones only matched rows. A missing collection joins as empty.
+        match self.get_collection(name) {
+            Ok(c) => c.with_docs(f),
+            Err(_) => f(&mut std::iter::empty()),
+        }
+    }
 }
 
 #[cfg(test)]

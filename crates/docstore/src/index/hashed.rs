@@ -5,7 +5,7 @@
 //! key value; documents with nearby shard key values are likely to reside
 //! in different chunks").
 
-use crate::ordvalue::{CompoundKey, OrdValue};
+use crate::ordvalue::CompoundKey;
 use crate::storage::DocId;
 use doclite_bson::Value;
 use std::collections::HashMap;
@@ -16,7 +16,9 @@ use std::hash::{Hash, Hasher};
 /// mixing over the canonical hash), so chunk assignment is reproducible.
 pub fn hash_key(v: &Value) -> u64 {
     let mut h = StableHasher::default();
-    OrdValue(v.clone()).hash(&mut h);
+    // Hash the borrowed value directly with the canonical normalization
+    // OrdValue's Hash impl applies — same bytes, no per-key clone.
+    crate::ordvalue::hash_value(v, &mut h);
     h.finish()
 }
 

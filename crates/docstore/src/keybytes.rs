@@ -1,0 +1,191 @@
+//! Canonical key-byte encoding for hash-table keys.
+//!
+//! `$group` and `$lookup` used to key their hash tables on
+//! [`OrdValue`](crate::ordvalue::OrdValue), which forces a full `Value`
+//! clone per document just to probe the table. This module encodes a
+//! borrowed [`Value`] into a flat byte string with the *equality
+//! semantics of canonical comparison*:
+//!
+//! ```text
+//! encode(a) == encode(b)   ⇔   a.canonical_eq(b)
+//! ```
+//!
+//! so a reusable scratch buffer can probe `HashMap<Box<[u8]>, _>`
+//! without allocating or cloning anything per document. The encoding
+//! mirrors the normalization [`OrdValue`](crate::ordvalue::OrdValue)'s
+//! `Hash` impl applies (one byte tag per canonical type family; all
+//! numerics through a normalized `f64` with `-0.0` collapsed and NaN
+//! canonicalized), extended with length prefixes so nested strings,
+//! arrays, and documents can never collide structurally.
+//!
+//! The encoding is *not* order-preserving — B-tree index keys keep
+//! using [`OrdValue`]/`CompoundKey` — and is deliberately not decoded:
+//! group output needs the first-seen representative key anyway (so
+//! `Int32(1)`, `Int64(1)`, and `Double(1.0)` report whichever arrived
+//! first, exactly like the legacy `OrdValue` map), which a decoder
+//! could not reconstruct from the unified bytes.
+
+use doclite_bson::{Document, Value};
+
+/// Appends the canonical encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(0),
+        // All numerics encode through a normalized f64 so cross-type
+        // equal values produce identical bytes (matches canonical_eq).
+        Value::Int32(_) | Value::Int64(_) | Value::Double(_) => {
+            out.push(1);
+            let mut d = v.as_f64().expect("numeric");
+            if d == 0.0 {
+                d = 0.0; // collapse -0.0
+            }
+            let bits = if d.is_nan() { u64::MAX } else { d.to_bits() };
+            out.extend_from_slice(&bits.to_le_bytes());
+        }
+        Value::String(s) => {
+            out.push(2);
+            encode_len(s.len(), out);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Document(d) => {
+            out.push(3);
+            encode_len(d.len(), out);
+            for (k, val) in d.iter() {
+                encode_len(k.len(), out);
+                out.extend_from_slice(k.as_bytes());
+                encode_value(val, out);
+            }
+        }
+        Value::Array(items) => {
+            out.push(4);
+            encode_len(items.len(), out);
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Bool(b) => {
+            out.push(5);
+            out.push(u8::from(*b));
+        }
+        Value::ObjectId(oid) => {
+            out.push(6);
+            out.extend_from_slice(oid.bytes());
+        }
+        Value::DateTime(ms) => {
+            out.push(7);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+    }
+}
+
+fn encode_len(n: usize, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+}
+
+/// Clears `scratch` and encodes `v` into it — the per-document probe
+/// pattern: one buffer reused across the whole stream.
+pub fn encode_into(v: &Value, scratch: &mut Vec<u8>) {
+    scratch.clear();
+    encode_value(v, scratch);
+}
+
+/// Encodes a whole document as if it were `Value::Document` without
+/// cloning it into one.
+pub fn encode_document(d: &Document, out: &mut Vec<u8>) {
+    out.push(3);
+    encode_len(d.len(), out);
+    for (k, val) in d.iter() {
+        encode_len(k.len(), out);
+        out.extend_from_slice(k.as_bytes());
+        encode_value(val, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordvalue::OrdValue;
+    use doclite_bson::{array, doc, ObjectId};
+    use proptest::prelude::*;
+
+    fn enc(v: &Value) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_value(v, &mut out);
+        out
+    }
+
+    #[test]
+    fn numeric_types_unify() {
+        assert_eq!(enc(&Value::Int32(1)), enc(&Value::Int64(1)));
+        assert_eq!(enc(&Value::Int64(1)), enc(&Value::Double(1.0)));
+        assert_eq!(enc(&Value::Double(0.0)), enc(&Value::Double(-0.0)));
+        assert_ne!(enc(&Value::Int64(1)), enc(&Value::Int64(2)));
+    }
+
+    #[test]
+    fn nan_is_canonical() {
+        let a = enc(&Value::Double(f64::NAN));
+        let b = enc(&Value::Double(-f64::NAN));
+        assert_eq!(a, b);
+        assert_ne!(a, enc(&Value::Double(1.0)));
+    }
+
+    #[test]
+    fn structural_prefixes_cannot_collide() {
+        // Same flattened content, different structure.
+        assert_ne!(enc(&array![1i64, 2i64]), enc(&array![array![1i64, 2i64]]));
+        assert_ne!(
+            enc(&Value::from("ab")),
+            enc(&Value::Array(vec![Value::from("a"), Value::from("b")]))
+        );
+        assert_ne!(
+            enc(&Value::Document(doc! {"a" => 1i64})),
+            enc(&Value::Document(doc! {"a" => 1i64, "b" => 1i64}))
+        );
+    }
+
+    #[test]
+    fn document_encoding_matches_wrapped_value() {
+        let d = doc! {"a" => 1i64, "b" => "x"};
+        let mut direct = Vec::new();
+        encode_document(&d, &mut direct);
+        assert_eq!(direct, enc(&Value::Document(d)));
+    }
+
+    fn arb_value() -> BoxedStrategy<Value> {
+        let leaf = prop_oneof![
+            Just(Value::Null),
+            any::<bool>().prop_map(Value::Bool),
+            (-3i32..4).prop_map(Value::Int32),
+            (-3i64..4).prop_map(Value::Int64),
+            (-3i64..4).prop_map(|n| Value::Double(n as f64)),
+            (0.0f64..2.0).prop_map(Value::Double),
+            Just(Value::Double(f64::NAN)),
+            Just(Value::Double(-0.0)),
+            "[ab]{0,2}".prop_map(Value::from),
+            (-100i64..100).prop_map(Value::DateTime),
+            Just(Value::ObjectId(ObjectId::from_bytes([7; 12]))),
+        ];
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+                prop::collection::vec(("[ab]{1,2}", inner), 0..4)
+                    .prop_map(|kvs| Value::Document(kvs.into_iter().collect())),
+            ]
+        })
+        .boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The load-bearing invariant: byte equality is exactly
+        /// canonical equality, so byte-keyed hash tables group the
+        /// same way `HashMap<OrdValue, _>` did.
+        #[test]
+        fn byte_equality_is_canonical_equality(a in arb_value(), b in arb_value()) {
+            let canonical = OrdValue(a.clone()) == OrdValue(b.clone());
+            prop_assert_eq!(enc(&a) == enc(&b), canonical, "a={:?} b={:?}", a, b);
+        }
+    }
+}

@@ -31,6 +31,7 @@ pub mod database;
 pub mod dump;
 pub mod error;
 pub mod index;
+pub mod keybytes;
 pub mod ordvalue;
 pub mod query;
 pub mod storage;
@@ -38,8 +39,8 @@ pub mod update;
 pub mod wal;
 
 pub use agg::{
-    default_exec_mode, set_default_exec_mode, Accumulator, ExecMode, Expr, GroupId, Pipeline,
-    ProjectField, Stage,
+    default_exec_mode, set_default_exec_mode, Accumulator, CompiledExpr, CompiledSortSpec,
+    ExecMode, Expr, GroupId, Pipeline, ProjectField, Stage,
 };
 pub use collection::{project_paths, Collection, Explain, FindOptions};
 pub use database::Database;

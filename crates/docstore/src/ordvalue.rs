@@ -52,7 +52,7 @@ impl Hash for OrdValue {
     }
 }
 
-fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
+pub(crate) fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
     match v {
         Value::Null => state.write_u8(0),
         // All numerics hash through a normalized f64 so cross-type equal

@@ -10,14 +10,23 @@
 //!   type family — a number never `$gt`-matches a string;
 //! * `$ne` / `$nin` are the negations of `$eq` / `$in` (so they *do*
 //!   match documents where the field is missing).
+//!
+//! Two evaluators share these semantics: [`matches`] interprets the
+//! source [`Filter`] directly (splitting paths and materializing values
+//! per call — kept as the reference implementation the equivalence
+//! proptests check against), while [`compile`]/[`matches_compiled`] is
+//! the execution-kernel path: dotted paths are pre-split into
+//! [`CompiledPath`]s, values resolve by reference (zero clones for
+//! scalar paths), and `$in`/`$nin` lists become canonically sorted
+//! slices probed by `binary_search` against a borrowed value.
 
 use super::filter::{CmpOp, Filter};
 use crate::ordvalue::OrdValue;
-use doclite_bson::{Document, Value};
+use doclite_bson::{CompiledPath, Document, Resolved, Value};
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
 
-/// Evaluates a filter against a document.
+/// Evaluates a filter against a document — the interpreted reference
+/// implementation (see the module docs; hot paths use [`compile`]).
 pub fn matches(filter: &Filter, doc: &Document) -> bool {
     match filter {
         Filter::True => true,
@@ -36,21 +45,32 @@ pub fn matches(filter: &Filter, doc: &Document) -> bool {
     }
 }
 
-/// A filter preprocessed for repeated evaluation: `$in`/`$nin` value
-/// lists become ordered sets, turning the thesis's large semi-join `$in`
-/// arrays (Fig 4.8 step ii can pass thousands of keys) from `O(list)`
-/// into `O(log list)` per document.
+/// A filter preprocessed for repeated evaluation: paths are pre-split
+/// ([`CompiledPath`]), values resolve by reference, and `$in`/`$nin`
+/// value lists become canonically sorted slices, turning the thesis's
+/// large semi-join `$in` arrays (Fig 4.8 step ii can pass thousands of
+/// keys) from `O(list)` clones into `O(log list)` clone-free probes per
+/// document.
 #[derive(Clone, Debug)]
 pub enum CompiledFilter {
     True,
-    Cmp { path: String, op: CmpOp, value: Value },
-    InSet { path: String, set: BTreeSet<OrdValue>, has_null: bool },
-    NinSet { path: String, set: BTreeSet<OrdValue>, has_null: bool },
-    Exists { path: String, exists: bool },
+    Cmp { path: CompiledPath, op: CmpOp, value: Value },
+    InSet { path: CompiledPath, set: Box<[OrdValue]>, has_null: bool },
+    NinSet { path: CompiledPath, set: Box<[OrdValue]>, has_null: bool },
+    Exists { path: CompiledPath, exists: bool },
     And(Vec<CompiledFilter>),
     Or(Vec<CompiledFilter>),
     Nor(Vec<CompiledFilter>),
     Not(Box<CompiledFilter>),
+}
+
+/// Sorts and dedups an `$in`/`$nin` value list under canonical order so
+/// membership is a binary search against a borrowed probe value.
+fn compile_set(values: &[Value]) -> Box<[OrdValue]> {
+    let mut set: Vec<OrdValue> = values.iter().cloned().map(OrdValue).collect();
+    set.sort();
+    set.dedup();
+    set.into_boxed_slice()
 }
 
 /// Compiles a filter for repeated evaluation.
@@ -58,28 +78,22 @@ pub fn compile(filter: &Filter) -> CompiledFilter {
     match filter {
         Filter::True => CompiledFilter::True,
         Filter::Cmp { path, op, value } => CompiledFilter::Cmp {
-            path: path.clone(),
+            path: CompiledPath::new(path),
             op: *op,
             value: value.clone(),
         },
-        Filter::In { path, values } => {
-            let has_null = values.iter().any(Value::is_null);
-            CompiledFilter::InSet {
-                path: path.clone(),
-                set: values.iter().cloned().map(OrdValue).collect(),
-                has_null,
-            }
-        }
-        Filter::Nin { path, values } => {
-            let has_null = values.iter().any(Value::is_null);
-            CompiledFilter::NinSet {
-                path: path.clone(),
-                set: values.iter().cloned().map(OrdValue).collect(),
-                has_null,
-            }
-        }
+        Filter::In { path, values } => CompiledFilter::InSet {
+            path: CompiledPath::new(path),
+            set: compile_set(values),
+            has_null: values.iter().any(Value::is_null),
+        },
+        Filter::Nin { path, values } => CompiledFilter::NinSet {
+            path: CompiledPath::new(path),
+            set: compile_set(values),
+            has_null: values.iter().any(Value::is_null),
+        },
         Filter::Exists { path, exists } => {
-            CompiledFilter::Exists { path: path.clone(), exists: *exists }
+            CompiledFilter::Exists { path: CompiledPath::new(path), exists: *exists }
         }
         Filter::And(fs) => CompiledFilter::And(fs.iter().map(compile).collect()),
         Filter::Or(fs) => CompiledFilter::Or(fs.iter().map(compile).collect()),
@@ -89,14 +103,30 @@ pub fn compile(filter: &Filter) -> CompiledFilter {
 }
 
 /// Evaluates a compiled filter. Semantics are identical to [`matches`]
-/// on the source filter (see the `compiled_matches_agree` property test).
+/// on the source filter (pinned by the kernel-equivalence proptests);
+/// scalar predicates evaluate without any heap allocation (pinned by
+/// the counting-allocator test).
 pub fn matches_compiled(filter: &CompiledFilter, doc: &Document) -> bool {
     match filter {
         CompiledFilter::True => true,
-        CompiledFilter::Cmp { path, op, value } => match_cmp(doc, path, *op, value),
-        CompiledFilter::InSet { path, set, has_null } => in_set(doc, path, set, *has_null),
-        CompiledFilter::NinSet { path, set, has_null } => !in_set(doc, path, set, *has_null),
-        CompiledFilter::Exists { path, exists } => doc.get_path(path).is_some() == *exists,
+        CompiledFilter::Cmp { path, op, value } => {
+            let resolved = path.resolve(doc);
+            match op {
+                CmpOp::Eq => eq_matches(resolved.as_ref().map(Resolved::as_value), value),
+                CmpOp::Ne => !eq_matches(resolved.as_ref().map(Resolved::as_value), value),
+                CmpOp::Gt | CmpOp::Gte | CmpOp::Lt | CmpOp::Lte => {
+                    let Some(v) = resolved else { return false };
+                    ordered_matches(v.as_value(), *op, value)
+                }
+            }
+        }
+        CompiledFilter::InSet { path, set, has_null } => {
+            in_set(path.resolve(doc).as_ref().map(Resolved::as_value), set, *has_null)
+        }
+        CompiledFilter::NinSet { path, set, has_null } => {
+            !in_set(path.resolve(doc).as_ref().map(Resolved::as_value), set, *has_null)
+        }
+        CompiledFilter::Exists { path, exists } => path.resolve(doc).is_some() == *exists,
         CompiledFilter::And(fs) => fs.iter().all(|f| matches_compiled(f, doc)),
         CompiledFilter::Or(fs) => fs.iter().any(|f| matches_compiled(f, doc)),
         CompiledFilter::Nor(fs) => !fs.iter().any(|f| matches_compiled(f, doc)),
@@ -104,16 +134,23 @@ pub fn matches_compiled(filter: &CompiledFilter, doc: &Document) -> bool {
     }
 }
 
-fn in_set(doc: &Document, path: &str, set: &BTreeSet<OrdValue>, has_null: bool) -> bool {
-    match doc.get_path(path) {
+/// Clone-free membership probe: canonical binary search of `v` in the
+/// sorted set, so `{$in: [1.0]}` finds `Int32(1)` through the same
+/// cross-numeric-type comparison the old `BTreeSet<OrdValue>` used.
+fn set_contains(set: &[OrdValue], v: &Value) -> bool {
+    set.binary_search_by(|ov| ov.0.canonical_cmp(v)).is_ok()
+}
+
+fn in_set(resolved: Option<&Value>, set: &[OrdValue], has_null: bool) -> bool {
+    match resolved {
         // {$in: [.., null]} matches a missing field, like {path: null}.
         None => has_null,
         Some(v) => {
-            if set.contains(&OrdValue(v.clone())) {
+            if set_contains(set, v) {
                 return true;
             }
-            if let Value::Array(items) = &v {
-                return items.iter().any(|e| set.contains(&OrdValue(e.clone())));
+            if let Value::Array(items) = v {
+                return items.iter().any(|e| set_contains(set, e));
             }
             false
         }
@@ -141,7 +178,8 @@ fn eq_matches(resolved: Option<&Value>, rhs: &Value) -> bool {
 }
 
 /// Equality with array-any semantics: an array value matches if the whole
-/// array equals `rhs` or any element does.
+/// array equals `rhs` or any element does. Entirely by reference — the
+/// multikey element scan never clones.
 fn value_eq_any(v: &Value, rhs: &Value) -> bool {
     if v.canonical_eq(rhs) {
         return true;
@@ -194,6 +232,18 @@ mod tests {
     use super::*;
     use doclite_bson::{array, doc};
 
+    /// Evaluates through both the interpreted and compiled evaluators
+    /// and insists they agree, so every semantic test below pins both.
+    fn matches(filter: &Filter, doc: &Document) -> bool {
+        let interpreted = super::matches(filter, doc);
+        let compiled = matches_compiled(&compile(filter), doc);
+        assert_eq!(
+            interpreted, compiled,
+            "interpreted and compiled evaluators disagree on {filter:?} over {doc:?}"
+        );
+        interpreted
+    }
+
     #[test]
     fn implicit_eq_and_ne() {
         let d = doc! {"a" => 5i64};
@@ -239,6 +289,35 @@ mod tests {
         assert!(matches(&Filter::not_in("dow", [1i64, 2i64]), &d));
         // $nin matches missing fields, like $ne.
         assert!(matches(&Filter::not_in("absent", [1i64]), &d));
+    }
+
+    #[test]
+    fn in_set_unifies_numeric_types() {
+        // Regression: the sorted-slice probe must keep the cross-type
+        // numeric unification the BTreeSet<OrdValue> representation had.
+        let d = doc! {"k" => Value::Int32(1)};
+        assert!(matches(&Filter::is_in("k", [1.0f64]), &d));
+        assert!(matches(&Filter::is_in("k", [1i64]), &d));
+        assert!(!matches(&Filter::is_in("k", [2.0f64]), &d));
+        let d = doc! {"k" => 2.0f64};
+        assert!(matches(&Filter::is_in("k", [Value::Int32(2)]), &d));
+        assert!(!matches(&Filter::not_in("k", [2i64]), &d));
+        // ... and through array-any element probes.
+        let d = doc! {"ks" => array![Value::Int32(3), Value::Int32(4)]};
+        assert!(matches(&Filter::is_in("ks", [4.0f64]), &d));
+    }
+
+    #[test]
+    fn in_with_null_and_whole_array_values() {
+        let missing = doc! {"other" => 1i64};
+        assert!(matches(&Filter::is_in("k", [Value::Null, Value::Int64(2)]), &missing));
+        assert!(!matches(&Filter::is_in("k", [Value::Int64(2)]), &missing));
+        // A whole array can be a set member.
+        let d = doc! {"tags" => array!["x", "y"]};
+        assert!(matches(&Filter::is_in("tags", [array!["x", "y"]]), &d));
+        // Duplicate list values collapse without changing semantics.
+        let d = doc! {"k" => 1i64};
+        assert!(matches(&Filter::is_in("k", [1i64, 1i64, 1i64]), &d));
     }
 
     #[test]
@@ -288,5 +367,18 @@ mod tests {
         ])};
         assert!(matches(&Filter::gt("books.pages", 400i64), &d));
         assert!(!matches(&Filter::gt("books.pages", 600i64), &d));
+    }
+
+    #[test]
+    fn invalid_paths_never_resolve_in_either_evaluator() {
+        let d = doc! {"a" => 1i64};
+        for path in ["", "a..b", ".a"] {
+            assert!(!matches(&Filter::exists(path), &d), "path {path:?}");
+            // An unresolvable path behaves like a missing field: $eq null
+            // and $ne/$nin match, everything else does not.
+            assert!(matches(&Filter::eq(path, Value::Null), &d));
+            assert!(matches(&Filter::ne(path, 1i64), &d));
+            assert!(!matches(&Filter::gt(path, 0i64), &d));
+        }
     }
 }

@@ -881,22 +881,27 @@ impl Mongos {
 /// concatenating whole legs and stable-sorting produced, so pushing
 /// the sort down is invisible to callers.
 fn merge_sorted_legs(legs: Vec<Vec<Document>>, spec: &[(String, i32)]) -> Vec<Document> {
+    use doclite_docstore::agg::CompiledSortSpec;
     use std::cmp::{Ordering, Reverse};
     use std::collections::BinaryHeap;
 
     /// A leg's current head document, ordered by (sort key, leg index).
     /// Each leg has at most one entry in the heap, so within-leg
-    /// position order is preserved by construction.
+    /// position order is preserved by construction. Keys are owned —
+    /// the document moves into the heap — but extracted through the
+    /// compiled spec: one value clone per key component, no
+    /// per-document path splitting.
     struct Head<'s> {
         key: Vec<doclite_bson::Value>,
         leg: usize,
         doc: Document,
-        spec: &'s [(String, i32)],
+        spec: &'s CompiledSortSpec,
     }
 
     impl Ord for Head<'_> {
         fn cmp(&self, other: &Self) -> Ordering {
-            stream::compare_sort_keys(&self.key, &other.key, self.spec)
+            self.spec
+                .compare_values(&self.key, &other.key)
                 .then(self.leg.cmp(&other.leg))
         }
     }
@@ -912,13 +917,14 @@ fn merge_sorted_legs(legs: Vec<Vec<Document>>, spec: &[(String, i32)]) -> Vec<Do
     }
     impl Eq for Head<'_> {}
 
+    let cs = CompiledSortSpec::new(spec);
     let total: usize = legs.iter().map(Vec::len).sum();
     let mut iters: Vec<std::vec::IntoIter<Document>> =
         legs.into_iter().map(Vec::into_iter).collect();
     let mut heap: BinaryHeap<Reverse<Head<'_>>> = BinaryHeap::with_capacity(iters.len());
     for (leg, it) in iters.iter_mut().enumerate() {
         if let Some(doc) = it.next() {
-            heap.push(Reverse(Head { key: stream::sort_keys(&doc, spec), leg, doc, spec }));
+            heap.push(Reverse(Head { key: cs.key_owned(&doc), leg, doc, spec: &cs }));
         }
     }
     let mut out = Vec::with_capacity(total);
@@ -926,7 +932,7 @@ fn merge_sorted_legs(legs: Vec<Vec<Document>>, spec: &[(String, i32)]) -> Vec<Do
         let leg = head.leg;
         out.push(head.doc);
         if let Some(doc) = iters[leg].next() {
-            heap.push(Reverse(Head { key: stream::sort_keys(&doc, spec), leg, doc, spec }));
+            heap.push(Reverse(Head { key: cs.key_owned(&doc), leg, doc, spec: &cs }));
         }
     }
     out
