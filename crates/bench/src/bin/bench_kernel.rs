@@ -13,9 +13,11 @@
 //! * `semi_join_in` — a ~2000-key `$in` probe per document: interpreted
 //!   linear scan vs the kernel's sorted-set binary search.
 //! * `pipeline_q7` / `pipeline_semi_join` — end-to-end aggregation in
-//!   both executor modes, now both running on the kernel; tracked here
-//!   so the end-to-end win over the PR 4-era `BENCH_agg.json` stays
-//!   pinned.
+//!   all three executor modes (legacy, streaming, and the PR 6
+//!   morsel-parallel executor); tracked here so the end-to-end win over
+//!   the PR 4-era `BENCH_agg.json` stays pinned. Parallel numbers on a
+//!   single-core box degrade to the streaming path (the pool runs
+//!   inline) — the multicore sweep lives in `bench_parallel`.
 //!
 //! Run with `cargo run --release -p doclite-bench --bin bench_kernel`;
 //! set `DOCLITE_KERNEL_SMOKE=1` for the fast CI configuration.
@@ -29,8 +31,10 @@ use doclite_stress::report::{parse_json, Json};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Schema tag the validator pins.
-const SCHEMA: &str = "doclite-kernel/v1";
+/// Schema tag the validator pins. v2 added `parallel_s` /
+/// `parallel_speedup` to the pipeline sections (PR 6's morsel-driven
+/// executor).
+const SCHEMA: &str = "doclite-kernel/v2";
 
 /// Best-of-n wall time in seconds (the thesis reports best-of-5 with
 /// warm caches; so do we — smoke mode drops to best-of-2).
@@ -130,6 +134,9 @@ fn main() {
     let q7_streaming = best_of(reps, || {
         coll.aggregate_with_mode(&q7, None, ExecMode::Streaming).unwrap()
     });
+    let q7_parallel = best_of(reps, || {
+        coll.aggregate_with_mode(&q7, None, ExecMode::Parallel).unwrap()
+    });
 
     let semi = Pipeline::new()
         .match_stage(Filter::is_in("k", keys))
@@ -143,6 +150,9 @@ fn main() {
     });
     let semi_streaming = best_of(reps, || {
         coll.aggregate_with_mode(&semi, None, ExecMode::Streaming).unwrap()
+    });
+    let semi_parallel = best_of(reps, || {
+        coll.aggregate_with_mode(&semi, None, ExecMode::Parallel).unwrap()
     });
 
     // --- report -----------------------------------------------------
@@ -162,19 +172,22 @@ fn main() {
             cell.speedup()
         );
     }
-    for (name, legacy, streaming) in [
-        ("pipeline_q7", q7_legacy, q7_streaming),
-        ("pipeline_semi_join", semi_legacy, semi_streaming),
+    for (name, legacy, streaming, parallel) in [
+        ("pipeline_q7", q7_legacy, q7_streaming, q7_parallel),
+        ("pipeline_semi_join", semi_legacy, semi_streaming, semi_parallel),
     ] {
         let _ = writeln!(
             json,
             "  \"{}\": {{\n    \"docs\": {},\n    \"legacy_s\": {:.6},\n    \
-             \"streaming_s\": {:.6},\n    \"speedup\": {:.2}\n  }}{}",
+             \"streaming_s\": {:.6},\n    \"parallel_s\": {:.6},\n    \
+             \"speedup\": {:.2},\n    \"parallel_speedup\": {:.2}\n  }}{}",
             name,
             pipe_n,
             legacy,
             streaming,
+            parallel,
             legacy / streaming,
+            streaming / parallel,
             if name == "pipeline_semi_join" { "" } else { "," }
         );
     }
@@ -215,7 +228,14 @@ fn validate_report(text: &str) -> Result<(), String> {
         }
     }
     for section in ["pipeline_q7", "pipeline_semi_join"] {
-        for key in ["docs", "legacy_s", "streaming_s", "speedup"] {
+        for key in [
+            "docs",
+            "legacy_s",
+            "streaming_s",
+            "parallel_s",
+            "speedup",
+            "parallel_speedup",
+        ] {
             let v = section_num(&root, section, key)?;
             if !(v.is_finite() && v > 0.0) {
                 return Err(format!("'{section}.{key}' must be positive, got {v}"));

@@ -136,6 +136,71 @@ impl AccState {
         }
     }
 
+    /// Merges `other` — the state of the *later* morsel in document
+    /// order — into `self`. Every accumulator is associative over
+    /// ordered partitions: order-insensitive ones (`$sum`, `$avg`,
+    /// `$min`, `$max`, `$addToSet`'s membership) combine freely, and the
+    /// order-sensitive ones (`$first`, `$last`, `$push`, `$addToSet`'s
+    /// first-seen ordering) are correct exactly because morsels merge in
+    /// document order. Only the float running sums (`$sum`/`$avg` over
+    /// doubles) can differ from serial execution, by the usual ULP-level
+    /// non-associativity of f64 addition.
+    pub fn merge(&mut self, other: AccState) {
+        match (self, other) {
+            (
+                AccState::Sum { total, integral, seen },
+                AccState::Sum { total: t2, integral: i2, seen: s2 },
+            ) => {
+                *total += t2;
+                *integral &= i2;
+                *seen |= s2;
+            }
+            (AccState::Avg { total, count }, AccState::Avg { total: t2, count: c2 }) => {
+                *total += t2;
+                *count += c2;
+            }
+            (AccState::Min(cur), AccState::Min(v)) => {
+                if let Some(v) = v {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|c| v.canonical_cmp(c) == std::cmp::Ordering::Less)
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AccState::Max(cur), AccState::Max(v)) => {
+                if let Some(v) = v {
+                    if cur
+                        .as_ref()
+                        .is_none_or(|c| v.canonical_cmp(c) == std::cmp::Ordering::Greater)
+                    {
+                        *cur = Some(v);
+                    }
+                }
+            }
+            (AccState::First(cur), AccState::First(v)) => {
+                if cur.is_none() {
+                    *cur = v;
+                }
+            }
+            (AccState::Last(cur), AccState::Last(v)) => {
+                if v.is_some() {
+                    *cur = v;
+                }
+            }
+            (AccState::Push(items), AccState::Push(more)) => items.extend(more),
+            (AccState::AddToSet(set), AccState::AddToSet(more)) => {
+                for ov in more {
+                    if !set.iter().any(|have| have.0.canonical_eq(&ov.0)) {
+                        set.push(ov);
+                    }
+                }
+            }
+            _ => unreachable!("merging accumulator states of different kinds"),
+        }
+    }
+
     /// Final value for the group.
     pub fn finish(self) -> Value {
         match self {
@@ -258,4 +323,42 @@ mod tests {
     }
 
     use crate::query::filter::CmpOp as CmpOpLocal;
+
+    #[test]
+    fn merge_of_split_states_equals_serial_fold_at_every_split_point() {
+        let docs = [
+            doc! {"x" => 5i64},
+            doc! {"x" => "skip"},
+            doc! {},
+            doc! {"x" => 2i64},
+            doc! {"x" => 2i64},
+            doc! {"x" => 9i64},
+        ];
+        let specs = [
+            Accumulator::sum_field("x"),
+            Accumulator::avg_field("x"),
+            Accumulator::Min(Expr::field("x")),
+            Accumulator::Max(Expr::field("x")),
+            Accumulator::First(Expr::field("x")),
+            Accumulator::Last(Expr::field("x")),
+            Accumulator::Push(Expr::field("x")),
+            Accumulator::AddToSet(Expr::field("x")),
+            Accumulator::count(),
+        ];
+        for spec in &specs {
+            let serial = run(spec.clone(), &docs);
+            for split in 0..=docs.len() {
+                let mut left = AccState::new(spec);
+                for d in &docs[..split] {
+                    left.accumulate(spec, d).unwrap();
+                }
+                let mut right = AccState::new(spec);
+                for d in &docs[split..] {
+                    right.accumulate(spec, d).unwrap();
+                }
+                left.merge(right);
+                assert_eq!(left.finish(), serial, "{spec:?} split at {split}");
+            }
+        }
+    }
 }

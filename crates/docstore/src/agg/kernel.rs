@@ -305,6 +305,32 @@ impl<'p> GroupKernel<'p> {
         Ok(())
     }
 
+    /// Merges `other` — the kernel of the *later* morsel in document
+    /// order — into `self`, bucket-wise by key bytes. A representative
+    /// key `Value` re-encodes to exactly the byte key of its slot, so
+    /// probing with `other`'s representatives finds `self`'s matching
+    /// buckets; unseen keys append in `other`'s first-appearance order,
+    /// reproducing the serial first-appearance order (and the serial
+    /// first-seen `_id` representative) under in-order merging.
+    pub fn merge(&mut self, other: Self) {
+        for (key, states) in other.order.into_iter().zip(other.states) {
+            keybytes::encode_into(&key, &mut self.scratch);
+            match self.slots.get(self.scratch.as_slice()) {
+                Some(&slot) => {
+                    for (mine, theirs) in self.states[slot].iter_mut().zip(states) {
+                        mine.merge(theirs);
+                    }
+                }
+                None => {
+                    let s = self.states.len();
+                    self.slots.insert(self.scratch.as_slice().into(), s);
+                    self.order.push(key);
+                    self.states.push(states);
+                }
+            }
+        }
+    }
+
     /// Emits one output document per group, in first-appearance order.
     /// Empty input yields no documents (MongoDB's `$group` semantics,
     /// even with `_id: null`).

@@ -6,6 +6,7 @@ pub mod accum;
 pub mod exec;
 pub mod expr;
 pub mod kernel;
+pub mod parallel;
 pub mod stage;
 pub mod stream;
 
@@ -13,6 +14,10 @@ pub use accum::Accumulator;
 pub use exec::{execute, execute_with, sort_documents, LookupSource};
 pub use expr::Expr;
 pub use kernel::{CompiledExpr, CompiledSortSpec};
+pub use parallel::{
+    execute_parallel, execute_parallel_with, parallel_morsel_size, run_parallel,
+    set_parallel_morsel_size,
+};
 pub use stage::{GroupId, Pipeline, ProjectField, Stage};
 pub use stream::{
     compare_sort_keys, default_exec_mode, execute_streaming, set_default_exec_mode, sort_keys,

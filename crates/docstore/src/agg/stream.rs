@@ -42,15 +42,21 @@ pub enum ExecMode {
     /// collection, then run every stage over owned `Vec<Document>`s.
     /// Kept for equivalence testing and ablation benchmarks.
     Legacy,
+    /// Morsel-driven parallel execution over the shared worker pool
+    /// ([`super::parallel`]), with the streaming executor as the serial
+    /// fallback for pipeline shapes that don't partition.
+    Parallel,
 }
 
-static DEFAULT_MODE: AtomicU8 = AtomicU8::new(0); // 0 = Streaming, 1 = Legacy
+static DEFAULT_MODE: AtomicU8 = AtomicU8::new(0); // 0 = Streaming, 1 = Legacy, 2 = Parallel
 
-/// Sets the process-wide default [`ExecMode`] (used by ablations).
+/// Sets the process-wide default [`ExecMode`] (used by ablations and the
+/// stress driver).
 pub fn set_default_exec_mode(mode: ExecMode) {
     let v = match mode {
         ExecMode::Streaming => 0,
         ExecMode::Legacy => 1,
+        ExecMode::Parallel => 2,
     };
     DEFAULT_MODE.store(v, AtomicOrdering::Relaxed);
 }
@@ -59,6 +65,7 @@ pub fn set_default_exec_mode(mode: ExecMode) {
 pub fn default_exec_mode() -> ExecMode {
     match DEFAULT_MODE.load(AtomicOrdering::Relaxed) {
         1 => ExecMode::Legacy,
+        2 => ExecMode::Parallel,
         _ => ExecMode::Streaming,
     }
 }
@@ -132,16 +139,8 @@ pub fn run_streaming<'a>(
         let stage = &stages[i];
         i += 1;
         docs = match stage {
-            Stage::Match(filter) => {
-                let c = compile(filter);
-                match docs {
-                    DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(
-                        it.filter(move |d| matches_compiled(&c, d)),
-                    )),
-                    DocStream::Owned(it) => DocStream::Owned(Box::new(it.filter(move |r| {
-                        r.as_ref().map_or(true, |d| matches_compiled(&c, d))
-                    }))),
-                }
+            Stage::Match(_) | Stage::Project(_) | Stage::Unwind(_) => {
+                apply_per_doc_stage(docs, stage)
             }
             Stage::Skip(n) => match docs {
                 DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(it.skip(*n))),
@@ -151,33 +150,6 @@ pub fn run_streaming<'a>(
                 DocStream::Borrowed(it) => DocStream::Borrowed(Box::new(it.take(*n))),
                 DocStream::Owned(it) => DocStream::Owned(Box::new(it.take(*n))),
             },
-            Stage::Project(fields) => {
-                let cp = CompiledProject::new(fields);
-                match docs {
-                    DocStream::Borrowed(it) => {
-                        DocStream::Owned(Box::new(it.map(move |d| cp.apply(d))))
-                    }
-                    DocStream::Owned(it) => DocStream::Owned(Box::new(
-                        it.map(move |r| r.and_then(|d| cp.apply(&d))),
-                    )),
-                }
-            }
-            Stage::Unwind(path) => {
-                let path = CompiledPath::new(path.strip_prefix('$').unwrap_or(path));
-                match docs {
-                    DocStream::Borrowed(it) => DocStream::Owned(Box::new(it.flat_map(
-                        move |d| unwind_parts_compiled(d, &path).into_iter().map(Ok),
-                    ))),
-                    DocStream::Owned(it) => {
-                        DocStream::Owned(Box::new(it.flat_map(move |r| match r {
-                            Ok(d) => {
-                                unwind_parts_compiled(&d, &path).into_iter().map(Ok).collect()
-                            }
-                            Err(e) => vec![Err(e)],
-                        })))
-                    }
-                }
-            }
             Stage::Lookup { from, local_field, foreign_field, as_field } => {
                 let Some(source) = source else {
                     return Err(Error::InvalidQuery(
@@ -258,6 +230,55 @@ pub fn run_streaming<'a>(
     }
 }
 
+/// Applies one *per-document* stage — `$match`, `$project`, `$unwind` —
+/// as a fused stream adapter. These are the stages whose output for a
+/// document depends on that document alone, which is exactly what makes
+/// them partitionable: the parallel executor applies the same adapters
+/// per morsel.
+///
+/// Panics on any other stage; callers route barrier stages themselves.
+pub(crate) fn apply_per_doc_stage<'a>(docs: DocStream<'a>, stage: &'a Stage) -> DocStream<'a> {
+    match stage {
+        Stage::Match(filter) => {
+            let c = compile(filter);
+            match docs {
+                DocStream::Borrowed(it) => {
+                    DocStream::Borrowed(Box::new(it.filter(move |d| matches_compiled(&c, d))))
+                }
+                DocStream::Owned(it) => DocStream::Owned(Box::new(
+                    it.filter(move |r| r.as_ref().map_or(true, |d| matches_compiled(&c, d))),
+                )),
+            }
+        }
+        Stage::Project(fields) => {
+            let cp = CompiledProject::new(fields);
+            match docs {
+                DocStream::Borrowed(it) => {
+                    DocStream::Owned(Box::new(it.map(move |d| cp.apply(d))))
+                }
+                DocStream::Owned(it) => {
+                    DocStream::Owned(Box::new(it.map(move |r| r.and_then(|d| cp.apply(&d)))))
+                }
+            }
+        }
+        Stage::Unwind(path) => {
+            let path = CompiledPath::new(path.strip_prefix('$').unwrap_or(path));
+            match docs {
+                DocStream::Borrowed(it) => DocStream::Owned(Box::new(
+                    it.flat_map(move |d| unwind_parts_compiled(d, &path).into_iter().map(Ok)),
+                )),
+                DocStream::Owned(it) => {
+                    DocStream::Owned(Box::new(it.flat_map(move |r| match r {
+                        Ok(d) => unwind_parts_compiled(&d, &path).into_iter().map(Ok).collect(),
+                        Err(e) => vec![Err(e)],
+                    })))
+                }
+            }
+        }
+        other => unreachable!("{other:?} is not a per-document stage"),
+    }
+}
+
 /// `$sort` with a fused `[start, end)` window: the spec is compiled
 /// once, keys are extracted once per document as *borrowed*
 /// [`doclite_bson::Resolved`]s, an index permutation is sorted stably by
@@ -296,8 +317,8 @@ fn sort_window<'a>(
 
 /// Sorts `docs` by the compiled spec (stable via index tiebreak) and
 /// returns the input indices of the `[start, end)` window survivors in
-/// output order.
-fn sorted_window_indices(
+/// output order. Shared with the parallel executor's per-morsel sort.
+pub(crate) fn sorted_window_indices(
     cs: &CompiledSortSpec,
     docs: &[&Document],
     start: usize,
@@ -446,6 +467,8 @@ mod tests {
         assert_eq!(default_exec_mode(), ExecMode::Streaming);
         set_default_exec_mode(ExecMode::Legacy);
         assert_eq!(default_exec_mode(), ExecMode::Legacy);
+        set_default_exec_mode(ExecMode::Parallel);
+        assert_eq!(default_exec_mode(), ExecMode::Parallel);
         set_default_exec_mode(ExecMode::Streaming);
         assert_eq!(default_exec_mode(), ExecMode::Streaming);
     }

@@ -1,6 +1,7 @@
 //! Collections: the unit of storage, indexing, and querying.
 
-use crate::agg::{exec, stream, CompiledSortSpec, ExecMode, Pipeline, Stage};
+use crate::agg::{exec, parallel, stream, CompiledSortSpec, ExecMode, Pipeline, Stage};
+use crate::pool;
 use crate::error::{Error, Result};
 use crate::index::{extract_keys, Index, IndexDef, IndexKind, SortOrder};
 use crate::query::filter::Filter;
@@ -389,18 +390,26 @@ impl Collection {
     /// router's scatter legs) compile it once. Matching candidates are
     /// sorted and windowed as *references*; only the documents of the
     /// final page are cloned (or projected directly from storage).
+    ///
+    /// The read lock is held only long enough to plan and snapshot the
+    /// candidate documents (refcount bumps, no clones); residual
+    /// matching, sorting, and paging run lock-free, so a slow scan
+    /// cannot convoy writers — and other readers — behind it.
     pub fn find_with_shared(
         &self,
         filter: &Filter,
         compiled: &CompiledFilter,
         opts: &FindOptions,
     ) -> Vec<Document> {
-        let inner = self.inner.read();
-        let plan = plan(filter, &inner.indexes);
-        let ids = Self::fetch_candidates(&inner, &plan);
-        let mut matched: Vec<&Document> = ids
-            .into_iter()
-            .filter_map(|id| inner.slab.get(id))
+        let snapshot: Vec<Arc<Document>> = {
+            let inner = self.inner.read();
+            let plan = plan(filter, &inner.indexes);
+            let ids = Self::fetch_candidates(&inner, &plan);
+            ids.into_iter().filter_map(|id| inner.slab.get_shared(id)).collect()
+        };
+        let mut matched: Vec<&Document> = snapshot
+            .iter()
+            .map(|d| &**d)
             .filter(|d| matches_compiled(compiled, d))
             .collect();
 
@@ -669,7 +678,34 @@ impl Collection {
         match mode {
             ExecMode::Legacy => exec::execute_with(self.all_docs(), body, source),
             ExecMode::Streaming => self.aggregate_streaming(body, source),
+            ExecMode::Parallel => self.aggregate_parallel(body, source),
         }
+    }
+
+    /// Plans the leading `$match` run and snapshots the candidate
+    /// documents under the read lock (refcount bumps only), releasing it
+    /// before any stage executes. The snapshot is consistent — documents
+    /// are immutable in place, updates swap whole slots — and lock-free
+    /// execution means an analytical scan no longer convoys concurrent
+    /// writers (or `$lookup` re-entry into this collection) behind it.
+    fn snapshot_candidates(&self, filter: &Filter) -> Vec<Arc<Document>> {
+        let inner = self.inner.read();
+        let plan = plan(filter, &inner.indexes);
+        let ids = Self::fetch_candidates(&inner, &plan);
+        ids.into_iter().filter_map(|id| inner.slab.get_shared(id)).collect()
+    }
+
+    /// Splits off the leading `$match` run for planner pushdown
+    /// (MongoDB's optimizer coalesces adjacent `$match`es the same way).
+    /// The residual conjunction is always re-applied, so this is safe
+    /// for any filter shape.
+    fn split_match_pushdown(body: &[Stage]) -> (Filter, &[Stage]) {
+        let n_match = body.iter().take_while(|s| matches!(s, Stage::Match(_))).count();
+        let filter = Filter::and(body[..n_match].iter().map(|s| match s {
+            Stage::Match(f) => f.clone(),
+            _ => unreachable!("prefix is all $match"),
+        }));
+        (filter, &body[n_match..])
     }
 
     fn aggregate_streaming(
@@ -677,36 +713,41 @@ impl Collection {
         body: &[Stage],
         source: Option<&dyn exec::LookupSource>,
     ) -> Result<Vec<Document>> {
-        // Push the whole leading $match run through the planner as one
-        // conjunction (MongoDB's optimizer coalesces adjacent $matches
-        // the same way). The residual filter is always re-applied, so
-        // this is safe for any filter shape.
-        let n_match = body.iter().take_while(|s| matches!(s, Stage::Match(_))).count();
-        let rest = &body[n_match..];
-        let filter = Filter::and(body[..n_match].iter().map(|s| match s {
-            Stage::Match(f) => f.clone(),
-            _ => unreachable!("prefix is all $match"),
-        }));
-
-        let inner = self.inner.read();
-        let plan = plan(&filter, &inner.indexes);
+        let (filter, rest) = Self::split_match_pushdown(body);
         let compiled = compile(&filter);
-        let ids = Self::fetch_candidates(&inner, &plan);
-        let matched = ids
-            .into_iter()
-            .filter_map(|id| inner.slab.get(id))
+        let snapshot = self.snapshot_candidates(&filter);
+        let matched = snapshot
+            .iter()
+            .map(|d| &**d)
             .filter(move |d| matches_compiled(&compiled, d));
+        stream::run_streaming(stream::DocStream::Borrowed(Box::new(matched)), rest, source)
+    }
 
-        if rest.iter().any(|s| matches!(s, Stage::Lookup { .. })) {
-            // $lookup resolves foreign collections through the database,
-            // which may recurse into this collection; materialize the
-            // (already filtered) input and release the lock first.
-            let docs: Vec<Document> = matched.cloned().collect();
-            drop(inner);
-            stream::execute_streaming(docs, rest, source)
-        } else {
-            stream::run_streaming(stream::DocStream::Borrowed(Box::new(matched)), rest, source)
+    /// Morsel-driven parallel execution over a candidate snapshot, with
+    /// the same leading-`$match` planner pushdown as the streaming path.
+    /// The residual filter rides into the pipeline as a `$match` stage —
+    /// a per-document stage the parallel executor partitions.
+    fn aggregate_parallel(
+        &self,
+        body: &[Stage],
+        source: Option<&dyn exec::LookupSource>,
+    ) -> Result<Vec<Document>> {
+        let (filter, rest) = Self::split_match_pushdown(body);
+        let trivial = matches!(&filter, Filter::And(fs) if fs.is_empty());
+        let snapshot = self.snapshot_candidates(&filter);
+        let refs: Vec<&Document> = snapshot.iter().map(|d| &**d).collect();
+        let mut stages: Vec<Stage> = Vec::with_capacity(1 + rest.len());
+        if !trivial {
+            stages.push(Stage::Match(filter));
         }
+        stages.extend(rest.iter().cloned());
+        parallel::run_parallel(
+            &refs,
+            &stages,
+            source,
+            pool::parallel_workers(),
+            parallel::parallel_morsel_size(),
+        )
     }
 
     /// Visits every document without cloning (shared lock held for the

@@ -33,16 +33,19 @@ pub mod error;
 pub mod index;
 pub mod keybytes;
 pub mod ordvalue;
+pub mod pool;
 pub mod query;
 pub mod storage;
 pub mod update;
 pub mod wal;
 
 pub use agg::{
-    default_exec_mode, set_default_exec_mode, Accumulator, CompiledExpr, CompiledSortSpec,
-    ExecMode, Expr, GroupId, Pipeline, ProjectField, Stage,
+    default_exec_mode, execute_parallel_with, parallel_morsel_size, set_default_exec_mode,
+    set_parallel_morsel_size, Accumulator, CompiledExpr, CompiledSortSpec, ExecMode, Expr,
+    GroupId, Pipeline, ProjectField, Stage,
 };
 pub use collection::{project_paths, Collection, Explain, FindOptions};
+pub use pool::{parallel_for, parallel_workers, set_parallel_workers};
 pub use database::Database;
 pub use dump::{dump_collection, dump_database, restore_collection, restore_database, DumpReader};
 pub use error::{Error, Result};

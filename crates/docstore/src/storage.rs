@@ -234,9 +234,15 @@ pub type DocId = u64;
 
 /// A slab of document slots with free-list reuse and running
 /// encoded-size accounting (feeding chunk-size and load metrics).
+///
+/// Slots hold `Arc<Document>` so readers can snapshot a document set
+/// with cheap refcount bumps and release the collection lock before
+/// scanning — documents are immutable in place (updates replace the
+/// whole slot), so a snapshotted `Arc` stays consistent no matter what
+/// writers do to the slab afterwards.
 #[derive(Debug, Default)]
 pub struct Slab {
-    slots: Vec<Option<Document>>,
+    slots: Vec<Option<Arc<Document>>>,
     free: Vec<DocId>,
     live: usize,
     data_size: usize,
@@ -252,6 +258,7 @@ impl Slab {
     pub fn insert(&mut self, doc: Document) -> DocId {
         self.data_size += encoded_size(&doc);
         self.live += 1;
+        let doc = Arc::new(doc);
         if let Some(id) = self.free.pop() {
             self.slots[id as usize] = Some(doc);
             id
@@ -263,7 +270,20 @@ impl Slab {
 
     /// Reads a document by id.
     pub fn get(&self, id: DocId) -> Option<&Document> {
-        self.slots.get(id as usize).and_then(Option::as_ref)
+        self.slots.get(id as usize).and_then(|s| s.as_deref())
+    }
+
+    /// Reads a document by id as a shared handle (a refcount bump; the
+    /// handle stays valid after the collection lock is released).
+    pub fn get_shared(&self, id: DocId) -> Option<Arc<Document>> {
+        self.slots.get(id as usize).and_then(Clone::clone)
+    }
+
+    /// Snapshots all live documents in slot order as shared handles.
+    /// O(slots) refcount bumps, no document clones; the caller can drop
+    /// the collection lock and scan the snapshot at leisure.
+    pub fn snapshot(&self) -> Vec<Arc<Document>> {
+        self.slots.iter().filter_map(Clone::clone).collect()
     }
 
     /// Replaces a document in place, returning the old one.
@@ -271,8 +291,8 @@ impl Slab {
         let slot = self.slots.get_mut(id as usize)?;
         let old = slot.take()?;
         self.data_size = self.data_size - encoded_size(&old) + encoded_size(&doc);
-        *slot = Some(doc);
-        Some(old)
+        *slot = Some(Arc::new(doc));
+        Some(Arc::unwrap_or_clone(old))
     }
 
     /// Removes a document by id.
@@ -282,7 +302,7 @@ impl Slab {
         self.data_size -= encoded_size(&old);
         self.live -= 1;
         self.free.push(id);
-        Some(old)
+        Some(Arc::unwrap_or_clone(old))
     }
 
     /// Number of live documents.
@@ -305,7 +325,7 @@ impl Slab {
         self.slots
             .iter()
             .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|d| (i as DocId, d)))
+            .filter_map(|(i, s)| s.as_deref().map(|d| (i as DocId, d)))
     }
 }
 
@@ -350,6 +370,32 @@ mod tests {
         assert_eq!(s.data_size(), after_insert);
         s.remove(id);
         assert_eq!(s.data_size(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_immune_to_later_slab_mutation() {
+        use doclite_bson::Value;
+        let mut s = Slab::new();
+        let a = s.insert(doc! {"i" => 0i64});
+        let b = s.insert(doc! {"i" => 1i64});
+        let snap = s.snapshot();
+        s.remove(a);
+        s.replace(b, doc! {"i" => 9i64});
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].get("i"), Some(&Value::Int64(0)));
+        assert_eq!(snap[1].get("i"), Some(&Value::Int64(1)));
+        assert_eq!(s.get(b).unwrap().get("i"), Some(&Value::Int64(9)));
+    }
+
+    #[test]
+    fn get_shared_outlives_removal() {
+        let mut s = Slab::new();
+        let id = s.insert(doc! {"k" => 7i64});
+        let h = s.get_shared(id).unwrap();
+        let removed = s.remove(id).unwrap();
+        // The shared handle forced a clone-on-unwrap; both views agree.
+        assert_eq!(&*h, &removed);
+        assert!(s.get_shared(id).is_none());
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Property tests: morsel-driven parallel execution agrees with the
+//! streaming executor on generated pipelines — results *and* error
+//! strings, at 2 and 8 workers, under deliberately tiny morsels so
+//! every pipeline actually splits — plus a determinism property (same
+//! input → byte-identical output across repeated parallel runs) and
+//! collection-level agreement of `ExecMode::Parallel` with
+//! `ExecMode::Streaming`.
+//!
+//! Accumulators stay integer-valued throughout (the PR-5 convention):
+//! integer sums are exact under any partitioning, so partial-state
+//! merging cannot introduce float-rounding noise into the comparison.
+
+use doclite_bson::{doc, json::to_json, Document, Value};
+use doclite_docstore::agg::{execute_parallel_with, execute_streaming};
+use doclite_docstore::{
+    set_parallel_morsel_size, set_parallel_workers, Accumulator, Database, ExecMode, Expr,
+    Filter, GroupId, IndexDef, Pipeline, ProjectField, Stage,
+};
+use proptest::prelude::*;
+
+/// Documents over a small value domain so matches, groups, and sort
+/// ties all actually collide.
+fn arb_doc() -> BoxedStrategy<Document> {
+    (
+        0..6i64,
+        0..4i64,
+        "[xyz]",
+        prop::collection::vec(0..5i64, 0..3),
+        0..4i64,
+    )
+        .prop_map(|(a, b, tag, xs, xs_kind)| {
+            let mut d = doc! {"a" => a, "b" => b, "tag" => tag};
+            match xs_kind {
+                // Array, missing, null, and scalar: the four $unwind
+                // input shapes MongoDB 3.0 distinguishes — and for the
+                // fallible $add projection below, the array and missing
+                // shapes are exactly the error and Null cases.
+                0 => d.set(
+                    "xs",
+                    Value::Array(xs.into_iter().map(Value::Int64).collect()),
+                ),
+                2 => d.set("xs", Value::Null),
+                3 => d.set("xs", Value::Int64(7)),
+                _ => {}
+            }
+            d
+        })
+        .boxed()
+}
+
+fn arb_filter() -> BoxedStrategy<Filter> {
+    prop_oneof![
+        (0..6i64).prop_map(|k| Filter::eq("a", k)),
+        (0..7i64).prop_map(|k| Filter::lt("a", k)),
+        (0..4i64).prop_map(|k| Filter::gte("b", k)),
+        Just(Filter::exists("xs")),
+        (0..6i64, 0..4i64)
+            .prop_map(|(x, y)| Filter::and([Filter::gte("a", x), Filter::lt("b", y)])),
+        (0..6i64, 0..4i64)
+            .prop_map(|(x, y)| Filter::or([Filter::eq("a", x), Filter::eq("b", y)])),
+    ]
+    .boxed()
+}
+
+fn arb_sort_spec() -> BoxedStrategy<Vec<(String, i32)>> {
+    prop_oneof![
+        Just(vec![("a".to_string(), 1)]),
+        Just(vec![("b".to_string(), -1), ("a".to_string(), 1)]),
+        Just(vec![("tag".to_string(), 1), ("a".to_string(), -1)]),
+    ]
+    .boxed()
+}
+
+fn arb_group() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        Just(GroupId::Null),
+        Just(GroupId::Expr(Expr::field("a"))),
+        Just(GroupId::Expr(Expr::field("tag"))),
+        // A fallible group key: $add errors on array-valued xs, so the
+        // first-error-in-document-order convention gets exercised at
+        // the terminal too, not just in the per-document prefix.
+        Just(GroupId::Expr(Expr::Add(vec![Expr::field("xs"), Expr::lit(1i64)]))),
+    ]
+    .prop_map(|id| Stage::Group {
+        id,
+        fields: vec![
+            ("n".to_string(), Accumulator::count()),
+            // Integer-valued accumulators: exact under any partitioning.
+            ("sum_b".to_string(), Accumulator::sum_field("b")),
+            ("avg_a".to_string(), Accumulator::avg_field("a")),
+            ("first".to_string(), Accumulator::First(Expr::field("b"))),
+            ("last".to_string(), Accumulator::Last(Expr::field("b"))),
+            ("set".to_string(), Accumulator::AddToSet(Expr::field("b"))),
+        ],
+    })
+    .boxed()
+}
+
+fn arb_project() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        Just(Stage::Project(vec![
+            ("a".to_string(), ProjectField::Include),
+            ("tag".to_string(), ProjectField::Include),
+        ])),
+        Just(Stage::Project(vec![("xs".to_string(), ProjectField::Exclude)])),
+        Just(Stage::Project(vec![
+            ("b".to_string(), ProjectField::Include),
+            ("s".to_string(), ProjectField::Compute(Expr::field("a"))),
+        ])),
+        // Fallible: $add over array-valued xs errors, over missing xs
+        // yields Null, over scalar xs succeeds — error positions vary
+        // with the data, probing the morsel-order error convention.
+        Just(Stage::Project(vec![(
+            "y".to_string(),
+            ProjectField::Compute(Expr::Add(vec![Expr::field("xs"), Expr::lit(1i64)])),
+        )])),
+    ]
+    .boxed()
+}
+
+/// Any stage, including bare `$skip`/`$limit` (which force the parallel
+/// planner's lazy-prefix truncation) and the fallible projections.
+fn arb_stage() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        arb_filter().prop_map(Stage::Match),
+        arb_project(),
+        arb_sort_spec().prop_map(Stage::Sort),
+        (0..15usize).prop_map(Stage::Limit),
+        (0..8usize).prop_map(Stage::Skip),
+        Just(Stage::Unwind("xs".to_string())),
+        Just(Stage::Unwind("$xs".to_string())),
+        Just(Stage::Count("n".to_string())),
+        arb_group(),
+    ]
+    .boxed()
+}
+
+/// Stages whose output is order-insensitive as a multiset — safe to
+/// compare across executors that enumerate the collection differently.
+/// Excludes the fallible group key (an error's identity depends on
+/// enumeration order, which legitimately differs at collection level).
+fn arb_order_insensitive_stage() -> BoxedStrategy<Stage> {
+    prop_oneof![
+        arb_filter().prop_map(Stage::Match),
+        Just(Stage::Project(vec![
+            ("a".to_string(), ProjectField::Include),
+            ("tag".to_string(), ProjectField::Include),
+        ])),
+        arb_sort_spec().prop_map(Stage::Sort),
+        Just(Stage::Unwind("xs".to_string())),
+        Just(Stage::Count("n".to_string())),
+        Just(Stage::Group {
+            id: GroupId::Expr(Expr::field("a")),
+            fields: vec![
+                ("n".to_string(), Accumulator::count()),
+                ("sum_b".to_string(), Accumulator::sum_field("b")),
+            ],
+        }),
+    ]
+    .boxed()
+}
+
+fn build_pipeline(stages: &[Stage]) -> Pipeline {
+    stages.iter().fold(Pipeline::new(), |p, s| p.stage(s.clone()))
+}
+
+fn multiset(docs: &[Document]) -> Vec<String> {
+    let mut v: Vec<String> = docs.iter().map(to_json).collect();
+    v.sort();
+    v
+}
+
+/// Configures the process-global knobs every test in this binary uses.
+/// All tests set the same values, so concurrent test threads cannot
+/// observe a conflicting configuration.
+fn configure_globals() {
+    set_parallel_workers(4);
+    set_parallel_morsel_size(5);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The headline property: serial, 2-worker, and 8-worker execution
+    /// agree on every generated pipeline × dataset — identical documents
+    /// on success, identical error strings on failure — under a morsel
+    /// size small enough that even tiny inputs split.
+    #[test]
+    fn parallel_agrees_with_serial_including_errors(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        stages in prop::collection::vec(arb_stage(), 0..5),
+    ) {
+        let serial = execute_streaming(docs.clone(), &stages, None);
+        for workers in [2usize, 8] {
+            let par = execute_parallel_with(&docs, &stages, None, workers, 3);
+            match (&serial, &par) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "workers={}", workers),
+                (Err(a), Err(b)) => {
+                    prop_assert_eq!(a.to_string(), b.to_string(), "workers={}", workers)
+                }
+                _ => prop_assert!(
+                    false,
+                    "workers={}: serial {:?} vs parallel {:?}",
+                    workers,
+                    serial.as_ref().map(|d| d.len()),
+                    par.as_ref().map(|d| d.len())
+                ),
+            }
+        }
+    }
+
+    /// Determinism: repeated parallel runs of the same pipeline over the
+    /// same input are byte-identical, regardless of worker scheduling.
+    #[test]
+    fn parallel_execution_is_deterministic(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        stages in prop::collection::vec(arb_stage(), 0..4),
+    ) {
+        let fingerprint = |r: &Result<Vec<Document>, doclite_docstore::Error>| match r {
+            Ok(docs) => docs.iter().map(to_json).collect::<Vec<_>>().join("\n"),
+            Err(e) => format!("ERR:{e}"),
+        };
+        let first = fingerprint(&execute_parallel_with(&docs, &stages, None, 8, 3));
+        for _ in 0..2 {
+            let again = fingerprint(&execute_parallel_with(&docs, &stages, None, 8, 3));
+            prop_assert_eq!(&first, &again);
+        }
+    }
+
+    /// Collection-level: `ExecMode::Parallel` through the planner
+    /// (snapshot + residual match) agrees with `ExecMode::Streaming` as
+    /// a multiset on order-insensitive pipelines.
+    #[test]
+    fn collection_parallel_mode_agrees_as_multisets(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        stages in prop::collection::vec(arb_order_insensitive_stage(), 0..4),
+    ) {
+        configure_globals();
+        let db = Database::new("t");
+        let coll = db.collection("c");
+        coll.insert_many(docs).map_err(|(_, e)| e).unwrap();
+        // An index on `a` so leading $match stages take the planner's
+        // index-backed scan in both modes.
+        coll.create_index(IndexDef::single("a")).unwrap();
+        let p = build_pipeline(&stages);
+        let streaming = coll.aggregate_with_mode(&p, None, ExecMode::Streaming).unwrap();
+        let parallel = coll.aggregate_with_mode(&p, None, ExecMode::Parallel).unwrap();
+        prop_assert_eq!(multiset(&streaming), multiset(&parallel));
+    }
+
+    /// Collection-level exact agreement when a full-key sort makes the
+    /// order total, window included.
+    #[test]
+    fn collection_parallel_mode_agrees_exactly_under_total_sort(
+        docs in prop::collection::vec(arb_doc(), 0..40),
+        filter in arb_filter(),
+        skip in 0..6usize,
+        limit in 1..12usize,
+    ) {
+        configure_globals();
+        let db = Database::new("t");
+        let coll = db.collection("c");
+        coll.insert_many(docs).map_err(|(_, e)| e).unwrap();
+        coll.create_index(IndexDef::single("a")).unwrap();
+        let p = Pipeline::new()
+            .match_stage(filter)
+            .sort([("a", 1), ("_id", 1)])
+            .skip(skip)
+            .limit(limit);
+        let streaming = coll.aggregate_with_mode(&p, None, ExecMode::Streaming).unwrap();
+        let parallel = coll.aggregate_with_mode(&p, None, ExecMode::Parallel).unwrap();
+        prop_assert_eq!(streaming, parallel);
+    }
+}

@@ -15,7 +15,7 @@ use doclite_docstore::{
     Stage, UpdateResult, UpdateSpec,
 };
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Whether scatter-gather legs run concurrently (one thread per shard,
 /// as a real mongos overlaps shard I/O) or one after another (the
@@ -519,29 +519,39 @@ impl Mongos {
     /// that leg's payload *after* any shard-side sort/limit/projection —
     /// a pushed-down limit is charged for the truncated result it
     /// actually ships, not for everything that matched.
+    ///
+    /// Parallel legs run on the shared worker pool (bounded at the
+    /// pool's worker count) instead of spawning a thread per leg. Each
+    /// leg writes its result into a per-leg slot, so the returned vector
+    /// is always in `shard_ids` order no matter which legs finish first
+    /// — the deterministic `(leg, pos)` order downstream merges rely on.
     fn scatter_legs<T, F, B>(&self, shard_ids: &[ShardId], run: F, bytes_of: B) -> Vec<T>
     where
-        T: Send,
+        T: Send + Sync,
         F: Fn(ShardId) -> T + Sync,
         B: Fn(&T) -> usize,
     {
         // A targeted single-leg read has nothing to overlap: run it
-        // inline instead of paying a thread spawn per operation (the
-        // dominant cost for point reads under the stress driver).
+        // inline instead of touching the pool at all (the dominant cost
+        // for point reads under the stress driver).
         let results: Vec<T> = match self.scatter {
             ScatterMode::Sequential => shard_ids.iter().map(|&id| run(id)).collect(),
             ScatterMode::Parallel if shard_ids.len() == 1 => vec![run(shard_ids[0])],
-            ScatterMode::Parallel => std::thread::scope(|s| {
-                let run = &run;
-                let handles: Vec<_> = shard_ids
-                    .iter()
-                    .map(|&id| s.spawn(move || run(id)))
-                    .collect();
-                handles
+            ScatterMode::Parallel => {
+                let slots: Vec<OnceLock<T>> =
+                    (0..shard_ids.len()).map(|_| OnceLock::new()).collect();
+                doclite_docstore::parallel_for(
+                    doclite_docstore::parallel_workers(),
+                    shard_ids.len(),
+                    &|i| {
+                        let _ = slots[i].set(run(shard_ids[i]));
+                    },
+                );
+                slots
                     .into_iter()
-                    .map(|h| h.join().expect("shard leg panicked"))
+                    .map(|s| s.into_inner().expect("pool ran every leg"))
                     .collect()
-            }),
+            }
         };
         let leg_bytes: Vec<usize> = results.iter().map(&bytes_of).collect();
         match self.scatter {
@@ -986,6 +996,30 @@ mod tests {
     fn cluster(n: usize) -> Mongos {
         let shards: Vec<Arc<Shard>> = (0..n).map(|i| Arc::new(Shard::new(i, "test"))).collect();
         Mongos::new(shards, Arc::new(ConfigServer::new()), NetworkModel::free())
+    }
+
+    #[test]
+    fn scatter_leg_order_is_stable_regardless_of_completion_order() {
+        // Legs finish in reverse submission order (the earliest leg
+        // sleeps longest); results must still come back in shard_ids
+        // order, which the (leg, pos) merge invariant depends on.
+        doclite_docstore::set_parallel_workers(4);
+        let r = cluster(4);
+        let ids = [0usize, 1, 2, 3];
+        for _ in 0..20 {
+            let out = r.scatter_legs(
+                &ids,
+                |id| {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        (ids.len() - 1 - id) as u64 * 3,
+                    ));
+                    id
+                },
+                |_| 0,
+            );
+            assert_eq!(out, vec![0, 1, 2, 3]);
+        }
+        doclite_docstore::set_parallel_workers(0);
     }
 
     #[test]

@@ -6,12 +6,20 @@
 //! Knobs (environment variables):
 //!
 //! * `DOCLITE_STRESS_SMOKE=1` — CI smoke: tiny scale factor, short
-//!   windows, thread counts {1, 2}.
+//!   windows, thread counts {1, 2, 4}.
 //! * `DOCLITE_STRESS_SF` — dataset scale factor (default 0.002; smoke
 //!   0.001).
 //! * `DOCLITE_STRESS_SECS` — measured seconds per cell (default 1.2;
 //!   smoke 0.3).
 //! * `DOCLITE_STRESS_SEED` — root RNG seed (default 53441).
+//! * `DOCLITE_STRESS_EXEC` — aggregation executor: `parallel`
+//!   (default: PR 6's morsel-driven executor) or `streaming` (the
+//!   serial baseline).
+//! * `DOCLITE_STRESS_REQUIRE_SCALING=1` — fail (exit 1) if the
+//!   standalone read-only max-throughput scaling from 1 to 4 threads
+//!   comes in under 1.5×. Only enforced when the machine actually has
+//!   ≥ 4 cores; on smaller runners the gate logs and passes, because a
+//!   single core cannot overlap anything.
 //!
 //! The sharded deployment runs with the paper's LAN model in *sleeping*
 //! mode, so router↔shard exchanges block the worker the way real network
@@ -19,6 +27,7 @@
 //! overlaps, and the read-only scaling cells measure exactly that.
 
 use doclite_core::{Deployment, SetupOptions};
+use doclite_docstore::{set_default_exec_mode, ExecMode};
 use doclite_sharding::NetworkModel;
 use doclite_stress::{
     run_stress, validate_report, CellResult, OpMix, RateMode, Scaling, StressConfig, StressEnv,
@@ -49,9 +58,19 @@ fn main() {
     let sf = env_f64("DOCLITE_STRESS_SF", if smoke { 0.001 } else { 0.002 });
     let secs = env_f64("DOCLITE_STRESS_SECS", if smoke { 0.3 } else { 1.2 });
     let seed = env_f64("DOCLITE_STRESS_SEED", 53441.0) as u64;
-    let thread_counts: Vec<usize> = if smoke { vec![1, 2] } else { vec![1, 2, 4, 8] };
+    let thread_counts: Vec<usize> = if smoke { vec![1, 2, 4] } else { vec![1, 2, 4, 8] };
     let warmup = Duration::from_secs_f64((secs * 0.25).max(0.05));
     let duration = Duration::from_secs_f64(secs);
+
+    // Aggregations run on the morsel-parallel executor by default; the
+    // serial streaming executor stays one env var away for A/B runs.
+    let exec = std::env::var("DOCLITE_STRESS_EXEC").unwrap_or_else(|_| "parallel".into());
+    match exec.as_str() {
+        "parallel" => set_default_exec_mode(ExecMode::Parallel),
+        "streaming" => set_default_exec_mode(ExecMode::Streaming),
+        other => panic!("DOCLITE_STRESS_EXEC must be parallel|streaming, got '{other}'"),
+    }
+    eprintln!("aggregation executor: {exec}");
 
     let mut report = StressReport {
         sf,
@@ -165,4 +184,38 @@ fn main() {
     std::fs::write(path, &json).expect("write report");
     println!("wrote {path}");
     println!("{json}");
+
+    // Optional scaling gate (report is written first so a failing run
+    // still leaves its evidence behind): standalone read-only must reach
+    // 1.5× going 1 → 4 threads. A box without 4 cores cannot overlap
+    // 4 threads of CPU-bound work, so the gate only arms there.
+    if env_flag("DOCLITE_STRESS_REQUIRE_SCALING") {
+        let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        let cell = report
+            .scaling
+            .iter()
+            .find(|s| s.deployment == "standalone" && s.workload == "read_only");
+        match cell {
+            Some(s) if cores >= 4 => {
+                eprintln!(
+                    "scaling gate: standalone read_only {}->{} threads = {:.2}x \
+                     (cores={cores}, require >= 1.50x)",
+                    s.threads_lo, s.threads_hi, s.ratio
+                );
+                if s.ratio < 1.5 {
+                    eprintln!("scaling gate FAILED");
+                    std::process::exit(1);
+                }
+            }
+            Some(s) => eprintln!(
+                "scaling gate skipped: only {cores} core(s) available \
+                 (measured {:.2}x {}->{})",
+                s.ratio, s.threads_lo, s.threads_hi
+            ),
+            None => {
+                eprintln!("scaling gate FAILED: no standalone read_only scaling cell");
+                std::process::exit(1);
+            }
+        }
+    }
 }
