@@ -1,0 +1,168 @@
+//! Ablation 11: columnar sidecar + vectorized batch kernel vs the
+//! row-at-a-time streaming executor.
+//!
+//! Benchmarks the PR 7 columnar path on two Q7-shaped analytical
+//! workloads over a collection *without* secondary indexes (so every
+//! executor pays the same full scan and the delta is purely
+//! row-matcher-vs-batch-kernel):
+//!
+//! * `match_scan` — selective `$match` → `$count`, the pure
+//!   selection-bitmap case;
+//! * `group_q7`   — `$match` → `$group` by `k` with `avg(v)`/count,
+//!   the GroupKernel-over-selected-rows case.
+//!
+//! Each cell is timed as best-of-N against the serial streaming
+//! baseline, with the columnar result asserted equal to the row result
+//! before timing (per-cell result equality is the whole point of the
+//! sidecar contract). A parallel-columnar cell sweeps the chunked
+//! executor at `available_parallelism` workers. Written to
+//! `reports/BENCH_columnar.json` and schema-validated before exit.
+//! `DOCLITE_COLUMNAR_SMOKE=1` shrinks the dataset and rep count for CI.
+
+use doclite_bson::{doc, Document};
+use doclite_docstore::{Accumulator, Collection, ExecMode, Expr, Filter, GroupId, Pipeline};
+use doclite_stress::report::{parse_json, Json};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema tag the validator pins.
+const SCHEMA: &str = "doclite-columnar/v1";
+
+/// Chunk size for the parallel-columnar cell; matches the default
+/// morsel sizing used by `ExecMode::Columnar`.
+const PAR_CHUNK: usize = 4096;
+
+fn best_of<R>(n: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_docs(n: i64) -> Vec<Document> {
+    (0..n)
+        .map(|i| doc! {"_id" => i, "k" => i % 3000, "grp" => i % 100, "v" => (i * 7 % 1000) as f64})
+        .collect()
+}
+
+struct Shape {
+    name: &'static str,
+    pipeline: Pipeline,
+}
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            name: "match_scan",
+            pipeline: Pipeline::new().match_stage(Filter::eq("grp", 42i64)).count("n"),
+        },
+        Shape {
+            name: "group_q7",
+            pipeline: Pipeline::new().match_stage(Filter::gte("grp", 42i64)).group(
+                GroupId::Expr(Expr::field("k")),
+                [("avg_v", Accumulator::avg_field("v")), ("n", Accumulator::count())],
+            ),
+        },
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var("DOCLITE_COLUMNAR_SMOKE").map(|v| v == "1").unwrap_or(false);
+    let reps = if smoke { 2 } else { 7 };
+    let n: i64 = if smoke { 20_000 } else { 400_000 };
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let par_workers = cores.clamp(1, 8);
+
+    // Deliberately no secondary index: an index-served `$match` would
+    // reorder the scan and hide the kernel-vs-matcher delta.
+    let coll = Collection::new("bench_columnar");
+    coll.insert_many(bench_docs(n)).expect("insert");
+    coll.enable_columnar(["k", "grp", "v"]);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if smoke { "smoke" } else { "full" });
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+    let _ = writeln!(json, "  \"docs\": {n},");
+
+    let shapes = shapes();
+    for (si, shape) in shapes.iter().enumerate() {
+        let p = &shape.pipeline;
+        // Row-at-a-time streaming is the 1.0× baseline.
+        let expected = coll.aggregate_with_mode(p, None, ExecMode::Streaming).unwrap();
+        let row_s =
+            best_of(reps, || coll.aggregate_with_mode(p, None, ExecMode::Streaming).unwrap());
+
+        // Result equality is asserted before each timed cell.
+        let got = coll.aggregate_columnar_with(p, None, 1, usize::MAX).unwrap();
+        assert_eq!(got, expected, "{}: serial columnar result diverged", shape.name);
+        let col_s =
+            best_of(reps, || coll.aggregate_columnar_with(p, None, 1, usize::MAX).unwrap());
+
+        let got = coll.aggregate_columnar_with(p, None, par_workers, PAR_CHUNK).unwrap();
+        assert_eq!(got, expected, "{}: parallel columnar result diverged", shape.name);
+        let par_s = best_of(reps, || {
+            coll.aggregate_columnar_with(p, None, par_workers, PAR_CHUNK).unwrap()
+        });
+
+        let _ = writeln!(json, "  \"{}\": {{", shape.name);
+        let _ = writeln!(json, "    \"row_s\": {row_s:.6},");
+        let _ = writeln!(json, "    \"columnar_s\": {col_s:.6},");
+        let _ = writeln!(json, "    \"columnar_speedup\": {:.2},", row_s / col_s);
+        let _ = writeln!(json, "    \"parallel_workers\": {par_workers},");
+        let _ = writeln!(json, "    \"parallel_columnar_s\": {par_s:.6},");
+        let _ = writeln!(json, "    \"parallel_columnar_speedup\": {:.2}", row_s / par_s);
+        let _ = writeln!(json, "  }}{}", if si + 1 == shapes.len() { "" } else { "," });
+    }
+    json.push_str("}\n");
+
+    validate_report(&json).expect("BENCH_columnar.json schema");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../reports/BENCH_columnar.json");
+    std::fs::write(path, &json).expect("write report");
+    println!("{json}");
+    println!("wrote {path}");
+}
+
+/// Validates the emitted report: schema tag, both shapes present with
+/// positive finite timings and speedups.
+fn validate_report(text: &str) -> Result<(), String> {
+    let root = parse_json(text)?;
+    if root.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("schema tag must be '{SCHEMA}'"));
+    }
+    match root.get("mode").and_then(Json::as_str) {
+        Some("smoke") | Some("full") => {}
+        other => return Err(format!("'mode' must be smoke|full, got {other:?}")),
+    }
+    for key in ["available_parallelism", "docs"] {
+        let v = root.get(key).and_then(Json::as_num).ok_or(format!("'{key}' missing"))?;
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("'{key}' must be positive, got {v}"));
+        }
+    }
+    for shape in ["match_scan", "group_q7"] {
+        let section = root.get(shape).ok_or(format!("'{shape}' section missing"))?;
+        for key in [
+            "row_s",
+            "columnar_s",
+            "columnar_speedup",
+            "parallel_workers",
+            "parallel_columnar_s",
+            "parallel_columnar_speedup",
+        ] {
+            let v = section
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or(format!("'{shape}.{key}' missing"))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("'{shape}.{key}' must be positive, got {v}"));
+            }
+        }
+    }
+    Ok(())
+}

@@ -28,7 +28,7 @@ pub use codec::{decode_document, encode_document, CodecError};
 pub use document::Document;
 pub use oid::ObjectId;
 pub use path::{resolve_path_ref, CompiledPath, FieldPath, Resolved};
-pub use value::Value;
+pub use value::{NumericKey, Value};
 
 /// Maximum encoded size of a single document, mirroring MongoDB's 16 MB
 /// cap that drives the thesis's embedded-vs-referenced modeling decision

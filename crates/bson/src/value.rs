@@ -141,10 +141,7 @@ impl Value {
         }
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
-            (a, b) if a.is_numeric() && b.is_numeric() => {
-                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                total_f64_cmp(x, y)
-            }
+            (a, b) if a.is_numeric() && b.is_numeric() => numeric_cmp(a, b),
             (Value::String(a), Value::String(b)) => a.cmp(b),
             (Value::Document(a), Value::Document(b)) => doc_cmp(a, b),
             (Value::Array(a), Value::Array(b)) => {
@@ -177,6 +174,138 @@ fn total_f64_cmp(a: f64, b: f64) -> Ordering {
         (true, false) => Ordering::Less,
         (false, true) => Ordering::Greater,
         (false, false) => a.partial_cmp(&b).expect("non-NaN doubles compare"),
+    }
+}
+
+/// The integer content of a numeric value, `None` for doubles.
+fn int_of(v: &Value) -> Option<i64> {
+    match *v {
+        Value::Int32(i) => Some(i64::from(i)),
+        Value::Int64(i) => Some(i),
+        _ => None,
+    }
+}
+
+/// Exact comparison of two numerics: integers compare as `i64`, doubles
+/// as doubles, and the mixed case compares the exact mathematical
+/// values — an `i64` is never rounded through `f64` first, so
+/// `i64::MAX` and `i64::MAX - 1` stay distinct (they both used to
+/// collapse to 2^63).
+fn numeric_cmp(a: &Value, b: &Value) -> Ordering {
+    match (int_of(a), int_of(b)) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        (Some(x), None) => cmp_i64_f64(x, b.as_f64().expect("numeric")),
+        (None, Some(y)) => cmp_i64_f64(y, a.as_f64().expect("numeric")).reverse(),
+        (None, None) => {
+            total_f64_cmp(a.as_f64().expect("numeric"), b.as_f64().expect("numeric"))
+        }
+    }
+}
+
+/// 2^63 as f64, exactly representable; every finite double with
+/// `|d| < I64_BOUND_F` truncates to a value `i64` can hold.
+const I64_BOUND_F: f64 = 9_223_372_036_854_775_808.0;
+
+/// Exact `i64` vs `f64` comparison (NaN smallest, -0.0 == 0).
+fn cmp_i64_f64(i: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        return Ordering::Greater;
+    }
+    if f >= I64_BOUND_F {
+        return Ordering::Less;
+    }
+    if f < -I64_BOUND_F {
+        return Ordering::Greater;
+    }
+    // f is finite in [-2^63, 2^63); its truncation is exactly
+    // representable both as f64 and as i64.
+    let ft = f.trunc();
+    match i.cmp(&(ft as i64)) {
+        // Equal integer parts: the fractional remainder decides.
+        Ordering::Equal => ft.partial_cmp(&f).expect("finite doubles compare"),
+        ord => ord,
+    }
+}
+
+/// Exact total-order key for numeric values: the sign class plus a
+/// normalized base-2 (exponent, mantissa) pair that represents the
+/// mathematical value exactly for every `i64` and every finite `f64`.
+///
+/// The magnitude is written `m × 2^k` with the mantissa `m` normalized
+/// so its top bit is set (`m ∈ [2^63, 2^64)`); magnitudes then order
+/// lexicographically by `(k, m)`. Negative values store the bitwise
+/// complements of both fields so the *derived* ordering — variant rank
+/// first, then fields — is the canonical numeric order, and a
+/// big-endian dump of the fields is byte-order-preserving. Key equality
+/// is exactly [`Value::canonical_eq`] restricted to numerics, which is
+/// what makes this the shared normal form for hash keys and key-byte
+/// encodings: `i64::MAX` and `2^63 as f64` get distinct keys where an
+/// `as f64` round-trip would collide them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NumericKey {
+    /// NaN sorts below every other number.
+    Nan,
+    /// Fields are complements of the positive encoding so more-negative
+    /// values sort (and byte-compare) first.
+    Negative { ck: u16, cm: u64 },
+    /// All of `0i32/0i64/0.0/-0.0`.
+    Zero,
+    Positive { k: u16, m: u64 },
+}
+
+/// Bias added to the normalized exponent so it fits an ordered `u16`:
+/// `k` ranges over `[-1137, 960]` (subnormal doubles at the bottom,
+/// `f64::MAX` at the top).
+const NUMKEY_EXP_BIAS: i32 = 1137;
+
+impl NumericKey {
+    /// The key for a numeric value; `None` for non-numerics.
+    pub fn of(v: &Value) -> Option<NumericKey> {
+        match *v {
+            Value::Int32(i) => Some(Self::from_int(i64::from(i))),
+            Value::Int64(i) => Some(Self::from_int(i)),
+            Value::Double(d) => Some(Self::from_f64(d)),
+            _ => None,
+        }
+    }
+
+    fn from_int(i: i64) -> NumericKey {
+        if i == 0 {
+            return NumericKey::Zero;
+        }
+        Self::from_parts(i < 0, i.unsigned_abs(), 0)
+    }
+
+    fn from_f64(d: f64) -> NumericKey {
+        if d.is_nan() {
+            return NumericKey::Nan;
+        }
+        if d == 0.0 {
+            return NumericKey::Zero; // collapses -0.0
+        }
+        let bits = d.abs().to_bits();
+        let raw_exp = (bits >> 52) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Normal doubles carry the implicit leading bit; subnormals
+        // (raw exponent 0) are `frac × 2^-1074` directly.
+        let (mant, exp) = if raw_exp == 0 {
+            (frac, -1074)
+        } else {
+            (frac | (1u64 << 52), raw_exp - 1023 - 52)
+        };
+        Self::from_parts(d < 0.0, mant, exp)
+    }
+
+    /// Builds the key for `±mant × 2^exp` with `mant != 0`.
+    fn from_parts(neg: bool, mant: u64, exp: i32) -> NumericKey {
+        let shift = mant.leading_zeros() as i32;
+        let m = mant << shift;
+        let k = (exp - shift + NUMKEY_EXP_BIAS) as u16;
+        if neg {
+            NumericKey::Negative { ck: !k, cm: !m }
+        } else {
+            NumericKey::Positive { k, m }
+        }
     }
 }
 
@@ -327,5 +456,115 @@ mod tests {
     fn option_from_maps_none_to_null() {
         assert_eq!(Value::from(None::<i64>), Value::Null);
         assert_eq!(Value::from(Some(4i64)), Value::Int64(4));
+    }
+
+    const BIG: i64 = 1 << 53; // first i64 the f64 mantissa can't refine
+
+    #[test]
+    fn large_integers_stay_distinct() {
+        // The old f64-unified comparison collapsed all of these.
+        assert_eq!(
+            Value::Int64(i64::MAX).canonical_cmp(&Value::Int64(i64::MAX - 1)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int64(BIG + 1).canonical_cmp(&Value::Int64(BIG)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int64(-(BIG + 1)).canonical_cmp(&Value::Int64(-BIG)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Int64(i64::MIN).canonical_cmp(&Value::Int64(i64::MIN + 1)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn int_double_mixed_comparison_is_exact() {
+        // 2^53 is exactly representable; 2^53 + 1 rounds down to it
+        // under `as f64`, which used to make these "equal".
+        assert_eq!(
+            Value::Int64(BIG + 1).canonical_cmp(&Value::Double(BIG as f64)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Double(BIG as f64).canonical_cmp(&Value::Int64(BIG + 1)),
+            Ordering::Less
+        );
+        assert!(Value::Int64(BIG).canonical_eq(&Value::Double(BIG as f64)));
+        // i64::MAX rounds *up* to 2^63 under `as f64`.
+        assert_eq!(
+            Value::Int64(i64::MAX).canonical_cmp(&Value::Double(9_223_372_036_854_775_808.0)),
+            Ordering::Less
+        );
+        // i64::MIN == -2^63 exactly.
+        assert!(Value::Int64(i64::MIN).canonical_eq(&Value::Double(-9_223_372_036_854_775_808.0)));
+        // Out-of-range doubles straddle the whole i64 line.
+        assert_eq!(
+            Value::Int64(i64::MAX).canonical_cmp(&Value::Double(1e300)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Int64(i64::MIN).canonical_cmp(&Value::Double(-1e300)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Int64(i64::MAX).canonical_cmp(&Value::Double(f64::INFINITY)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Int64(0).canonical_cmp(&Value::Double(f64::NAN)),
+            Ordering::Greater
+        );
+        // Fractional parts break integer-part ties in both directions.
+        assert_eq!(
+            Value::Int64(3).canonical_cmp(&Value::Double(3.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Int64(-3).canonical_cmp(&Value::Double(-3.5)),
+            Ordering::Greater
+        );
+        assert!(Value::Int64(0).canonical_eq(&Value::Double(-0.0)));
+    }
+
+    #[test]
+    fn numeric_key_matches_canonical_order() {
+        let samples = [
+            Value::Double(f64::NAN),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Double(-1e300),
+            Value::Int64(i64::MIN),
+            Value::Int64(i64::MIN + 1),
+            Value::Int64(-(BIG + 1)),
+            Value::Double(-(BIG as f64)),
+            Value::Double(-2.5),
+            Value::Int32(-2),
+            Value::Double(-f64::MIN_POSITIVE), // subnormal boundary
+            Value::Int64(0),
+            Value::Double(-0.0),
+            Value::Double(f64::MIN_POSITIVE),
+            Value::Double(0.5),
+            Value::Int32(1),
+            Value::Double(1.5),
+            Value::Int64(BIG),
+            Value::Double(BIG as f64),
+            Value::Int64(BIG + 1),
+            Value::Int64(i64::MAX - 1),
+            Value::Int64(i64::MAX),
+            Value::Double(9_223_372_036_854_775_808.0),
+            Value::Double(f64::MAX),
+            Value::Double(f64::INFINITY),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let ka = NumericKey::of(a).unwrap();
+                let kb = NumericKey::of(b).unwrap();
+                assert_eq!(ka.cmp(&kb), a.canonical_cmp(b), "a={a:?} b={b:?}");
+            }
+        }
+        assert_eq!(NumericKey::of(&Value::from("x")), None);
     }
 }

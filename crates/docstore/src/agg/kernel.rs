@@ -305,6 +305,31 @@ impl<'p> GroupKernel<'p> {
         Ok(())
     }
 
+    /// Locates (or creates) the bucket for an already-evaluated group
+    /// key — the entry point for batch executors that compute keys
+    /// outside [`feed`](Self::feed) (the columnar kernel reads them off
+    /// column vectors). The key clones only when the bucket is new,
+    /// preserving the first-seen representative semantics.
+    pub fn bucket_for(&mut self, key: &Value) -> usize {
+        keybytes::encode_into(key, &mut self.scratch);
+        match self.slots.get(self.scratch.as_slice()) {
+            Some(&s) => s,
+            None => {
+                let s = self.states.len();
+                self.slots.insert(self.scratch.as_slice().into(), s);
+                self.order.push(key.clone());
+                self.states
+                    .push(self.fields.iter().map(|(_, a)| AccState::new(a)).collect());
+                s
+            }
+        }
+    }
+
+    /// One bucket's accumulator states, for direct batch accumulation.
+    pub fn bucket_states(&mut self, slot: usize) -> &mut [AccState] {
+        &mut self.states[slot]
+    }
+
     /// Merges `other` — the kernel of the *later* morsel in document
     /// order — into `self`, bucket-wise by key bytes. A representative
     /// key `Value` re-encodes to exactly the byte key of its slot, so

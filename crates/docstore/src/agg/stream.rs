@@ -46,9 +46,15 @@ pub enum ExecMode {
     /// ([`super::parallel`]), with the streaming executor as the serial
     /// fallback for pipeline shapes that don't partition.
     Parallel,
+    /// Vectorized batch execution over the collection's columnar
+    /// sidecar ([`crate::columnar`]) for covered `$match`/`$group`/
+    /// `$count` prefixes, with per-batch row fallback for exotic cells
+    /// and the streaming executor for everything uncovered (including
+    /// collections with no sidecar enabled).
+    Columnar,
 }
 
-static DEFAULT_MODE: AtomicU8 = AtomicU8::new(0); // 0 = Streaming, 1 = Legacy, 2 = Parallel
+static DEFAULT_MODE: AtomicU8 = AtomicU8::new(0); // 0=Streaming 1=Legacy 2=Parallel 3=Columnar
 
 /// Sets the process-wide default [`ExecMode`] (used by ablations and the
 /// stress driver).
@@ -57,6 +63,7 @@ pub fn set_default_exec_mode(mode: ExecMode) {
         ExecMode::Streaming => 0,
         ExecMode::Legacy => 1,
         ExecMode::Parallel => 2,
+        ExecMode::Columnar => 3,
     };
     DEFAULT_MODE.store(v, AtomicOrdering::Relaxed);
 }
@@ -66,6 +73,7 @@ pub fn default_exec_mode() -> ExecMode {
     match DEFAULT_MODE.load(AtomicOrdering::Relaxed) {
         1 => ExecMode::Legacy,
         2 => ExecMode::Parallel,
+        3 => ExecMode::Columnar,
         _ => ExecMode::Streaming,
     }
 }
@@ -469,6 +477,8 @@ mod tests {
         assert_eq!(default_exec_mode(), ExecMode::Legacy);
         set_default_exec_mode(ExecMode::Parallel);
         assert_eq!(default_exec_mode(), ExecMode::Parallel);
+        set_default_exec_mode(ExecMode::Columnar);
+        assert_eq!(default_exec_mode(), ExecMode::Columnar);
         set_default_exec_mode(ExecMode::Streaming);
         assert_eq!(default_exec_mode(), ExecMode::Streaming);
     }

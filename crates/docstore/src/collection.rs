@@ -1,6 +1,7 @@
 //! Collections: the unit of storage, indexing, and querying.
 
 use crate::agg::{exec, parallel, stream, CompiledSortSpec, ExecMode, Pipeline, Stage};
+use crate::columnar;
 use crate::pool;
 use crate::error::{Error, Result};
 use crate::index::{extract_keys, Index, IndexDef, IndexKind, SortOrder};
@@ -75,6 +76,10 @@ pub struct Explain {
 struct Inner {
     slab: Slab,
     indexes: Vec<Index>,
+    /// Optional columnar sidecar over declared fields, maintained by
+    /// every slab mutation below (insert/update/delete and their WAL
+    /// rollbacks) so it is always consistent with the slab.
+    columnar: Option<columnar::ColumnSet>,
 }
 
 /// A collection of documents with secondary indexes. Thread-safe: reads
@@ -103,7 +108,11 @@ impl Collection {
         .expect("_id index definition is valid");
         Collection {
             name: name.into(),
-            inner: RwLock::new(Inner { slab: Slab::new(), indexes: vec![id_index] }),
+            inner: RwLock::new(Inner {
+                slab: Slab::new(),
+                indexes: vec![id_index],
+                columnar: None,
+            }),
             wal: RwLock::new(None),
         }
     }
@@ -251,12 +260,15 @@ impl Collection {
         }
         // Split-borrow so the indexes can read the stored document in
         // place instead of cloning it for backfill.
-        let Inner { slab, indexes } = inner;
+        let Inner { slab, indexes, columnar } = inner;
         let id = slab.insert(doc);
         let doc_ref = slab.get(id).expect("just inserted");
         for idx in indexes.iter_mut() {
             idx.insert(id, doc_ref)
                 .expect("uniqueness pre-validated");
+        }
+        if let Some(cs) = columnar {
+            cs.set_row(id, doc_ref);
         }
         Ok(id)
     }
@@ -269,6 +281,9 @@ impl Collection {
             if let Some(doc) = inner.slab.remove(*slot) {
                 for idx in &mut inner.indexes {
                     idx.remove(*slot, &doc);
+                }
+                if let Some(cs) = &mut inner.columnar {
+                    cs.clear_row(*slot);
                 }
             }
         }
@@ -523,6 +538,9 @@ impl Collection {
                         idx.remove(id, &old);
                         idx.insert(id, &updated)?;
                     }
+                    if let Some(cs) = &mut inner.columnar {
+                        cs.set_row(id, &updated);
+                    }
                     // Log the post-image so replay is independent of
                     // how the update expression computed it.
                     if wal.is_some() {
@@ -563,11 +581,14 @@ impl Collection {
                     }
                     for (id, old) in undo.into_iter().rev() {
                         let new = inner.slab.replace(id, old).expect("doc exists");
-                        let Inner { slab, indexes } = &mut *inner;
+                        let Inner { slab, indexes, columnar } = &mut *inner;
                         let old_ref = slab.get(id).expect("just restored");
                         for idx in indexes.iter_mut() {
                             idx.remove(id, &new);
                             idx.insert(id, old_ref).expect("was indexed before");
+                        }
+                        if let Some(cs) = columnar {
+                            cs.set_row(id, old_ref);
                         }
                     }
                     return Err(e);
@@ -610,6 +631,9 @@ impl Collection {
             let old = inner.slab.remove(id).expect("checked above");
             for idx in &mut inner.indexes {
                 idx.remove(id, &old);
+            }
+            if let Some(cs) = &mut inner.columnar {
+                cs.clear_row(id);
             }
             if wal.is_some() {
                 if let Some(doc_id) = old.id() {
@@ -679,7 +703,82 @@ impl Collection {
             ExecMode::Legacy => exec::execute_with(self.all_docs(), body, source),
             ExecMode::Streaming => self.aggregate_streaming(body, source),
             ExecMode::Parallel => self.aggregate_parallel(body, source),
+            ExecMode::Columnar => self.aggregate_columnar(
+                body,
+                source,
+                pool::parallel_workers(),
+                parallel::parallel_morsel_size(),
+            ),
         }
+    }
+
+    /// Declares scalar fields to maintain as typed column vectors and
+    /// builds them from the current contents; subsequent writes keep
+    /// them consistent. Aggregations run with [`ExecMode::Columnar`]
+    /// then evaluate covered `$match`/`$group`/`$count` prefixes over
+    /// the columns instead of materialized documents.
+    pub fn enable_columnar<I, S>(&self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut inner = self.inner.write();
+        let mut cs = columnar::ColumnSet::new(fields.into_iter().map(Into::into));
+        cs.rebuild(&inner.slab);
+        inner.columnar = Some(cs);
+    }
+
+    /// True if a columnar sidecar is maintained.
+    pub fn columnar_enabled(&self) -> bool {
+        self.inner.read().columnar.is_some()
+    }
+
+    /// Drops the columnar sidecar (aggregations fall back to streaming).
+    pub fn disable_columnar(&self) {
+        self.inner.write().columnar = None;
+    }
+
+    /// [`ExecMode::Columnar`] execution with explicit worker/chunk
+    /// knobs, for equivalence tests that sweep both. A trailing `$out`
+    /// is ignored, as in [`Collection::aggregate_with_mode`].
+    pub fn aggregate_columnar_with(
+        &self,
+        pipeline: &Pipeline,
+        source: Option<&dyn exec::LookupSource>,
+        workers: usize,
+        chunk: usize,
+    ) -> Result<Vec<Document>> {
+        let stages = pipeline.stages();
+        let body: &[Stage] = match stages.last() {
+            Some(Stage::Out(_)) => &stages[..stages.len() - 1],
+            _ => stages,
+        };
+        self.aggregate_columnar(body, source, workers, chunk)
+    }
+
+    /// Columnar execution: plan the covered prefix against the sidecar,
+    /// evaluate it in chunks under the read lock, then release the lock
+    /// and run the uncovered suffix on the streaming executor (so a
+    /// `$lookup` back into this collection cannot deadlock). No sidecar
+    /// or no covered prefix delegates the whole pipeline to streaming.
+    fn aggregate_columnar(
+        &self,
+        body: &[Stage],
+        source: Option<&dyn exec::LookupSource>,
+        workers: usize,
+        chunk: usize,
+    ) -> Result<Vec<Document>> {
+        let inner = self.inner.read();
+        let Some(plan) = inner.columnar.as_ref().and_then(|cs| columnar::plan(body, cs))
+        else {
+            drop(inner);
+            return self.aggregate_streaming(body, source);
+        };
+        let cs = inner.columnar.as_ref().expect("plan implies a sidecar");
+        let prefix_out = columnar::execute(cs, &inner.slab, &plan, workers, chunk)?;
+        let rest = plan.rest;
+        drop(inner);
+        stream::run_streaming(stream::DocStream::from_vec(prefix_out), rest, source)
     }
 
     /// Plans the leading `$match` run and snapshots the candidate

@@ -18,29 +18,44 @@
 //! canonicalized), extended with length prefixes so nested strings,
 //! arrays, and documents can never collide structurally.
 //!
-//! The encoding is *not* order-preserving — B-tree index keys keep
-//! using [`OrdValue`]/`CompoundKey` — and is deliberately not decoded:
+//! Numerics encode through [`NumericKey`], the exact normal form shared
+//! with canonical comparison — `i64` values above 2^53 no longer
+//! collapse through `f64`, and the numeric payload is big-endian so its
+//! byte order *is* canonical order (a selling point for future
+//! range-partitioned keys). The encoding as a whole is still *not*
+//! order-preserving — B-tree index keys keep using
+//! [`OrdValue`]/`CompoundKey` — and is deliberately not decoded:
 //! group output needs the first-seen representative key anyway (so
 //! `Int32(1)`, `Int64(1)`, and `Double(1.0)` report whichever arrived
 //! first, exactly like the legacy `OrdValue` map), which a decoder
 //! could not reconstruct from the unified bytes.
 
-use doclite_bson::{Document, Value};
+use doclite_bson::{Document, NumericKey, Value};
 
 /// Appends the canonical encoding of `v` to `out`.
 pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
     match v {
         Value::Null => out.push(0),
-        // All numerics encode through a normalized f64 so cross-type
-        // equal values produce identical bytes (matches canonical_eq).
+        // Numerics encode their exact NumericKey normal form so
+        // cross-type equal values produce identical bytes and — within
+        // the numeric family — byte order is canonical order. The
+        // class byte keeps the variable-length payloads prefix-free.
         Value::Int32(_) | Value::Int64(_) | Value::Double(_) => {
             out.push(1);
-            let mut d = v.as_f64().expect("numeric");
-            if d == 0.0 {
-                d = 0.0; // collapse -0.0
+            match NumericKey::of(v).expect("numeric") {
+                NumericKey::Nan => out.push(0),
+                NumericKey::Negative { ck, cm } => {
+                    out.push(1);
+                    out.extend_from_slice(&ck.to_be_bytes());
+                    out.extend_from_slice(&cm.to_be_bytes());
+                }
+                NumericKey::Zero => out.push(2),
+                NumericKey::Positive { k, m } => {
+                    out.push(3);
+                    out.extend_from_slice(&k.to_be_bytes());
+                    out.extend_from_slice(&m.to_be_bytes());
+                }
             }
-            let bits = if d.is_nan() { u64::MAX } else { d.to_bits() };
-            out.extend_from_slice(&bits.to_le_bytes());
         }
         Value::String(s) => {
             out.push(2);
@@ -152,13 +167,32 @@ mod tests {
         assert_eq!(direct, enc(&Value::Document(d)));
     }
 
+    /// Extreme integers around the f64-precision cliff: under the old
+    /// f64-unified encoding each ± pair below collided with its
+    /// neighbour, so the generator must keep them in circulation.
+    fn extreme_ints() -> impl Strategy<Value = i64> {
+        const BIG: i64 = 1 << 53;
+        prop_oneof![
+            Just(i64::MIN),
+            Just(i64::MIN + 1),
+            Just(i64::MAX - 1),
+            Just(i64::MAX),
+            Just(-BIG - 1),
+            Just(-BIG),
+            Just(BIG),
+            Just(BIG + 1),
+        ]
+    }
+
     fn arb_value() -> BoxedStrategy<Value> {
         let leaf = prop_oneof![
             Just(Value::Null),
             any::<bool>().prop_map(Value::Bool),
             (-3i32..4).prop_map(Value::Int32),
             (-3i64..4).prop_map(Value::Int64),
+            extreme_ints().prop_map(Value::Int64),
             (-3i64..4).prop_map(|n| Value::Double(n as f64)),
+            extreme_ints().prop_map(|n| Value::Double(n as f64)),
             (0.0f64..2.0).prop_map(Value::Double),
             Just(Value::Double(f64::NAN)),
             Just(Value::Double(-0.0)),
@@ -187,5 +221,49 @@ mod tests {
             let canonical = OrdValue(a.clone()) == OrdValue(b.clone());
             prop_assert_eq!(enc(&a) == enc(&b), canonical, "a={:?} b={:?}", a, b);
         }
+
+        /// Within the numeric family the encoding is also
+        /// order-preserving: byte order is canonical order, including
+        /// past 2^53 where the old f64 collapse lost resolution.
+        #[test]
+        fn numeric_byte_order_is_canonical_order(
+            a in arb_numeric(),
+            b in arb_numeric(),
+        ) {
+            let byte_ord = enc(&a).cmp(&enc(&b));
+            let canonical = a.canonical_cmp(&b);
+            prop_assert_eq!(byte_ord, canonical, "a={:?} b={:?}", a, b);
+        }
+    }
+
+    fn arb_numeric() -> BoxedStrategy<Value> {
+        prop_oneof![
+            any::<i32>().prop_map(Value::Int32),
+            any::<i64>().prop_map(Value::Int64),
+            extreme_ints().prop_map(Value::Int64),
+            extreme_ints().prop_map(|n| Value::Double(n as f64)),
+            any::<f64>().prop_map(Value::Double),
+            (-1e18f64..1e18).prop_map(Value::Double),
+            Just(Value::Double(f64::NAN)),
+            Just(Value::Double(f64::INFINITY)),
+            Just(Value::Double(f64::NEG_INFINITY)),
+            Just(Value::Double(-0.0)),
+            Just(Value::Double(f64::MIN_POSITIVE / 4.0)), // subnormal
+        ]
+        .boxed()
+    }
+
+    #[test]
+    fn large_integers_get_distinct_keys() {
+        assert_ne!(enc(&Value::Int64(i64::MAX)), enc(&Value::Int64(i64::MAX - 1)));
+        assert_ne!(
+            enc(&Value::Int64((1 << 53) + 1)),
+            enc(&Value::Double((1i64 << 53) as f64))
+        );
+        assert_eq!(
+            enc(&Value::Int64(1 << 53)),
+            enc(&Value::Double((1i64 << 53) as f64))
+        );
+        assert_ne!(enc(&Value::Int64(i64::MIN)), enc(&Value::Int64(i64::MIN + 1)));
     }
 }

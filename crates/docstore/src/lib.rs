@@ -27,6 +27,7 @@
 
 pub mod agg;
 pub mod collection;
+pub mod columnar;
 pub mod database;
 pub mod dump;
 pub mod error;

@@ -1,7 +1,7 @@
 //! `Ord + Hash` wrapper over [`Value`] under the canonical comparison
 //! semantics, used for B-tree index keys and `$group` hash keys.
 
-use doclite_bson::Value;
+use doclite_bson::{NumericKey, Value};
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
 
@@ -55,18 +55,25 @@ impl Hash for OrdValue {
 pub(crate) fn hash_value<H: Hasher>(v: &Value, state: &mut H) {
     match v {
         Value::Null => state.write_u8(0),
-        // All numerics hash through a normalized f64 so cross-type equal
-        // values land in the same bucket (matches canonical_eq).
+        // All numerics hash their exact NumericKey normal form so
+        // cross-type equal values land in the same bucket (matches
+        // canonical_eq) without the lossy f64 collapse that used to
+        // merge distinct i64 values past 2^53.
         Value::Int32(_) | Value::Int64(_) | Value::Double(_) => {
             state.write_u8(1);
-            let mut d = v.as_f64().expect("numeric");
-            if d == 0.0 {
-                d = 0.0; // collapse -0.0
-            }
-            if d.is_nan() {
-                state.write_u64(u64::MAX);
-            } else {
-                state.write_u64(d.to_bits());
+            match NumericKey::of(v).expect("numeric") {
+                NumericKey::Nan => state.write_u8(0),
+                NumericKey::Negative { ck, cm } => {
+                    state.write_u8(1);
+                    state.write_u16(ck);
+                    state.write_u64(cm);
+                }
+                NumericKey::Zero => state.write_u8(2),
+                NumericKey::Positive { k, m } => {
+                    state.write_u8(3);
+                    state.write_u16(k);
+                    state.write_u64(m);
+                }
             }
         }
         Value::String(s) => {
@@ -152,6 +159,28 @@ mod tests {
         let b = OrdValue(Value::Double(-0.0));
         assert_eq!(a, b);
         assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn large_integer_keys_stay_distinct() {
+        // Regression: these all hashed AND compared equal when numerics
+        // unified through f64.
+        let hi = OrdValue(Value::Int64(i64::MAX));
+        let lo = OrdValue(Value::Int64(i64::MAX - 1));
+        assert_ne!(hi, lo);
+        assert_ne!(hash_of(&hi), hash_of(&lo));
+        assert!(hi > lo);
+
+        let big = OrdValue(Value::Int64((1 << 53) + 1));
+        let rounded = OrdValue(Value::Double((1i64 << 53) as f64));
+        assert_ne!(big, rounded);
+        assert!(big > rounded);
+
+        // Exactly-representable crossings still unify.
+        let min_i = OrdValue(Value::Int64(i64::MIN));
+        let min_d = OrdValue(Value::Double(-9_223_372_036_854_775_808.0));
+        assert_eq!(min_i, min_d);
+        assert_eq!(hash_of(&min_i), hash_of(&min_d));
     }
 
     #[test]

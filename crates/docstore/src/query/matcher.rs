@@ -66,7 +66,9 @@ pub enum CompiledFilter {
 
 /// Sorts and dedups an `$in`/`$nin` value list under canonical order so
 /// membership is a binary search against a borrowed probe value.
-fn compile_set(values: &[Value]) -> Box<[OrdValue]> {
+/// Shared with the columnar batch kernel, whose `$in` masks must probe
+/// identically-built sets.
+pub(crate) fn compile_set(values: &[Value]) -> Box<[OrdValue]> {
     let mut set: Vec<OrdValue> = values.iter().cloned().map(OrdValue).collect();
     set.sort();
     set.dedup();
@@ -137,7 +139,7 @@ pub fn matches_compiled(filter: &CompiledFilter, doc: &Document) -> bool {
 /// Clone-free membership probe: canonical binary search of `v` in the
 /// sorted set, so `{$in: [1.0]}` finds `Int32(1)` through the same
 /// cross-numeric-type comparison the old `BTreeSet<OrdValue>` used.
-fn set_contains(set: &[OrdValue], v: &Value) -> bool {
+pub(crate) fn set_contains(set: &[OrdValue], v: &Value) -> bool {
     set.binary_search_by(|ov| ov.0.canonical_cmp(v)).is_ok()
 }
 

@@ -34,8 +34,30 @@ fn arb_scalar() -> BoxedStrategy<Value> {
         (0..4i64).prop_map(Value::Int64),
         (0..4u8).prop_map(|n| Value::Double(f64::from(n))),
         Just(Value::Double(1.5)),
+        // Integers past the f64-precision cliff: neighbours here used
+        // to collide through the lossy `as_f64` unification, so keep
+        // them circulating through every comparison path.
+        extreme_int().prop_map(Value::Int64),
+        extreme_int().prop_map(|n| Value::Double(n as f64)),
         "[xy]{0,2}".prop_map(Value::String),
         any::<bool>().prop_map(Value::Bool),
+    ]
+    .boxed()
+}
+
+/// ±2^53±1 and the i64 endpoints — the collision class of the old
+/// f64-unified numeric comparison.
+fn extreme_int() -> BoxedStrategy<i64> {
+    const BIG: i64 = 1 << 53;
+    prop_oneof![
+        Just(i64::MIN),
+        Just(i64::MIN + 1),
+        Just(-BIG - 1),
+        Just(-BIG),
+        Just(BIG),
+        Just(BIG + 1),
+        Just(i64::MAX - 1),
+        Just(i64::MAX),
     ]
     .boxed()
 }

@@ -18,11 +18,33 @@ use doclite_docstore::{
 };
 use proptest::prelude::*;
 
+/// Mostly the small colliding domain, with occasional integers past
+/// the f64-precision cliff so grouping/sorting on `a` exercises the
+/// exact large-integer comparison (neighbours here used to collide).
+fn arb_group_key() -> BoxedStrategy<i64> {
+    const BIG: i64 = 1 << 53;
+    prop_oneof![
+        (0..6i64).boxed(),
+        (0..6i64).boxed(),
+        (0..6i64).boxed(),
+        prop_oneof![
+            Just(i64::MIN),
+            Just(-BIG - 1),
+            Just(BIG),
+            Just(BIG + 1),
+            Just(i64::MAX - 1),
+            Just(i64::MAX),
+        ]
+        .boxed(),
+    ]
+    .boxed()
+}
+
 /// Documents over a small value domain so matches, groups, and sort
 /// ties all actually collide.
 fn arb_doc() -> BoxedStrategy<Document> {
     (
-        0..6i64,
+        arb_group_key(),
         0..4i64,
         "[xyz]",
         prop::collection::vec(0..5i64, 0..3),

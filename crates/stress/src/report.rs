@@ -85,6 +85,28 @@ fn fnum(v: f64) -> String {
     }
 }
 
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes, and every control character U+0000–U+001F (as `\n` /
+/// `\t` / `\r` or `\u00XX`). The writers used to interpolate raw —
+/// a workload name with a newline produced unparseable output.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl StressReport {
     /// Serializes to the `doclite-stress/v1` JSON document.
     pub fn to_json(&self) -> String {
@@ -102,10 +124,10 @@ impl StressReport {
                  \"mode\": \"{}\", \"ops\": {}, \"errors\": {}, \"elapsed_s\": {}, \
                  \"throughput_ops_s\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \
                  \"p999_us\": {}, \"max_us\": {}, \"mean_us\": {}}}",
-                c.workload,
-                c.deployment,
+                escape_json(&c.workload),
+                escape_json(&c.deployment),
                 c.threads,
-                c.mode,
+                escape_json(&c.mode),
                 c.ops,
                 c.errors,
                 fnum(c.elapsed_s),
@@ -126,8 +148,8 @@ impl StressReport {
                 s,
                 "    {{\"workload\": \"{}\", \"deployment\": \"{}\", \"threads_lo\": {}, \
                  \"threads_hi\": {}, \"ratio\": {}}}",
-                sc.workload,
-                sc.deployment,
+                escape_json(&sc.workload),
+                escape_json(&sc.deployment),
                 sc.threads_lo,
                 sc.threads_hi,
                 fnum(sc.ratio),
@@ -186,8 +208,10 @@ impl Json {
     }
 }
 
-/// Parses a JSON text. Supports the full value grammar the reports use
-/// (no `\u` escapes beyond pass-through).
+/// Parses a JSON text. Supports the full value grammar the reports use,
+/// including `\uXXXX` escapes; raw control characters inside strings
+/// are rejected (RFC 8259 forbids them), which is how `validate_report`
+/// catches writers that forgot to escape.
 pub fn parse_json(text: &str) -> std::result::Result<Json, String> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
@@ -289,17 +313,37 @@ fn parse_lit(
 
 fn parse_string(b: &[u8], pos: &mut usize) -> std::result::Result<String, String> {
     expect(b, pos, b'"')?;
-    let mut out = String::new();
+    // Accumulate raw UTF-8 bytes and decode once at the closing quote,
+    // so multi-byte characters survive (the old byte-at-a-time `as
+    // char` push read them as Latin-1).
+    let mut out = Vec::new();
+    let push_char = |out: &mut Vec<u8>, ch: char| {
+        let mut buf = [0u8; 4];
+        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+    };
     while *pos < b.len() {
         match b[*pos] {
             b'"' => {
                 *pos += 1;
-                return Ok(out);
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".into());
             }
             b'\\' => {
                 *pos += 1;
                 let esc = *b.get(*pos).ok_or("unterminated escape")?;
-                out.push(match esc {
+                if esc == b'u' {
+                    let hex = b
+                        .get(*pos + 1..*pos + 5)
+                        .and_then(|h| std::str::from_utf8(h).ok())
+                        .ok_or("truncated \\u escape")?;
+                    let code = u32::from_str_radix(hex, 16)
+                        .map_err(|_| format!("invalid \\u escape at byte {}", *pos))?;
+                    let ch = char::from_u32(code)
+                        .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                    push_char(&mut out, ch);
+                    *pos += 5;
+                    continue;
+                }
+                let ch = match esc {
                     b'"' => '"',
                     b'\\' => '\\',
                     b'/' => '/',
@@ -307,11 +351,18 @@ fn parse_string(b: &[u8], pos: &mut usize) -> std::result::Result<String, String
                     b't' => '\t',
                     b'r' => '\r',
                     other => other as char,
-                });
+                };
+                push_char(&mut out, ch);
                 *pos += 1;
             }
+            c if c < 0x20 => {
+                return Err(format!(
+                    "raw control character 0x{c:02x} in string at byte {}",
+                    *pos
+                ));
+            }
             c => {
-                out.push(c as char);
+                out.push(c);
                 *pos += 1;
             }
         }
@@ -503,5 +554,46 @@ mod tests {
     fn validator_rejects_wrong_schema_tag() {
         let json = full_report().to_json().replace(SCHEMA, "other/v0");
         assert!(validate_report(&json).is_err());
+    }
+
+    #[test]
+    fn control_characters_round_trip() {
+        let mut r = full_report();
+        let nasty = "a\nb\tc\rd\u{1}e\u{1f}f\"g\\h";
+        for c in &mut r.cells {
+            c.workload = nasty.to_owned();
+        }
+        for s in &mut r.scaling {
+            s.workload = nasty.to_owned();
+        }
+        let json = r.to_json();
+        validate_report(&json).expect("escaped report validates");
+        let parsed = parse_json(&json).unwrap();
+        let cell0 = &parsed.get("cells").unwrap().as_arr().unwrap()[0];
+        assert_eq!(cell0.get("workload").and_then(Json::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parser_rejects_raw_control_characters() {
+        let err = parse_json("{\"a\": \"x\u{1}y\"}").unwrap_err();
+        assert!(err.contains("control character"), "{err}");
+        assert!(parse_json("{\"a\nb\": 1}").is_err(), "raw newline in key");
+    }
+
+    #[test]
+    fn parser_decodes_unicode_escapes() {
+        let v = parse_json("{\"a\": \"\\u0041\\u001f\\u00e9\u{00e9}\"}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_str), Some("A\u{1f}\u{e9}\u{e9}"));
+        assert!(parse_json(r#""\ud800""#).is_err(), "lone surrogate");
+        assert!(parse_json(r#""\u12""#).is_err(), "truncated escape");
+    }
+
+    #[test]
+    fn escape_json_escapes_exactly_the_must_escape_set() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("\n\t\r"), "\\n\\t\\r");
+        assert_eq!(escape_json("\u{0}\u{1f}"), "\\u0000\\u001f");
+        assert_eq!(escape_json("é→"), "é→"); // non-ASCII passes through
     }
 }
