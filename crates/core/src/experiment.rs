@@ -114,7 +114,7 @@ pub const N_SHARDS: usize = 3;
 /// A prepared environment: loaded data on a deployment.
 pub enum Environment {
     Standalone(Database),
-    Sharded(ShardedCluster),
+    Sharded(Box<ShardedCluster>),
 }
 
 impl Environment {
@@ -129,7 +129,7 @@ impl Environment {
     /// The cluster, when sharded.
     pub fn cluster(&self) -> Option<&ShardedCluster> {
         match self {
-            Environment::Sharded(c) => Some(c),
+            Environment::Sharded(c) => Some(c.as_ref()),
             _ => None,
         }
     }
@@ -227,7 +227,7 @@ pub fn setup_environment(spec: &ExperimentSpec, opts: &SetupOptions) -> Result<E
             if spec.model == DataModel::Denormalized {
                 crate::fastdn::build_denormalized_fast(cluster.router())?;
             }
-            Ok(Environment::Sharded(cluster))
+            Ok(Environment::Sharded(Box::new(cluster)))
         }
     }
 }

@@ -31,6 +31,11 @@ pub enum Error {
     /// pass. Carries the rendered cause; `io::Error` itself is not
     /// `PartialEq`, which this enum requires.
     Storage(String),
+    /// The targeted shard no longer owns the key range the operation
+    /// addressed (a chunk migrated away, or the shard itself left the
+    /// cluster). Retryable: the router must refresh its routing view
+    /// and re-target before trying again.
+    StaleRoute(String),
 }
 
 impl fmt::Display for Error {
@@ -48,6 +53,7 @@ impl fmt::Display for Error {
             Error::ExprError(msg) => write!(f, "expression error: {msg}"),
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
             Error::Storage(msg) => write!(f, "storage: {msg}"),
+            Error::StaleRoute(msg) => write!(f, "stale route: {msg}"),
         }
     }
 }

@@ -3,7 +3,8 @@
 
 use crate::chunk::ShardId;
 use crate::router::Mongos;
-use doclite_docstore::Result;
+use doclite_docstore::{Error, Result};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A migration performed by one balancing round.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,47 +37,85 @@ impl Default for Balancer {
 
 impl Balancer {
     /// Balances one collection, returning the migrations performed.
+    ///
+    /// Chunk counts are kept per shard *id* over the router's live
+    /// shard set — identity-based, so the balancer keeps working after
+    /// shards join or leave (ids are monotonic and sparse once a shard
+    /// has been removed; a positional `vec[id]` would panic). Draining
+    /// shards are prioritized as sources and never chosen as
+    /// destinations, so a plain balancing round makes drain progress
+    /// too.
     pub fn balance_collection(
         &self,
         router: &Mongos,
         collection: &str,
     ) -> Result<Vec<Migration>> {
-        let n_shards = router.shards().len();
         let mut migrations = Vec::new();
         for _ in 0..self.max_migrations {
             let Some(meta) = router.config().meta(collection) else { break };
-            // Count chunks per shard over *all* shards, including empty ones.
-            let mut counts = vec![0usize; n_shards];
+            let live: Vec<ShardId> = router.shards().iter().map(|s| s.id()).collect();
+            let draining: BTreeSet<ShardId> = router
+                .config()
+                .shard_entries()
+                .iter()
+                .filter(|e| e.draining)
+                .map(|e| e.id)
+                .collect();
+            // Count chunks per live shard, including empty ones.
+            let mut counts: BTreeMap<ShardId, usize> =
+                live.iter().map(|&id| (id, 0)).collect();
             for c in &meta.chunks {
-                counts[c.shard] += 1;
+                *counts.entry(c.shard).or_insert(0) += 1;
             }
-            let (max_shard, &max_n) = counts
+            let Some((&to, &min_n)) = counts
                 .iter()
-                .enumerate()
-                .max_by_key(|(_, n)| **n)
-                .expect("at least one shard");
-            let (min_shard, &min_n) = counts
+                .filter(|(id, _)| !draining.contains(id) && live.contains(id))
+                .min_by_key(|(id, n)| (**n, **id))
+            else {
+                break; // no destination available (everything draining)
+            };
+            // Source: the fullest draining shard if any still holds
+            // chunks; otherwise the fullest non-draining shard, subject
+            // to the spread threshold.
+            let drain_source = counts
                 .iter()
-                .enumerate()
-                .min_by_key(|(_, n)| **n)
-                .expect("at least one shard");
-            if max_n.saturating_sub(min_n) <= self.threshold {
+                .filter(|(id, n)| draining.contains(id) && **n > 0)
+                .max_by_key(|(id, n)| (**n, **id))
+                .map(|(&id, _)| id);
+            let from = match drain_source {
+                Some(id) => id,
+                None => {
+                    let (&max_shard, &max_n) = counts
+                        .iter()
+                        .filter(|(id, _)| !draining.contains(id))
+                        .max_by_key(|(id, n)| (**n, **id))
+                        .expect("destination exists, so a source does too");
+                    if max_n.saturating_sub(min_n) <= self.threshold {
+                        break;
+                    }
+                    max_shard
+                }
+            };
+            if from == to {
                 break;
             }
-            // Move the first non-jumbo chunk off the heaviest shard.
+            // Move the first movable chunk off the source. A drain must
+            // empty the shard completely, so it moves jumbo chunks too;
+            // plain balancing leaves them pinned.
+            let moving_for_drain = drain_source.is_some();
             let Some(chunk_index) = meta
                 .chunks
                 .iter()
-                .position(|c| c.shard == max_shard && !c.jumbo)
+                .position(|c| c.shard == from && (moving_for_drain || !c.jumbo))
             else {
                 break; // only jumbo chunks left; nothing movable
             };
-            let docs_moved = router.move_chunk(collection, chunk_index, min_shard)?;
+            let docs_moved = router.move_chunk(collection, chunk_index, to)?;
             migrations.push(Migration {
                 collection: collection.to_owned(),
                 chunk_index,
-                from: max_shard,
-                to: min_shard,
+                from,
+                to,
                 docs_moved,
             });
         }
@@ -90,6 +129,85 @@ impl Balancer {
             all.extend(self.balance_collection(router, &name)?);
         }
         Ok(all)
+    }
+
+    /// Moves every chunk off `shard`, retrying each migration under the
+    /// router's retry policy (a drain runs while traffic — and fault
+    /// injection — is live; one bounced `move_chunk` must not wedge the
+    /// whole removal). Returns the migrations performed; errors only
+    /// after a migration exhausts its retries.
+    pub fn drain_shard(&self, router: &Mongos, shard: ShardId) -> Result<Vec<Migration>> {
+        let retry = router.retry_policy();
+        let mut migrations = Vec::new();
+        for collection in router.config().sharded_collections() {
+            loop {
+                if migrations.len() >= self.max_migrations {
+                    return Err(Error::Unavailable(format!(
+                        "drain of shard {shard} exceeded {} migrations",
+                        self.max_migrations
+                    )));
+                }
+                let Some(meta) = router.config().meta(&collection) else { break };
+                let Some(chunk_index) = meta.chunks.iter().position(|c| c.shard == shard)
+                else {
+                    break; // collection fully drained
+                };
+                let draining: BTreeSet<ShardId> = router
+                    .config()
+                    .shard_entries()
+                    .iter()
+                    .filter(|e| e.draining)
+                    .map(|e| e.id)
+                    .collect();
+                // Lightest live, non-draining destination.
+                let live = router.shards();
+                let mut counts: BTreeMap<ShardId, usize> = live
+                    .iter()
+                    .map(|s| s.id())
+                    .filter(|id| *id != shard && !draining.contains(id))
+                    .map(|id| (id, 0))
+                    .collect();
+                if counts.is_empty() {
+                    return Err(Error::Unavailable(format!(
+                        "no destination shard available to drain shard {shard}"
+                    )));
+                }
+                for c in &meta.chunks {
+                    if let Some(n) = counts.get_mut(&c.shard) {
+                        *n += 1;
+                    }
+                }
+                let (&to, _) = counts
+                    .iter()
+                    .min_by_key(|(id, n)| (**n, **id))
+                    .expect("checked non-empty");
+                let mut attempt = 0u32;
+                let docs_moved = loop {
+                    match router.move_chunk(&collection, chunk_index, to) {
+                        Ok(n) => break n,
+                        Err(e) => {
+                            if attempt >= retry.max_retries {
+                                return Err(e);
+                            }
+                            attempt += 1;
+                            let backoff =
+                                retry.jittered_backoff(attempt, shard as u64 + attempt as u64);
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                            }
+                        }
+                    }
+                };
+                migrations.push(Migration {
+                    collection: collection.clone(),
+                    chunk_index,
+                    from: shard,
+                    to,
+                    docs_moved,
+                });
+            }
+        }
+        Ok(migrations)
     }
 }
 

@@ -32,6 +32,22 @@ impl KeyBound {
             KeyBound::Key(k) => k.cmp(key),
         }
     }
+
+    /// Total order over bounds in the extended keyspace
+    /// `MinKey < Key(..) < MaxKey`. Chunk ranges never place two
+    /// distinct logical points at equal `Key`s, so this is enough for
+    /// interval arithmetic (the ownership table's range subtraction).
+    pub fn cmp_bound(&self, other: &KeyBound) -> Ordering {
+        match (self, other) {
+            (KeyBound::MinKey, KeyBound::MinKey) => Ordering::Equal,
+            (KeyBound::MinKey, _) => Ordering::Less,
+            (_, KeyBound::MinKey) => Ordering::Greater,
+            (KeyBound::MaxKey, KeyBound::MaxKey) => Ordering::Equal,
+            (KeyBound::MaxKey, _) => Ordering::Greater,
+            (_, KeyBound::MaxKey) => Ordering::Less,
+            (KeyBound::Key(a), KeyBound::Key(b)) => a.cmp(b),
+        }
+    }
 }
 
 /// A chunk: the half-open key range `[min, max)` plus its placement and
@@ -111,6 +127,17 @@ mod tests {
         assert!(c.contains(&k(10)));
         assert!(c.contains(&k(19)));
         assert!(!c.contains(&k(20)));
+    }
+
+    #[test]
+    fn bound_order_is_total() {
+        use KeyBound::*;
+        let bounds = [MinKey, Key(k(1)), Key(k(2)), MaxKey];
+        for (i, a) in bounds.iter().enumerate() {
+            for (j, b) in bounds.iter().enumerate() {
+                assert_eq!(a.cmp_bound(b), i.cmp(&j), "{a:?} vs {b:?}");
+            }
+        }
     }
 
     #[test]

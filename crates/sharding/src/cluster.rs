@@ -3,6 +3,7 @@
 //! server, one AppServer/QueryRouter).
 
 use crate::balancer::Balancer;
+use crate::chunk::ShardId;
 use crate::config::ConfigServer;
 use crate::network::{NetworkModel, RetryPolicy};
 use crate::replica::{ReadPreference, WriteConcern};
@@ -10,7 +11,7 @@ use crate::router::{DegradedReads, Mongos};
 use crate::shard::Shard;
 use crate::shardkey::ShardKey;
 use doclite_docstore::wal::SyncPolicy;
-use doclite_docstore::Result;
+use doclite_docstore::{Error, Result};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -74,6 +75,10 @@ impl Default for ClusterConfig {
 pub struct ShardedCluster {
     router: Mongos,
     balancer: Balancer,
+    /// The build-time configuration, kept so shards added online are
+    /// constructed identically to the founding ones (replica count,
+    /// database name, durability layout).
+    cfg: ClusterConfig,
 }
 
 impl ShardedCluster {
@@ -94,40 +99,100 @@ impl ShardedCluster {
     /// degraded-read behaviour included. Every shard is registered in
     /// the config server's shard registry.
     pub fn with_config(cfg: ClusterConfig) -> Self {
-        let shards: Vec<Arc<Shard>> = (0..cfg.n_shards)
-            .map(|i| {
-                let shard = match &cfg.durability {
-                    // An unopenable durability directory is a
-                    // deployment error, not a runtime condition the
-                    // router could route around: fail loudly at build.
-                    Some(d) => Shard::with_durable_replicas(
-                        i,
-                        &cfg.db_name,
-                        cfg.replicas_per_shard,
-                        &d.dir.join(format!("s{i}")),
-                        d.sync,
-                    )
-                    .expect("shard durability directory must be usable"),
-                    None => Shard::with_replicas(i, &cfg.db_name, cfg.replicas_per_shard),
-                };
-                Arc::new(shard)
-            })
-            .collect();
+        let shards: Vec<Arc<Shard>> = (0..cfg.n_shards).map(|i| build_shard(&cfg, i)).collect();
         let config = Arc::new(ConfigServer::new());
         for s in &shards {
-            config.register_shard(crate::config::ShardEntry {
-                id: s.id(),
-                name: s.name().to_owned(),
-                replica_set: s.replica_set().name().to_owned(),
-                members: s.member_count(),
-            });
+            config.register_shard(shard_entry(s));
         }
         let mut router = Mongos::new(shards, config, cfg.network);
         router.set_write_concern(cfg.write_concern);
         router.set_read_preference(cfg.read_preference);
         router.set_retry_policy(cfg.retry);
         router.set_degraded_reads(cfg.degraded_reads);
-        ShardedCluster { router, balancer: Balancer::default() }
+        ShardedCluster { router, balancer: Balancer::default(), cfg }
+    }
+
+    /// Adds a brand-new, empty shard to the running cluster and returns
+    /// its id (monotonic — removed ids are never reused). The shard is
+    /// built from the cluster's own config (same replica count and
+    /// durability layout), given every sharded collection's shard-key
+    /// index, registered with the config server, and handed to the
+    /// router. It holds no chunks until the next balancing round (or
+    /// [`ShardedCluster::balance`]) migrates some in.
+    pub fn add_shard(&self) -> Result<ShardId> {
+        let id = self.router.config().allocate_shard_id();
+        let shard = build_shard(&self.cfg, id);
+        // Pre-create the shard-key index for every sharded collection,
+        // directly on the new shard: `Mongos::create_index` fans out to
+        // the whole cluster, which is redundant here.
+        for name in self.router.config().sharded_collections() {
+            if let Some(meta) = self.router.config().meta(&name) {
+                shard
+                    .replica_set()
+                    .create_index(&name, shard_key_index(&meta.key))?;
+            }
+        }
+        self.router.config().register_shard(shard_entry(&shard));
+        self.router.add_shard(shard);
+        Ok(id)
+    }
+
+    /// Removes a shard from the running cluster: marks it draining
+    /// (excluded as a balancing destination from that point), migrates
+    /// every chunk off it with per-migration retries, verifies nothing
+    /// is left, then deregisters it from the config server and the
+    /// router. Returns the number of chunks drained.
+    ///
+    /// On a drain failure (destination unreachable past the retry
+    /// budget) the shard is left *in* the cluster, still marked
+    /// draining: traffic keeps flowing, the balancer keeps draining it
+    /// opportunistically, and [`ShardedCluster::finish_drains`] can
+    /// complete the removal once the cluster heals.
+    pub fn remove_shard(&self, id: ShardId) -> Result<usize> {
+        if !self.router.shards().iter().any(|s| s.id() == id) {
+            return Err(Error::StaleRoute(format!("shard {id} is not part of the cluster")));
+        }
+        if id == 0 {
+            return Err(Error::InvalidQuery(
+                "cannot remove the primary shard (unsharded collections live there)".into(),
+            ));
+        }
+        self.router.config().set_draining(id, true);
+        let moved = self.balancer.drain_shard(&self.router, id)?;
+        self.router
+            .config()
+            .remove_shard_entry(id)
+            .map_err(Error::Unavailable)?;
+        self.router.remove_shard(id)?;
+        Ok(moved.len())
+    }
+
+    /// Completes any removal that was left mid-drain (e.g. because the
+    /// destination was partitioned when [`ShardedCluster::remove_shard`]
+    /// ran). Returns the ids of the shards removed this call.
+    pub fn finish_drains(&self) -> Result<Vec<ShardId>> {
+        let mut removed = Vec::new();
+        let draining: Vec<ShardId> = self
+            .router
+            .config()
+            .shard_entries()
+            .iter()
+            .filter(|e| e.draining)
+            .map(|e| e.id)
+            .collect();
+        for id in draining {
+            if !self.router.shards().iter().any(|s| s.id() == id) {
+                continue; // already gone
+            }
+            self.balancer.drain_shard(&self.router, id)?;
+            self.router
+                .config()
+                .remove_shard_entry(id)
+                .map_err(Error::Unavailable)?;
+            self.router.remove_shard(id)?;
+            removed.push(id);
+        }
+        Ok(removed)
     }
 
     /// The router (all reads and writes go through it).
@@ -158,14 +223,7 @@ impl ShardedCluster {
         key: ShardKey,
         max_chunk_size: usize,
     ) -> Result<()> {
-        use doclite_docstore::IndexDef;
-        let def = match key.partitioning() {
-            crate::shardkey::Partitioning::Range => {
-                IndexDef::compound(key.fields().iter().map(String::as_str))
-            }
-            crate::shardkey::Partitioning::Hashed => IndexDef::hashed(key.fields()[0].clone()),
-        };
-        self.router.create_index(name, def)?;
+        self.router.create_index(name, shard_key_index(&key))?;
         self.router
             .config()
             .shard_collection_with_chunk_size(name, key, 0, max_chunk_size);
@@ -180,6 +238,48 @@ impl ShardedCluster {
     /// Total bytes stored across the cluster.
     pub fn data_size(&self) -> usize {
         self.router.shards().iter().map(|s| s.data_size()).sum()
+    }
+}
+
+/// Builds one shard according to the cluster config (used both at
+/// construction and for shards added online).
+fn build_shard(cfg: &ClusterConfig, id: ShardId) -> Arc<Shard> {
+    let shard = match &cfg.durability {
+        // An unopenable durability directory is a
+        // deployment error, not a runtime condition the
+        // router could route around: fail loudly at build.
+        Some(d) => Shard::with_durable_replicas(
+            id,
+            &cfg.db_name,
+            cfg.replicas_per_shard,
+            &d.dir.join(format!("s{id}")),
+            d.sync,
+        )
+        .expect("shard durability directory must be usable"),
+        None => Shard::with_replicas(id, &cfg.db_name, cfg.replicas_per_shard),
+    };
+    Arc::new(shard)
+}
+
+/// The config-server registration for a shard.
+fn shard_entry(s: &Shard) -> crate::config::ShardEntry {
+    crate::config::ShardEntry {
+        id: s.id(),
+        name: s.name().to_owned(),
+        replica_set: s.replica_set().name().to_owned(),
+        members: s.member_count(),
+        draining: false,
+    }
+}
+
+/// The supporting index MongoDB requires for a shard key.
+fn shard_key_index(key: &ShardKey) -> doclite_docstore::IndexDef {
+    use doclite_docstore::IndexDef;
+    match key.partitioning() {
+        crate::shardkey::Partitioning::Range => {
+            IndexDef::compound(key.fields().iter().map(String::as_str))
+        }
+        crate::shardkey::Partitioning::Hashed => IndexDef::hashed(key.fields()[0].clone()),
     }
 }
 
@@ -220,6 +320,94 @@ mod tests {
         assert!(t.is_targeted());
         assert_eq!(cluster.router().find("facts", &Filter::True).len(), 500);
         assert!(cluster.data_size() > 0);
+    }
+
+    #[test]
+    fn online_add_shard_receives_chunks_and_serves_queries() {
+        let cluster = ShardedCluster::new(2, "d_add", NetworkModel::free());
+        cluster
+            .shard_collection("facts", ShardKey::range(["k"]), 2 * 1024)
+            .unwrap();
+        for i in 0..400i64 {
+            cluster
+                .router()
+                .insert_one("facts", doc! {"k" => i, "pad" => "x".repeat(40)})
+                .unwrap();
+        }
+        cluster.balance().unwrap();
+
+        let id = cluster.add_shard().unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(cluster.n_shards(), 3);
+        // The new shard has the shard-key index but no data yet.
+        let new_shard = cluster
+            .router()
+            .shards()
+            .into_iter()
+            .find(|s| s.id() == id)
+            .unwrap();
+        assert!(new_shard
+            .db()
+            .collection("facts")
+            .index_defs()
+            .iter()
+            .any(|d| d.name == "k_1"));
+
+        cluster.balance().unwrap();
+        let meta = cluster.router().config().meta("facts").unwrap();
+        assert!(
+            meta.chunks.iter().any(|c| c.shard == id),
+            "balancer should migrate chunks onto the new shard"
+        );
+        assert_eq!(cluster.router().collection_len("facts"), 400);
+        assert_eq!(cluster.router().find("facts", &Filter::eq("k", 250i64)).len(), 1);
+    }
+
+    #[test]
+    fn remove_shard_drains_and_deregisters() {
+        let cluster = ShardedCluster::new(3, "d_rm", NetworkModel::free());
+        cluster
+            .shard_collection("facts", ShardKey::range(["k"]), 2 * 1024)
+            .unwrap();
+        for i in 0..400i64 {
+            cluster
+                .router()
+                .insert_one("facts", doc! {"k" => i, "pad" => "y".repeat(40)})
+                .unwrap();
+        }
+        cluster.balance().unwrap();
+        let on_two_before = cluster.router().config().chunks_on_shard("facts", 2).len();
+        assert!(on_two_before > 0, "balance should have placed chunks on shard 2");
+
+        let drained = cluster.remove_shard(2).unwrap();
+        assert_eq!(drained, on_two_before);
+        assert_eq!(cluster.n_shards(), 2);
+        assert!(cluster.router().config().chunks_on_shard("facts", 2).is_empty());
+        assert!(!cluster
+            .router()
+            .config()
+            .shard_entries()
+            .iter()
+            .any(|e| e.id == 2));
+        // No data lost; routing still works.
+        assert_eq!(cluster.router().collection_len("facts"), 400);
+        for probe in [0i64, 199, 399] {
+            assert_eq!(cluster.router().find("facts", &Filter::eq("k", probe)).len(), 1);
+        }
+        // The primary shard is not removable, nor is a removed shard.
+        assert!(cluster.remove_shard(0).is_err());
+        assert!(cluster.remove_shard(2).is_err());
+    }
+
+    #[test]
+    fn add_after_remove_never_reuses_ids() {
+        let cluster = ShardedCluster::new(2, "d_ids", NetworkModel::free());
+        let a = cluster.add_shard().unwrap();
+        assert_eq!(a, 2);
+        cluster.remove_shard(a).unwrap();
+        let b = cluster.add_shard().unwrap();
+        assert_eq!(b, 3, "removed id must not be recycled");
+        assert_eq!(cluster.n_shards(), 3);
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub struct ShardEntry {
     pub replica_set: String,
     /// Configured replica-set member count.
     pub members: usize,
+    /// True while the shard is being drained for removal: the balancer
+    /// moves chunks *off* it and never *onto* it, and new chunk
+    /// placements skip it. Mirrors `draining: true` in MongoDB's
+    /// `config.shards` during `removeShard`.
+    pub draining: bool,
 }
 
 /// The config server: per-collection sharding metadata plus the shard
@@ -111,6 +116,11 @@ pub struct ShardEntry {
 pub struct ConfigServer {
     collections: RwLock<BTreeMap<String, CollectionMeta>>,
     shards: RwLock<Vec<ShardEntry>>,
+    /// Next shard id to hand out. Ids are never reused after a removal,
+    /// so a late-arriving event addressed to a removed shard can only
+    /// miss (and be skipped), never hit a different shard that took
+    /// over its slot.
+    next_shard_id: std::sync::atomic::AtomicUsize,
 }
 
 impl ConfigServer {
@@ -121,6 +131,8 @@ impl ConfigServer {
 
     /// Registers a shard (replaces an existing entry with the same id).
     pub fn register_shard(&self, entry: ShardEntry) {
+        use std::sync::atomic::Ordering;
+        self.next_shard_id.fetch_max(entry.id + 1, Ordering::Relaxed);
         let mut shards = self.shards.write();
         match shards.iter_mut().find(|e| e.id == entry.id) {
             Some(slot) => *slot = entry,
@@ -129,9 +141,76 @@ impl ConfigServer {
         shards.sort_by_key(|e| e.id);
     }
 
+    /// Hands out the next unused shard id (monotonic, never recycled).
+    pub fn allocate_shard_id(&self) -> ShardId {
+        self.next_shard_id
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Snapshot of the shard registry.
     pub fn shard_entries(&self) -> Vec<ShardEntry> {
         self.shards.read().clone()
+    }
+
+    /// Marks (or unmarks) a shard as draining. Returns false if the
+    /// shard is not registered.
+    pub fn set_draining(&self, id: ShardId, draining: bool) -> bool {
+        let mut shards = self.shards.write();
+        match shards.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.draining = draining;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the shard is registered and marked draining.
+    pub fn is_draining(&self, id: ShardId) -> bool {
+        self.shards.read().iter().any(|e| e.id == id && e.draining)
+    }
+
+    /// Deregisters a shard. Refused (returns an error naming the
+    /// collections) while any chunk still lives on it — callers must
+    /// drain first.
+    pub fn remove_shard_entry(&self, id: ShardId) -> Result<(), String> {
+        // Hold the registry lock across the occupancy check so a
+        // concurrent move_chunk *onto* the shard can't race the removal.
+        let mut shards = self.shards.write();
+        let occupied: Vec<String> = self
+            .collections
+            .read()
+            .iter()
+            .filter(|(_, m)| m.chunks.iter().any(|c| c.shard == id))
+            .map(|(name, _)| name.clone())
+            .collect();
+        if !occupied.is_empty() {
+            return Err(format!(
+                "shard {id} still owns chunks of: {}",
+                occupied.join(", ")
+            ));
+        }
+        match shards.iter().position(|e| e.id == id) {
+            Some(i) => {
+                shards.remove(i);
+                Ok(())
+            }
+            None => Err(format!("shard {id} is not registered")),
+        }
+    }
+
+    /// Indices of `collection`'s chunks currently placed on `shard`.
+    pub fn chunks_on_shard(&self, collection: &str, shard: ShardId) -> Vec<usize> {
+        self.meta(collection)
+            .map(|m| {
+                m.chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.shard == shard)
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Registers a collection as sharded, with a single full-range chunk
@@ -332,6 +411,56 @@ mod tests {
         assert_eq!(meta.shards_for_range(Some(&k(50)), Some(&k(150))), vec![0, 1]);
         assert_eq!(meta.shards_for_range(None, None), vec![0, 1, 2]);
         assert_eq!(meta.all_shards(), vec![0, 1, 2]);
+    }
+
+    fn entry(id: ShardId) -> ShardEntry {
+        ShardEntry {
+            id,
+            name: format!("Shard{}", id + 1),
+            replica_set: format!("rs{id}"),
+            members: 1,
+            draining: false,
+        }
+    }
+
+    #[test]
+    fn shard_ids_are_monotonic_and_never_reused() {
+        let cfg = ConfigServer::new();
+        cfg.register_shard(entry(0));
+        cfg.register_shard(entry(1));
+        assert_eq!(cfg.allocate_shard_id(), 2);
+        cfg.register_shard(entry(2));
+        cfg.remove_shard_entry(2).unwrap();
+        // The freed id is not recycled.
+        assert_eq!(cfg.allocate_shard_id(), 3);
+    }
+
+    #[test]
+    fn draining_flag_roundtrip() {
+        let cfg = ConfigServer::new();
+        cfg.register_shard(entry(0));
+        assert!(!cfg.is_draining(0));
+        assert!(cfg.set_draining(0, true));
+        assert!(cfg.is_draining(0));
+        assert!(cfg.set_draining(0, false));
+        assert!(!cfg.is_draining(0));
+        assert!(!cfg.set_draining(9, true), "unknown shard");
+    }
+
+    #[test]
+    fn removal_refused_while_chunks_remain() {
+        let cfg = setup();
+        cfg.register_shard(entry(0));
+        cfg.register_shard(entry(1));
+        cfg.split_chunk("c", 0, k(100), 0.5);
+        cfg.move_chunk("c", 1, 1);
+        let err = cfg.remove_shard_entry(1).unwrap_err();
+        assert!(err.contains("c"), "error names the occupied collection: {err}");
+        assert_eq!(cfg.chunks_on_shard("c", 1), vec![1]);
+        cfg.move_chunk("c", 1, 0);
+        cfg.remove_shard_entry(1).unwrap();
+        assert_eq!(cfg.shard_entries().len(), 1);
+        assert!(cfg.remove_shard_entry(1).is_err(), "double removal");
     }
 
     #[test]

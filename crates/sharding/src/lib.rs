@@ -35,7 +35,10 @@ pub mod targeting;
 
 pub use balancer::{Balancer, Migration};
 pub use capacity::{plan_cluster, ClusterPlan, ShardingFactors};
-pub use chaos::{ChaosSchedule, FaultAction, FaultEvent};
+pub use chaos::{
+    check_content, check_convergence, check_convergence_with_content, heal_all,
+    ChaosSchedule, ContentReport, FaultAction, FaultEvent,
+};
 pub use chunk::{Chunk, KeyBound, ShardId, DEFAULT_CHUNK_SIZE};
 pub use cluster::{ClusterConfig, DurabilityConfig, ShardedCluster};
 pub use config::{CollectionMeta, ConfigServer, ShardEntry};

@@ -251,6 +251,17 @@ pub struct RetryPolicy {
     pub initial_backoff: Duration,
     /// Backoff cap; doubling stops here.
     pub max_backoff: Duration,
+    /// Jitter as a percentage of the exponential backoff (0–100). A
+    /// retry waits a seeded-random duration in
+    /// `[backoff − backoff·jitter_pct/100, backoff]`, so retry storms
+    /// during a drain can't stay phase-locked. 0 = deterministic
+    /// exponential backoff (the pre-elastic behaviour).
+    pub jitter_pct: u32,
+    /// Total wall-clock budget for one operation, counting the time
+    /// spent in backoff waits. Once accumulated backoff exceeds this,
+    /// the router gives up even if retries remain. `Duration::ZERO`
+    /// means unlimited.
+    pub op_deadline: Duration,
 }
 
 impl RetryPolicy {
@@ -260,26 +271,74 @@ impl RetryPolicy {
             max_retries: 0,
             initial_backoff: Duration::ZERO,
             max_backoff: Duration::ZERO,
+            jitter_pct: 0,
+            op_deadline: Duration::ZERO,
+        }
+    }
+
+    /// Tuned for elastic-topology churn: enough retries to ride out a
+    /// chunk drain (each StaleRoute retry re-reads the routing table),
+    /// half-width jitter to de-synchronize the herd, and a hard 2 s
+    /// per-op deadline so a wedged drain surfaces as an error instead
+    /// of an unbounded stall.
+    pub fn elastic() -> Self {
+        RetryPolicy {
+            max_retries: 16,
+            initial_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(20),
+            jitter_pct: 50,
+            op_deadline: Duration::from_secs(2),
         }
     }
 
     /// The backoff before retry number `attempt` (1-based): the initial
-    /// backoff doubled per attempt, clamped to the cap.
+    /// backoff doubled per attempt, clamped to the cap. Jitter-free.
     pub fn backoff(&self, attempt: u32) -> Duration {
         let doubled = self
             .initial_backoff
             .saturating_mul(2u32.saturating_pow(attempt.saturating_sub(1)));
         doubled.min(self.max_backoff)
     }
+
+    /// The jittered backoff before retry number `attempt`: full-jitter
+    /// over the bottom `jitter_pct` percent of the exponential value,
+    /// sampled deterministically from `entropy` (one MMIX LCG step —
+    /// callers pass a per-router counter so concurrent ops decorrelate
+    /// while seeded runs replay exactly).
+    pub fn jittered_backoff(&self, attempt: u32, entropy: u64) -> Duration {
+        let base = self.backoff(attempt);
+        if self.jitter_pct == 0 || base.is_zero() {
+            return base;
+        }
+        let pct = self.jitter_pct.min(100) as u128;
+        let span_nanos = base.as_nanos() * pct / 100;
+        if span_nanos == 0 {
+            return base;
+        }
+        let mixed = entropy
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let cut = (mixed >> 32) as u128 * span_nanos / (1u128 << 32);
+        base - Duration::from_nanos(cut as u64)
+    }
+
+    /// True once `waited` (accumulated backoff) has exhausted the
+    /// per-op deadline. Never true when the deadline is unlimited.
+    pub fn deadline_exceeded(&self, waited: Duration) -> bool {
+        !self.op_deadline.is_zero() && waited >= self.op_deadline
+    }
 }
 
 impl Default for RetryPolicy {
-    /// 3 retries, 1 ms → 2 ms → 4 ms, capped at 50 ms.
+    /// 3 retries, 1 ms → 2 ms → 4 ms, capped at 50 ms; no jitter, no
+    /// deadline (the pre-elastic behaviour, pinned by chaos replays).
     fn default() -> Self {
         RetryPolicy {
             max_retries: 3,
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(50),
+            jitter_pct: 0,
+            op_deadline: Duration::ZERO,
         }
     }
 }
@@ -548,12 +607,57 @@ mod tests {
             max_retries: 5,
             initial_backoff: Duration::from_millis(1),
             max_backoff: Duration::from_millis(5),
+            ..RetryPolicy::default()
         };
         assert_eq!(p.backoff(1), Duration::from_millis(1));
         assert_eq!(p.backoff(2), Duration::from_millis(2));
         assert_eq!(p.backoff(3), Duration::from_millis(4));
         assert_eq!(p.backoff(4), Duration::from_millis(5));
         assert_eq!(p.backoff(5), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn jittered_backoff_sequence_is_pinned_and_bounded() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            jitter_pct: 50,
+            op_deadline: Duration::ZERO,
+        };
+        // With jitter_pct = 50 the wait lands in [base/2, base]; the
+        // exact value is a pure function of (attempt, entropy), so the
+        // sequence below is pinned — a change to the mixing constants
+        // or the span arithmetic shows up as a test diff.
+        let seq: Vec<u64> = (1..=5)
+            .map(|a| p.jittered_backoff(a, a as u64).as_nanos() as u64)
+            .collect();
+        assert_eq!(seq, vec![788_396, 1_231_791, 3_773_580, 6_167_158, 4_787_156]);
+        for (i, &nanos) in seq.iter().enumerate() {
+            let base = p.backoff(i as u32 + 1).as_nanos() as u64;
+            assert!(nanos <= base, "jitter must never exceed the base backoff");
+            assert!(nanos >= base / 2, "jitter floor is base·(1−pct/100)");
+        }
+        // Replay-identical under the same entropy; entropy varies it.
+        assert_eq!(p.jittered_backoff(3, 7), p.jittered_backoff(3, 7));
+        assert_ne!(p.jittered_backoff(3, 7), p.jittered_backoff(3, 8));
+        // jitter_pct = 0 degrades to the deterministic exponential.
+        let plain = RetryPolicy { jitter_pct: 0, ..p };
+        assert_eq!(plain.jittered_backoff(3, 99), plain.backoff(3));
+    }
+
+    #[test]
+    fn op_deadline_caps_total_backoff() {
+        let p = RetryPolicy {
+            op_deadline: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        assert!(!p.deadline_exceeded(Duration::from_millis(9)));
+        assert!(p.deadline_exceeded(Duration::from_millis(10)));
+        assert!(p.deadline_exceeded(Duration::from_millis(11)));
+        // Zero deadline means unlimited.
+        let unlimited = RetryPolicy::default();
+        assert!(!unlimited.deadline_exceeded(Duration::from_secs(3600)));
     }
 
     #[test]

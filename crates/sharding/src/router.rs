@@ -4,7 +4,7 @@
 
 use crate::chunk::{KeyBound, ShardId};
 use crate::config::ConfigServer;
-use crate::network::{Faults, NetStats, NetworkModel, RetryPolicy};
+use crate::network::{Faults, NetMode, NetStats, NetworkModel, RetryPolicy};
 use crate::replica::{ReadPreference, WriteConcern};
 use crate::shard::Shard;
 use crate::targeting::{target, Targeting};
@@ -14,8 +14,10 @@ use doclite_docstore::{
     compile, project_paths, CompoundKey, Error, Filter, FindOptions, IndexDef, Pipeline, Result,
     Stage, UpdateResult, UpdateSpec,
 };
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Whether scatter-gather legs run concurrently (one thread per shard,
 /// as a real mongos overlaps shard I/O) or one after another (the
@@ -43,7 +45,12 @@ pub enum DegradedReads {
 /// The router. All application traffic flows through here, as in the
 /// thesis's AppServer/QueryRouter node.
 pub struct Mongos {
-    shards: Vec<Arc<Shard>>,
+    /// The live shard set, keyed by identity (`Shard::id`), not
+    /// position: ids are monotonic and never reused, so a stale id
+    /// from a pre-reconfiguration snapshot can only *miss* (and
+    /// surface as [`Error::StaleRoute`]), never address the wrong
+    /// shard. Behind a lock so shards can join and leave online.
+    shards: RwLock<Vec<Arc<Shard>>>,
     config: Arc<ConfigServer>,
     network: NetworkModel,
     stats: Arc<NetStats>,
@@ -63,18 +70,27 @@ pub struct Mongos {
     read_pref: ReadPreference,
     /// Warnings from degraded (partial-result) reads.
     warnings: Mutex<Vec<String>>,
+    /// Serializes chunk migrations: the copy/flip/delete protocol is
+    /// safe against concurrent *writes* but not against a second
+    /// migration of an overlapping range.
+    migration: Mutex<()>,
+    /// Entropy for jittered retry backoff: one counter tick per wait,
+    /// so concurrent operations decorrelate while a seeded replay of a
+    /// single-threaded schedule stays deterministic.
+    entropy: AtomicU64,
 }
 
 impl Mongos {
     /// Creates a router over the given shards and config server.
     pub fn new(
-        shards: Vec<Arc<Shard>>,
+        mut shards: Vec<Arc<Shard>>,
         config: Arc<ConfigServer>,
         network: NetworkModel,
     ) -> Self {
         assert!(!shards.is_empty(), "cluster needs at least one shard");
+        shards.sort_by_key(|s| s.id());
         Mongos {
-            shards,
+            shards: RwLock::new(shards),
             config,
             network,
             stats: Arc::new(NetStats::new()),
@@ -86,6 +102,8 @@ impl Mongos {
             write_concern: WriteConcern::default(),
             read_pref: ReadPreference::default(),
             warnings: Mutex::new(Vec::new()),
+            migration: Mutex::new(()),
+            entropy: AtomicU64::new(0),
         }
     }
 
@@ -144,9 +162,11 @@ impl Mongos {
         &self.network
     }
 
-    /// The shards behind the router.
-    pub fn shards(&self) -> &[Arc<Shard>] {
-        &self.shards
+    /// Snapshot of the live shard set, sorted by id. With a static
+    /// topology (no removals) position equals id; after churn, address
+    /// shards by [`Shard::id`], never by position.
+    pub fn shards(&self) -> Vec<Arc<Shard>> {
+        self.shards.read().clone()
     }
 
     /// The config server.
@@ -154,8 +174,87 @@ impl Mongos {
         &self.config
     }
 
-    fn shard(&self, id: ShardId) -> &Arc<Shard> {
-        &self.shards[id]
+    /// Adds a shard to the live set (replacing any same-id entry).
+    /// Routing only reaches it once chunks are placed there, so the
+    /// add itself is invisible to in-flight traffic.
+    pub fn add_shard(&self, shard: Arc<Shard>) {
+        let mut shards = self.shards.write();
+        shards.retain(|s| s.id() != shard.id());
+        shards.push(shard);
+        shards.sort_by_key(|s| s.id());
+    }
+
+    /// Removes a shard from the live set. The caller (the cluster's
+    /// drain state machine) must have moved every chunk off it first —
+    /// any straggler operation holding the old routing view gets
+    /// [`Error::StaleRoute`] and re-resolves.
+    pub fn remove_shard(&self, id: ShardId) -> Result<()> {
+        if id == self.primary {
+            return Err(Error::InvalidQuery(
+                "cannot remove the primary shard (unsharded collections live there)".into(),
+            ));
+        }
+        let mut shards = self.shards.write();
+        let pos = shards.iter().position(|s| s.id() == id).ok_or_else(|| {
+            Error::StaleRoute(format!("shard {id} is not part of the cluster"))
+        })?;
+        if shards.len() == 1 {
+            return Err(Error::InvalidQuery("cannot remove the last shard".into()));
+        }
+        shards.remove(pos);
+        Ok(())
+    }
+
+    /// Looks up a live shard by id. Fails with [`Error::StaleRoute`]
+    /// when the shard has left the cluster — the caller's routing view
+    /// is out of date and must be refreshed.
+    pub fn shard(&self, id: ShardId) -> Result<Arc<Shard>> {
+        self.shards
+            .read()
+            .iter()
+            .find(|s| s.id() == id)
+            .cloned()
+            .ok_or_else(|| Error::StaleRoute(format!("shard {id} is not part of the cluster")))
+    }
+
+    /// Waits out one stale-route retry: charges the jittered backoff to
+    /// the stats (which sleeps under [`NetMode::Sleep`]) and really
+    /// sleeps otherwise — unlike modelled network time, this wait is
+    /// load-bearing: it gives the in-flight migration wall-clock time
+    /// to flip the routing table before the operation re-resolves.
+    fn stale_backoff(&self, attempt: u32) -> Duration {
+        let entropy = self.entropy.fetch_add(1, Ordering::Relaxed);
+        let d = self.retry.jittered_backoff(attempt, entropy);
+        self.stats.record_retry(&self.network, d);
+        if self.network.mode != NetMode::Sleep && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        d
+    }
+
+    /// Runs an operation whose closure re-resolves routing from the
+    /// config server on every call, retrying on [`Error::StaleRoute`]
+    /// (chunk moved, shard left) under the bounded retry policy and
+    /// per-op deadline. The retry *is* the refresh: each attempt reads
+    /// fresh metadata, so once the migration's config flip lands the
+    /// operation re-targets the new owner.
+    fn with_stale_retry<T>(&self, op: impl Fn() -> Result<T>) -> Result<T> {
+        let mut attempt = 0u32;
+        let mut waited = Duration::ZERO;
+        loop {
+            match op() {
+                Err(Error::StaleRoute(msg)) => {
+                    if attempt >= self.retry.max_retries || self.retry.deadline_exceeded(waited) {
+                        return Err(Error::Unavailable(format!(
+                            "stale routing not resolved after {attempt} retries: {msg}"
+                        )));
+                    }
+                    attempt += 1;
+                    waited += self.stale_backoff(attempt);
+                }
+                done => return done,
+            }
+        }
     }
 
     /// Runs a read leg against `shard` under the injected fault plan:
@@ -176,21 +275,24 @@ impl Mongos {
             return op();
         }
         let mut attempt = 0u32;
+        let mut waited = Duration::ZERO;
         loop {
             let v = op()?;
             match self.faults.check(shard, &self.network, bytes_of(&v)) {
                 Ok(()) => return Ok(v),
                 Err(kind) => {
                     self.stats.record_fault(&self.network, kind);
-                    if attempt >= self.retry.max_retries {
+                    if attempt >= self.retry.max_retries || self.retry.deadline_exceeded(waited) {
                         return Err(Error::Unavailable(format!(
                             "Shard{} unreachable: {kind} (gave up after {attempt} retries)",
                             shard + 1
                         )));
                     }
                     attempt += 1;
-                    self.stats
-                        .record_retry(&self.network, self.retry.backoff(attempt));
+                    let entropy = self.entropy.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.retry.jittered_backoff(attempt, entropy);
+                    waited += backoff;
+                    self.stats.record_retry(&self.network, backoff);
                 }
             }
         }
@@ -213,20 +315,23 @@ impl Mongos {
         }
         let mut op = Some(op);
         let mut attempt = 0u32;
+        let mut waited = Duration::ZERO;
         loop {
             match self.faults.check(shard, &self.network, request_bytes) {
                 Ok(()) => return op.take().expect("write attempted once")(),
                 Err(kind) => {
                     self.stats.record_fault(&self.network, kind);
-                    if attempt >= self.retry.max_retries {
+                    if attempt >= self.retry.max_retries || self.retry.deadline_exceeded(waited) {
                         return Err(Error::Unavailable(format!(
                             "Shard{} unreachable: {kind} (gave up after {attempt} retries)",
                             shard + 1
                         )));
                     }
                     attempt += 1;
-                    self.stats
-                        .record_retry(&self.network, self.retry.backoff(attempt));
+                    let entropy = self.entropy.fetch_add(1, Ordering::Relaxed);
+                    let backoff = self.retry.jittered_backoff(attempt, entropy);
+                    waited += backoff;
+                    self.stats.record_retry(&self.network, backoff);
                 }
             }
         }
@@ -241,6 +346,11 @@ impl Mongos {
         for leg in legs {
             match leg {
                 Ok(v) => out.push(v),
+                // Stale routing is a router-level condition, not a
+                // shard outage: always propagate so the stale-retry
+                // loop re-resolves, instead of degrading to partial
+                // results that silently miss a migrating chunk.
+                Err(e @ Error::StaleRoute(_)) => return Err(e),
                 Err(e) => match self.degraded {
                     DegradedReads::Fail => return Err(e),
                     DegradedReads::Partial => {
@@ -255,44 +365,80 @@ impl Mongos {
     /// Routes and stores one document without charging the network;
     /// returns the bytes written. Triggers a chunk split when the target
     /// chunk crosses the size threshold.
+    ///
+    /// The write is ownership-checked on the target shard
+    /// ([`Shard::owned_write`]): if the chunk migrated away between the
+    /// routing snapshot and the write landing, the shard bounces it
+    /// with [`Error::StaleRoute`] and the loop re-routes from fresh
+    /// metadata. Both the fault check and the ownership check run
+    /// *before* the store consumes the document, so a bounced attempt
+    /// retries the original document without ever cloning it.
     fn insert_routed(&self, collection: &str, doc: Document) -> Result<usize> {
         let bytes = encoded_size(&doc);
-        match self.config.meta(collection) {
-            None => {
-                self.write_exchange(self.primary, bytes, || {
-                    self.shard(self.primary)
-                        .replica_set()
-                        .insert_one(collection, doc, self.write_concern)
-                })?;
-            }
-            Some(meta) => {
-                let key = meta.key.extract(&doc);
-                let chunk_idx = meta.chunk_for(&key);
-                let shard_id = meta.chunks[chunk_idx].shard;
+        if !self.config.is_sharded(collection) {
+            // Unsharded collections live on the primary shard, which is
+            // never removable — no ownership protocol needed.
+            let primary = self.shard(self.primary)?;
+            self.write_exchange(self.primary, bytes, || {
+                primary
+                    .replica_set()
+                    .insert_one(collection, doc, self.write_concern)
+            })?;
+            return Ok(bytes);
+        }
+        let mut slot = Some(doc);
+        let mut attempt = 0u32;
+        let mut waited = Duration::ZERO;
+        let key = loop {
+            let meta = self
+                .config
+                .meta(collection)
+                .ok_or_else(|| Error::NoSuchCollection(collection.to_owned()))?;
+            let key = meta.key.extract(slot.as_ref().expect("document not yet consumed"));
+            let shard_id = meta.chunks[meta.chunk_for(&key)].shard;
+            let routed = self.shard(shard_id).and_then(|shard| {
                 self.write_exchange(shard_id, bytes, || {
-                    self.shard(shard_id)
-                        .replica_set()
-                        .insert_one(collection, doc, self.write_concern)
-                })?;
-                // Re-derive the target chunk *by key, under the config
-                // lock*: a concurrent split may have shifted chunk
-                // indices since the routing snapshot above, and charging
-                // a stale index would credit the wrong chunk's
-                // byte/doc totals.
-                let needs_split = self
-                    .config
-                    .with_meta_mut(collection, |m| {
-                        let idx = m.chunk_for(&key);
-                        let c = &mut m.chunks[idx];
-                        c.bytes += bytes;
-                        c.docs += 1;
-                        c.bytes > m.max_chunk_size && !c.jumbo
+                    shard.owned_write(collection, &key, || {
+                        shard.replica_set().insert_one(
+                            collection,
+                            slot.take().expect("document consumed at most once"),
+                            self.write_concern,
+                        )
                     })
-                    .unwrap_or(false);
-                if needs_split {
-                    self.try_split(collection, &key);
+                })
+            });
+            match routed {
+                Ok(()) => break key,
+                Err(Error::StaleRoute(msg)) => {
+                    debug_assert!(slot.is_some(), "stale-routed insert must not consume the doc");
+                    if attempt >= self.retry.max_retries || self.retry.deadline_exceeded(waited) {
+                        return Err(Error::Unavailable(format!(
+                            "stale routing not resolved after {attempt} retries: {msg}"
+                        )));
+                    }
+                    attempt += 1;
+                    waited += self.stale_backoff(attempt);
                 }
+                Err(e) => return Err(e),
             }
+        };
+        // Re-derive the target chunk *by key, under the config
+        // lock*: a concurrent split or migration may have shifted chunk
+        // indices since the routing snapshot above, and charging
+        // a stale index would credit the wrong chunk's
+        // byte/doc totals.
+        let needs_split = self
+            .config
+            .with_meta_mut(collection, |m| {
+                let idx = m.chunk_for(&key);
+                let c = &mut m.chunks[idx];
+                c.bytes += bytes;
+                c.docs += 1;
+                c.bytes > m.max_chunk_size && !c.jumbo
+            })
+            .unwrap_or(false);
+        if needs_split {
+            self.try_split(collection, &key);
         }
         Ok(bytes)
     }
@@ -345,7 +491,9 @@ impl Mongos {
     fn try_split(&self, collection: &str, key: &CompoundKey) {
         let Some(meta) = self.config.meta(collection) else { return };
         let chunk = &meta.chunks[meta.chunk_for(key)];
-        let shard = self.shard(chunk.shard);
+        // A split is advisory: if the owning shard left the cluster
+        // between the snapshot and now, simply skip it.
+        let Ok(shard) = self.shard(chunk.shard) else { return };
         let Ok(coll) = shard.db().get_collection(collection) else { return };
 
         // Collect the chunk's resident keys from the owning shard.
@@ -422,7 +570,23 @@ impl Mongos {
         filter: &Filter,
         opts: &FindOptions,
     ) -> Result<Vec<Document>> {
+        self.with_stale_retry(|| self.find_once(collection, filter, opts))
+    }
+
+    fn find_once(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+    ) -> Result<Vec<Document>> {
         let shard_ids = self.route(collection, filter);
+        // A single-shard point read is ownership-checked *after* the
+        // scan (key derived the way upsert seeding does): if the chunk
+        // was surrendered to a migration meanwhile, the scan may have
+        // observed post-flip state through a stale routing view —
+        // surface `StaleRoute` so the retry loop re-targets against
+        // fresh metadata instead of silently missing the row.
+        let point_key = self.point_key(collection, filter, &shard_ids);
         // Compile the filter once at the router; every leg shares it.
         let compiled = compile(filter);
         // A document outside the first `skip + limit` of its own shard's
@@ -455,11 +619,20 @@ impl Mongos {
                 self.read_exchange(
                     id,
                     || {
-                        let db = self.shard(id).read_db(self.read_pref)?;
-                        Ok(match db.get_collection(collection) {
+                        let shard = self.shard(id)?;
+                        let db = shard.read_db(self.read_pref)?;
+                        let docs = match db.get_collection(collection) {
                             Ok(coll) => coll.find_with_shared(filter, &compiled, &leg_opts),
                             Err(_) => Vec::new(),
-                        })
+                        };
+                        if let Some(key) = &point_key {
+                            if !shard.owns(collection, key) {
+                                return Err(Error::StaleRoute(format!(
+                                    "read of '{collection}' raced a chunk migration"
+                                )));
+                            }
+                        }
+                        Ok(docs)
                     },
                     |docs| docs.iter().map(encoded_size).sum(),
                 )
@@ -577,22 +750,55 @@ impl Mongos {
     /// [`DegradedReads::Partial`] unreachable shards are skipped with a
     /// warning and the count covers the reachable ones.
     pub fn try_count(&self, collection: &str, filter: &Filter) -> Result<usize> {
+        self.with_stale_retry(|| self.count_once(collection, filter))
+    }
+
+    /// The shard-key point a single-shard filter pins, if any — the
+    /// ownership-check anchor shared by point reads, counts, and
+    /// updates. `None` for broadcasts and unsharded collections.
+    fn point_key(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        shard_ids: &[ShardId],
+    ) -> Option<doclite_docstore::CompoundKey> {
+        if shard_ids.len() != 1 {
+            return None;
+        }
+        self.config.meta(collection).map(|meta| {
+            meta.key
+                .extract(&doclite_docstore::update::upsert_seed(filter))
+        })
+    }
+
+    fn count_once(&self, collection: &str, filter: &Filter) -> Result<usize> {
         let shard_ids = self.route(collection, filter);
+        let point_key = self.point_key(collection, filter, &shard_ids);
         let mut n = 0;
         for id in shard_ids {
             let leg = self.read_exchange(
                 id,
                 || {
-                    let db = self.shard(id).read_db(self.read_pref)?;
-                    Ok(db
+                    let shard = self.shard(id)?;
+                    let db = shard.read_db(self.read_pref)?;
+                    let c = db
                         .get_collection(collection)
                         .map(|c| c.count(filter))
-                        .unwrap_or(0))
+                        .unwrap_or(0);
+                    if let Some(key) = &point_key {
+                        if !shard.owns(collection, key) {
+                            return Err(Error::StaleRoute(format!(
+                                "count on '{collection}' raced a chunk migration"
+                            )));
+                        }
+                    }
+                    Ok(c)
                 },
                 |_| 16,
             );
             match leg {
                 Ok(c) => n += c,
+                Err(e @ Error::StaleRoute(_)) => return Err(e),
                 Err(e) => match self.degraded {
                     DegradedReads::Fail => return Err(e),
                     DegradedReads::Partial => self.warn(format!("{e}; count may be partial")),
@@ -603,7 +809,8 @@ impl Mongos {
         Ok(n)
     }
 
-    /// Routes an update to the shards its filter targets.
+    /// Routes an update to the shards its filter targets, retrying
+    /// stale routes against refreshed metadata.
     pub fn update(
         &self,
         collection: &str,
@@ -612,18 +819,42 @@ impl Mongos {
         upsert: bool,
         multi: bool,
     ) -> Result<UpdateResult> {
+        self.with_stale_retry(|| self.update_once(collection, filter, spec, upsert, multi))
+    }
+
+    fn update_once(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        spec: &UpdateSpec,
+        upsert: bool,
+        multi: bool,
+    ) -> Result<UpdateResult> {
         let shard_ids = self.route(collection, filter);
+        // A single-shard update is ownership-checked against the key
+        // the filter pins (derived the same way upsert seeding does),
+        // so it can't land on a shard mid-way through surrendering the
+        // chunk. Broadcast updates skip the check — they reach the
+        // migration's destination copy through its own shard anyway.
+        let point_key = self.point_key(collection, filter, &shard_ids);
         let mut total = UpdateResult::default();
         for id in &shard_ids {
+            let shard = self.shard(*id)?;
             let r = self.write_exchange(*id, 64, || {
-                self.shard(*id).replica_set().update(
-                    collection,
-                    filter,
-                    spec,
-                    false,
-                    multi,
-                    self.write_concern,
-                )
+                let run = || {
+                    shard.replica_set().update(
+                        collection,
+                        filter,
+                        spec,
+                        false,
+                        multi,
+                        self.write_concern,
+                    )
+                };
+                match &point_key {
+                    Some(key) => shard.owned_write(collection, key, run),
+                    None => run(),
+                }
             })?;
             self.stats.charge(&self.network, 64);
             total.matched += r.matched;
@@ -635,22 +866,29 @@ impl Mongos {
         if total.matched == 0 && upsert {
             // Upsert lands on the shard owning the seed document's key.
             let seed = doclite_docstore::update::upsert_seed(filter);
-            let shard_id = match self.config.meta(collection) {
+            let (shard_id, seed_key) = match self.config.meta(collection) {
                 Some(meta) => {
                     let key = meta.key.extract(&seed);
-                    meta.chunks[meta.chunk_for(&key)].shard
+                    (meta.chunks[meta.chunk_for(&key)].shard, Some(key))
                 }
-                None => self.primary,
+                None => (self.primary, None),
             };
+            let shard = self.shard(shard_id)?;
             let r = self.write_exchange(shard_id, 64, || {
-                self.shard(shard_id).replica_set().update(
-                    collection,
-                    filter,
-                    spec,
-                    true,
-                    multi,
-                    self.write_concern,
-                )
+                let run = || {
+                    shard.replica_set().update(
+                        collection,
+                        filter,
+                        spec,
+                        true,
+                        multi,
+                        self.write_concern,
+                    )
+                };
+                match &seed_key {
+                    Some(key) => shard.owned_write(collection, key, run),
+                    None => run(),
+                }
             })?;
             self.stats.charge(&self.network, 64);
             total.upserted_id = r.upserted_id;
@@ -667,24 +905,27 @@ impl Mongos {
     /// [`Mongos::delete_many`], surfacing shard unavailability (writes
     /// never degrade to partial application silently).
     pub fn try_delete_many(&self, collection: &str, filter: &Filter) -> Result<usize> {
-        let shard_ids = self.route(collection, filter);
-        let mut n = 0;
-        for id in shard_ids {
-            n += self.write_exchange(id, 16, || {
-                self.shard(id)
-                    .replica_set()
-                    .delete_many(collection, filter, self.write_concern)
-            })?;
-            self.stats.charge(&self.network, 16);
-        }
-        Ok(n)
+        self.with_stale_retry(|| {
+            let shard_ids = self.route(collection, filter);
+            let mut n = 0;
+            for id in shard_ids {
+                let shard = self.shard(id)?;
+                n += self.write_exchange(id, 16, || {
+                    shard
+                        .replica_set()
+                        .delete_many(collection, filter, self.write_concern)
+                })?;
+                self.stats.charge(&self.network, 16);
+            }
+            Ok(n)
+        })
     }
 
     /// Creates an index on every shard's copy of the collection
     /// (replicated to every member, so secondaries can serve
     /// index-backed reads after failover).
     pub fn create_index(&self, collection: &str, def: IndexDef) -> Result<()> {
-        for shard in &self.shards {
+        for shard in self.shards() {
             self.write_exchange(shard.id(), 64, || {
                 shard.replica_set().create_index(collection, def.clone())
             })?;
@@ -706,6 +947,10 @@ impl Mongos {
     /// This transfer of intermediate data is precisely the "expensive
     /// process" of aggregating from multiple nodes the thesis measures.
     pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
+        self.with_stale_retry(|| self.aggregate_once(collection, pipeline))
+    }
+
+    fn aggregate_once(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
         let stages = pipeline.stages();
         let leading: Vec<&Filter> = pipeline.leading_matches();
         let push_down = Filter::and(leading.iter().map(|f| (*f).clone()));
@@ -738,7 +983,7 @@ impl Mongos {
                 self.read_exchange(
                     id,
                     || {
-                        let db = self.shard(id).read_db(self.read_pref)?;
+                        let db = self.shard(id)?.read_db(self.read_pref)?;
                         match db.get_collection(collection) {
                             Ok(coll) => coll.aggregate_with(&leg_pipe, None),
                             Err(_) => Ok(Vec::new()),
@@ -756,12 +1001,13 @@ impl Mongos {
         // $lookup resolves against the primary shard, where unsharded
         // collections live (MongoDB requires the from-collection of a
         // $lookup to be unsharded).
-        let lookup_db = self.shard(self.primary).db();
+        let primary = self.shard(self.primary)?;
+        let lookup_db = primary.db();
         let results = stream::execute_streaming(merged, rest, Some(&*lookup_db))?;
 
         if let Some(name) = out_target {
             let out_bytes: usize = results.iter().map(encoded_size).sum();
-            let rs = self.shard(self.primary).replica_set();
+            let rs = primary.replica_set();
             rs.drop_collection(name);
             // Move the results into the target collection on every
             // member; the returned documents are re-read from the
@@ -778,7 +1024,7 @@ impl Mongos {
 
     /// Total documents stored for a collection across shards.
     pub fn collection_len(&self, collection: &str) -> usize {
-        self.shards
+        self.shards()
             .iter()
             .map(|s| {
                 s.db()
@@ -791,7 +1037,7 @@ impl Mongos {
 
     /// Total data bytes stored for a collection across shards.
     pub fn collection_data_size(&self, collection: &str) -> usize {
-        self.shards
+        self.shards()
             .iter()
             .map(|s| {
                 s.db()
@@ -820,7 +1066,7 @@ impl Mongos {
         // collection on every replica-set member so no stale copy
         // survives the reshard.
         let mut docs: Vec<Document> = Vec::new();
-        for shard in &self.shards {
+        for shard in self.shards() {
             if let Ok(coll) = shard.db().get_collection(collection) {
                 docs.extend(coll.all_docs());
             }
@@ -841,7 +1087,34 @@ impl Mongos {
 
     /// Physically relocates a chunk's documents and updates metadata —
     /// the data-movement half of a balancer migration.
+    ///
+    /// The protocol is a migration critical section that loses no
+    /// concurrent write:
+    ///
+    /// 1. **Surrender** the range on the source shard. The surrender
+    ///    takes the ownership write lock, so it strictly orders
+    ///    against in-flight [`Shard::owned_write`]s: every write that
+    ///    already passed its ownership check completes before the
+    ///    surrender returns, and every later write bounces with
+    ///    [`Error::StaleRoute`] (the router retries it until step 4
+    ///    re-targets it at the destination).
+    /// 2. **Scan** the source for the chunk's resident documents —
+    ///    complete by step 1 — and **copy** them to the destination
+    ///    (reclaiming the range there first, in case it migrated away
+    ///    from the destination earlier).
+    /// 3. **Flip** the routing table. New traffic now targets the
+    ///    destination, where the copies already are.
+    /// 4. **Delete** the copied documents from the source by `_id`.
+    ///
+    /// Between steps 2 and 4 both sides hold the documents; targeted
+    /// reads are unaffected (they see exactly one side), broadcast
+    /// reads can transiently observe duplicates — the same orphan
+    /// window MongoDB's `moveChunk` has before orphan cleanup.
+    ///
+    /// Migration replicates at W1 (primaries only): it is internal
+    /// data movement; a down member catches up at recovery resync.
     pub fn move_chunk(&self, collection: &str, chunk_idx: usize, to: ShardId) -> Result<usize> {
+        let _one_at_a_time = self.migration.lock();
         let meta = self
             .config
             .meta(collection)
@@ -854,32 +1127,80 @@ impl Mongos {
         if chunk.shard == to {
             return Ok(0);
         }
-        let src_rs = self.shard(chunk.shard).replica_set();
-        let src = src_rs.db().collection(collection);
+        let src = self.shard(chunk.shard)?;
+        let dest = self.shard(to)?;
 
-        // Identify resident documents of this chunk.
+        // Step 1: close the source side of the range to new writes.
+        src.surrender_range(collection, chunk.min.clone(), chunk.max.clone());
+
+        // Step 2: the scan now sees every write that ever passed an
+        // ownership check for this range.
+        let src_coll = src.replica_set().db().collection(collection);
         let mut moving: Vec<Document> = Vec::new();
-        src.for_each(|doc| {
+        src_coll.for_each(|doc| {
             if chunk.contains(&meta.key.extract(doc)) {
                 moving.push(doc.clone());
             }
         });
         let bytes: usize = moving.iter().map(encoded_size).sum();
         let n = moving.len();
-        // Migration is internal data movement: it replicates to every
-        // healthy member of both sides but only requires the primaries
-        // (W1) — a down member catches up at recovery resync.
-        for doc in &moving {
-            let id = doc.id().expect("stored docs have _id").clone();
-            src_rs.delete_many(collection, &Filter::eq("_id", id), WriteConcern::W1)?;
-        }
-        self.shard(to)
+        let ids: Vec<_> = moving
+            .iter()
+            .map(|d| d.id().expect("stored docs have _id").clone())
+            .collect();
+
+        dest.reclaim_range(collection, &chunk.min, &chunk.max);
+        if let Err(e) = dest
             .replica_set()
-            .insert_many(collection, moving, WriteConcern::W1)?;
+            .insert_many(collection, moving, WriteConcern::W1)
+        {
+            // Copy failed: roll back. Remove whatever partial copy
+            // landed, reopen the source range, leave routing untouched
+            // — the migration never happened.
+            for id in &ids {
+                let _ = dest.replica_set().delete_many(
+                    collection,
+                    &Filter::eq("_id", id.clone()),
+                    WriteConcern::W1,
+                );
+            }
+            dest.surrender_range(collection, chunk.min.clone(), chunk.max.clone());
+            src.reclaim_range(collection, &chunk.min, &chunk.max);
+            return Err(e);
+        }
+
+        // Step 3: flip routing. The chunk is re-located by occupancy
+        // under the config lock — concurrent splits may have shifted
+        // indices, but splits preserve shard placement, so every chunk
+        // now covering `[min, max)` still points at the source.
+        self.config.with_meta_mut(collection, |m| {
+            for c in &mut m.chunks {
+                if c.shard == chunk.shard
+                    && c.min.cmp_bound(&chunk.min) != std::cmp::Ordering::Less
+                    && c.max.cmp_bound(&chunk.max) != std::cmp::Ordering::Greater
+                {
+                    c.shard = to;
+                }
+            }
+        });
+
+        // Step 4: drop the source copies; routing no longer reaches them.
+        for id in ids {
+            if let Err(e) =
+                src.replica_set()
+                    .delete_many(collection, &Filter::eq("_id", id), WriteConcern::W1)
+            {
+                // The chunk has moved; stragglers on the source are
+                // unreachable by targeted traffic but would show up in
+                // broadcasts. Surface loudly rather than failing the
+                // already-committed migration.
+                self.warn(format!("orphan cleanup after chunk move failed: {e}"));
+            }
+        }
+
         // Source→destination transfer plus two metadata round-trips.
         self.stats.charge(&self.network, bytes);
         self.stats.charge(&self.network, 64);
-        self.config.move_chunk(collection, chunk_idx, to);
         Ok(n)
     }
 }

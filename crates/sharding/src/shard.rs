@@ -5,10 +5,14 @@
 //! `mongod` of the thesis's evaluation cluster and multi-member sets
 //! reproducing Fig 2.5's replicated production topology.
 
-use crate::chunk::ShardId;
+use crate::chunk::{KeyBound, ShardId};
+use doclite_docstore::CompoundKey;
 use crate::replica::{ReadPreference, ReplicaSet};
 use doclite_docstore::wal::SyncPolicy;
-use doclite_docstore::{Database, Result};
+use doclite_docstore::{Database, Error, Result};
+use parking_lot::RwLock;
+use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -18,6 +22,15 @@ pub struct Shard {
     id: ShardId,
     name: String,
     rs: ReplicaSet,
+    /// Key ranges this shard has *surrendered* per collection: the
+    /// migration critical section. A range enters the table when a
+    /// chunk starts moving away and leaves it if a chunk moves back
+    /// (interval subtraction). The table is negative — absent
+    /// collection = owns everything — so unsharded traffic never
+    /// touches it. Writes addressed to a surrendered range fail with
+    /// [`Error::StaleRoute`] instead of landing on a shard the router's
+    /// (stale) view still thinks owns them.
+    surrendered: RwLock<HashMap<String, Vec<(KeyBound, KeyBound)>>>,
 }
 
 impl Shard {
@@ -35,6 +48,7 @@ impl Shard {
             id,
             name: format!("Shard{}", id + 1),
             rs: ReplicaSet::new(format!("{db_name}_s{id}"), members),
+            surrendered: RwLock::new(HashMap::new()),
         }
     }
 
@@ -52,6 +66,7 @@ impl Shard {
             id,
             name: format!("Shard{}", id + 1),
             rs: ReplicaSet::new_durable(format!("{db_name}_s{id}"), members, base_dir, sync)?,
+            surrendered: RwLock::new(HashMap::new()),
         })
     }
 
@@ -95,6 +110,85 @@ impl Shard {
     pub fn data_size(&self) -> usize {
         self.db().data_size()
     }
+
+    /// Marks `[min, max)` of `collection` as no longer owned: the first
+    /// step of a chunk migration. Taken under the write lock, so it
+    /// strictly orders against in-flight [`Shard::owned_write`] calls —
+    /// once this returns, every write the migration's source scan can
+    /// miss is already applied, and every later write bounces with
+    /// [`Error::StaleRoute`].
+    pub fn surrender_range(&self, collection: &str, min: KeyBound, max: KeyBound) {
+        self.surrendered
+            .write()
+            .entry(collection.to_string())
+            .or_default()
+            .push((min, max));
+    }
+
+    /// Returns `[min, max)` of `collection` to this shard's ownership
+    /// (a chunk migrated back in). Interval-subtracts the range from
+    /// every surrendered entry, splitting entries it punches through.
+    pub fn reclaim_range(&self, collection: &str, min: &KeyBound, max: &KeyBound) {
+        let mut table = self.surrendered.write();
+        let Some(ranges) = table.get_mut(collection) else { return };
+        let mut kept = Vec::with_capacity(ranges.len());
+        for (a, b) in ranges.drain(..) {
+            // No overlap with [min, max): keep whole.
+            if b.cmp_bound(min) != Ordering::Greater || a.cmp_bound(max) != Ordering::Less {
+                kept.push((a, b));
+                continue;
+            }
+            if a.cmp_bound(min) == Ordering::Less {
+                kept.push((a, min.clone()));
+            }
+            if max.cmp_bound(&b) == Ordering::Less {
+                kept.push((max.clone(), b));
+            }
+        }
+        if kept.is_empty() {
+            table.remove(collection);
+        } else {
+            *ranges = kept;
+        }
+    }
+
+    /// True if this shard still owns `key` in `collection` (i.e. the
+    /// key lies in no surrendered range).
+    pub fn owns(&self, collection: &str, key: &CompoundKey) -> bool {
+        let table = self.surrendered.read();
+        match table.get(collection) {
+            None => true,
+            Some(ranges) => !ranges.iter().any(|(min, max)| {
+                min.cmp_key(key) != Ordering::Greater && max.cmp_key(key) == Ordering::Greater
+            }),
+        }
+    }
+
+    /// Runs a key-addressed write against this shard *while holding the
+    /// ownership read lock*, so the write cannot interleave with a
+    /// migration's surrender-then-scan: either it lands before the
+    /// surrender (and the scan copies it) or it observes the surrender
+    /// and bounces with [`Error::StaleRoute`] without running `op`.
+    pub fn owned_write<T>(
+        &self,
+        collection: &str,
+        key: &CompoundKey,
+        op: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        let table = self.surrendered.read();
+        let stale = table.get(collection).is_some_and(|ranges| {
+            ranges.iter().any(|(min, max)| {
+                min.cmp_key(key) != Ordering::Greater && max.cmp_key(key) == Ordering::Greater
+            })
+        });
+        if stale {
+            return Err(Error::StaleRoute(format!(
+                "{} no longer owns the targeted range of '{collection}'",
+                self.name
+            )));
+        }
+        op()
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +209,40 @@ mod tests {
         s.db().collection("c").insert_one(doc! {"a" => 1i64}).unwrap();
         assert_eq!(s.db().get_collection("c").unwrap().len(), 1);
         assert!(s.data_size() > 0);
+    }
+
+    #[test]
+    fn ownership_surrender_reclaim_roundtrip() {
+        use doclite_bson::Value;
+        let key = |v: i64| CompoundKey::from_values(vec![Value::Int64(v)]);
+        let bound = |v: i64| KeyBound::Key(key(v));
+        let s = Shard::new(0, "d");
+        // Default: owns everything, and owned_write runs the op.
+        assert!(s.owns("c", &key(5)));
+        assert_eq!(s.owned_write("c", &key(5), || Ok(1)).unwrap(), 1);
+
+        s.surrender_range("c", bound(10), bound(20));
+        assert!(s.owns("c", &key(9)));
+        assert!(!s.owns("c", &key(10)));
+        assert!(!s.owns("c", &key(19)));
+        assert!(s.owns("c", &key(20)));
+        // Other collections are unaffected.
+        assert!(s.owns("other", &key(15)));
+        // A write into the surrendered range bounces without running.
+        let err = s
+            .owned_write("c", &key(15), || -> Result<()> { panic!("op must not run") })
+            .unwrap_err();
+        assert!(matches!(err, Error::StaleRoute(_)));
+
+        // Reclaiming the middle splits the surrendered range.
+        s.reclaim_range("c", &bound(13), &bound(16));
+        assert!(!s.owns("c", &key(12)));
+        assert!(s.owns("c", &key(14)));
+        assert!(!s.owns("c", &key(17)));
+        // Reclaiming supersets clears the table entirely.
+        s.reclaim_range("c", &KeyBound::MinKey, &KeyBound::MaxKey);
+        assert!(s.owns("c", &key(12)));
+        assert!(s.surrendered.read().is_empty());
     }
 
     #[test]

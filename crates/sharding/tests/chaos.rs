@@ -262,7 +262,8 @@ fn writes_fail_over_to_new_primary() {
     let cluster = replicated_cluster(1, 3, WriteConcern::Majority);
     cluster.router().insert_one("facts", doc! {"k" => 1i64}).unwrap();
 
-    let rs = cluster.router().shards()[0].replica_set();
+    let shards = cluster.router().shards();
+    let rs = shards[0].replica_set();
     assert_eq!(rs.primary_index(), 0);
     rs.fail_member(0);
     assert_eq!(rs.primary_index(), 1);
@@ -406,7 +407,8 @@ fn total_shard_crash_recovers_every_acked_write_from_disk() {
     }
     // Compact the first half into checkpoints, then keep writing so
     // recovery must stitch checkpoint state and the WAL tail together.
-    let rs = cluster.router().shards()[0].replica_set();
+    let shards = cluster.router().shards();
+    let rs = shards[0].replica_set();
     rs.checkpoint_all().unwrap();
     for i in 40..60i64 {
         cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
@@ -444,7 +446,8 @@ fn restarted_member_catches_up_on_writes_it_missed() {
     for i in 0..10i64 {
         cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
     }
-    let rs = cluster.router().shards()[0].replica_set();
+    let shards = cluster.router().shards();
+    let rs = shards[0].replica_set();
     rs.crash_member(2);
     for i in 10..25i64 {
         cluster.router().insert_one("facts", doc! {"k" => i}).unwrap();
@@ -573,7 +576,8 @@ proptest! {
                     }
                 }
                 DurableOp::Fail { shard, member } => {
-                    let rs = cluster.router().shards()[shard].replica_set();
+                    let shards = cluster.router().shards();
+                    let rs = shards[shard].replica_set();
                     // Failing the link of a dead process is meaningless
                     // (and would erase the crashed marker).
                     if rs.member_state(member) != MemberState::Crashed {
@@ -581,7 +585,8 @@ proptest! {
                     }
                 }
                 DurableOp::Crash { shard, member } => {
-                    let rs = cluster.router().shards()[shard].replica_set();
+                    let shards = cluster.router().shards();
+                    let rs = shards[shard].replica_set();
                     let up = (0..rs.member_count())
                         .filter(|&m| rs.member_state(m) == MemberState::Up)
                         .count();
@@ -599,4 +604,91 @@ proptest! {
         prop_assert_eq!(cluster.router().collection_len("facts"), 120 + acked);
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// PR-8 acceptance scenario: an *elastic* seeded schedule adds shards,
+/// drain-removes shards, and fires balancing rounds while members
+/// crash, links fail, and shards partition — all under a seeded,
+/// re-derivable write stream. After the storm the cluster is healed,
+/// interrupted drains are finished, and the check demands both replica
+/// convergence and byte-exact content for every acknowledged ticket:
+/// any document an elastic reconfiguration lost, doubled, or mangled
+/// fails the run. Runs at two seeds.
+#[test]
+fn elastic_seeded_schedule_preserves_content_across_reconfiguration() {
+    for seed in [0xE1A5_0001u64, 0xE1A5_0002] {
+        elastic_chaos_run(seed);
+    }
+}
+
+fn elastic_chaos_run(seed: u64) {
+    const STEPS: usize = 250;
+    let derive = |id: i64| doc! {"_id" => id, "k" => id, "pad" => "e".repeat(24)};
+    let cluster = ShardedCluster::with_config(ClusterConfig {
+        n_shards: 3,
+        replicas_per_shard: 3,
+        db_name: "elastic".into(),
+        write_concern: WriteConcern::W1,
+        retry: RetryPolicy::elastic(),
+        ..ClusterConfig::default()
+    });
+    cluster
+        .shard_collection("facts", ShardKey::range(["k"]), 4 * 1024)
+        .unwrap();
+    let mut acked: Vec<i64> = Vec::new();
+    for id in 0..150i64 {
+        cluster.router().insert_one("facts", derive(id)).unwrap();
+        acked.push(id);
+    }
+    cluster.balance().unwrap();
+
+    let schedule = ChaosSchedule::seeded_elastic(seed, STEPS, 3, 3);
+    let topology_events = schedule
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.action,
+                FaultAction::AddShard | FaultAction::RemoveShard { .. } | FaultAction::Rebalance
+            )
+        })
+        .count();
+    assert!(
+        topology_events > 0,
+        "seed {seed:#x}: an elastic schedule must reshape the topology"
+    );
+
+    let mut write_failures = 0usize;
+    for step in 0..STEPS {
+        schedule.apply_due(&cluster, step);
+        let id = 1000 + step as i64;
+        match cluster.router().insert_one("facts", derive(id)) {
+            Ok(()) => acked.push(id),
+            Err(_) => write_failures += 1,
+        }
+        if step % 20 == 0 {
+            // Scatter-gather mid-reconfiguration: may fail while a
+            // shard is partitioned, must never panic or wedge.
+            let _ = cluster
+                .router()
+                .try_find_with("facts", &Filter::True, &Default::default());
+        }
+    }
+    assert!(
+        acked.len() > 150,
+        "seed {seed:#x}: retries should land most writes ({write_failures} failed)"
+    );
+
+    chaos::heal_all(&cluster);
+    cluster.finish_drains().unwrap();
+    cluster.balance().unwrap();
+    let report = chaos::check_convergence_with_content(
+        &cluster,
+        "facts",
+        "k",
+        acked.iter().copied(),
+        derive,
+    )
+    .unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+    assert_eq!(report.checked, acked.len());
 }

@@ -5,7 +5,8 @@
 use doclite_bson::doc;
 use doclite_docstore::Filter;
 use doclite_sharding::{
-    ClusterConfig, DegradedReads, NetworkModel, RetryPolicy, ShardKey, ShardedCluster,
+    check_content, ClusterConfig, DegradedReads, NetworkModel, RetryPolicy, ShardKey,
+    ShardedCluster,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -66,7 +67,9 @@ fn chunk_accounting_is_exact_under_concurrent_splits() {
     // far past this tolerance.
     for (i, chunk) in meta.chunks.iter().enumerate() {
         let mut resident = 0usize;
-        let coll = router.shards()[chunk.shard]
+        let coll = router
+            .shard(chunk.shard)
+            .unwrap()
             .db()
             .get_collection("facts")
             .unwrap();
@@ -82,6 +85,54 @@ fn chunk_accounting_is_exact_under_concurrent_splits() {
             chunk.docs
         );
     }
+}
+
+/// Chunk-migration atomicity: 8 writer threads pour seeded,
+/// re-derivable documents into one hot chunk while a mover thread
+/// bounces that chunk between the two shards. Writers ride the
+/// stale-route retry protocol (elastic policy: jittered backoff plus a
+/// per-op deadline), so once everyone joins, every ticket must exist
+/// exactly once with exactly its derived bytes — a missing or doubled
+/// document means the migration critical section leaked a racing write.
+#[test]
+fn chunk_migration_is_atomic_under_concurrent_inserts() {
+    const WRITERS: i64 = 8;
+    const DOCS: i64 = 150;
+    const MOVES: usize = 30;
+    let derive = |id: i64| doc! {"_id" => id, "t" => id, "pad" => "m".repeat(32)};
+    let cluster = ShardedCluster::with_config(ClusterConfig {
+        n_shards: 2,
+        db_name: "atomic".into(),
+        network: NetworkModel::free(),
+        retry: RetryPolicy::elastic(),
+        ..ClusterConfig::default()
+    });
+    // One huge chunk: every insert and every migration fight over it.
+    cluster
+        .shard_collection("sales", ShardKey::range(["t"]), 64 * 1024 * 1024)
+        .unwrap();
+    let router = cluster.router();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            s.spawn(move || {
+                for i in 0..DOCS {
+                    router.insert_one("sales", derive(w * DOCS + i)).unwrap();
+                }
+            });
+        }
+        s.spawn(|| {
+            for m in 0..MOVES {
+                let to = (m % 2 == 0) as usize; // bounce 1, 0, 1, 0, …
+                router.move_chunk("sales", 0, to).unwrap();
+            }
+        });
+    });
+
+    let total = (WRITERS * DOCS) as usize;
+    assert_eq!(router.count("sales", &Filter::True), total);
+    let report = check_content(&cluster, "sales", "t", 0..WRITERS * DOCS, derive);
+    assert_eq!(report.checked, total);
+    assert!(report.is_clean(), "migration leaked writes: {report:?}");
 }
 
 /// Concurrent broadcast readers against a partitioned shard record one

@@ -24,12 +24,17 @@
 
 pub mod driver;
 pub mod hist;
+pub mod reconfig;
 pub mod report;
 pub mod sched;
 pub mod workload;
 
 pub use driver::{run_stress, worker_seed, StressConfig, StressResult, Workload};
 pub use hist::LogHistogram;
+pub use reconfig::{
+    derive_sale_doc, run_scenario, validate_reconfig_report, IntervalStat, ReconfigConfig,
+    ReconfigReport, ReconfigScenario, ScenarioResult, RECONFIG_SCHEMA,
+};
 pub use report::{validate_report, CellResult, Scaling, StressReport, SCHEMA};
 pub use sched::{RateLimiter, RateMode};
 pub use workload::{MixedWorkload, OpKind, OpMix, StressEnv};
