@@ -36,6 +36,17 @@ pub enum Error {
     /// cluster). Retryable: the router must refresh its routing view
     /// and re-target before trying again.
     StaleRoute(String),
+    /// A change-stream resume token (WAL sequence number) older than
+    /// what the log can still replay: a checkpoint truncated the frames
+    /// the caller would need. Not retryable with the same token — the
+    /// caller must fall back to a full re-read and resume from
+    /// `oldest` or later.
+    TruncatedToken {
+        /// The token the caller presented.
+        token: u64,
+        /// The oldest sequence number still replayable.
+        oldest: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -54,6 +65,11 @@ impl fmt::Display for Error {
             Error::Unavailable(msg) => write!(f, "unavailable: {msg}"),
             Error::Storage(msg) => write!(f, "storage: {msg}"),
             Error::StaleRoute(msg) => write!(f, "stale route: {msg}"),
+            Error::TruncatedToken { token, oldest } => write!(
+                f,
+                "resume token {token} was truncated by a checkpoint (oldest replayable seq \
+                 is {oldest}); fall back to a full re-read"
+            ),
         }
     }
 }

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod agg;
+pub mod changes;
 pub mod collection;
 pub mod columnar;
 pub mod database;
@@ -38,6 +39,7 @@ pub mod pool;
 pub mod query;
 pub mod storage;
 pub mod update;
+pub mod views;
 pub mod wal;
 
 pub use agg::{
@@ -55,8 +57,11 @@ pub use ordvalue::{CompoundKey, OrdValue};
 pub use query::{compile, matches_compiled, CmpOp, CompiledFilter, Filter};
 pub use storage::{crc32, Crc32, DocId, StorageFaults};
 pub use update::{UpdateOp, UpdateResult, UpdateSpec};
+pub use changes::{watch, ChangeCursor, ChangeEvent, ChangeScope};
+pub use views::{ViewSet, ViewStats};
 pub use wal::{
-    db_fingerprint, scan_wal, DurableDb, RecoveryReport, SyncPolicy, Wal, WalOptions, WalRecord,
+    apply_record, db_fingerprint, scan_wal, DurableDb, Frame, RecoveryReport, SyncPolicy, Wal,
+    WalOptions, WalRecord,
 };
 
 /// Compile-time proof that the types worker threads share by reference

@@ -107,6 +107,11 @@ pub enum WalRecord {
     /// is the final frame, recovery verifies the replayed state against
     /// it.
     Seal { fingerprint: Document },
+    /// A heartbeat: no state change, but it advances the sequence
+    /// number and flows through change streams. Appended after each
+    /// checkpoint truncation (and on idle view refreshes) so resume
+    /// tokens stay observably live without real traffic.
+    Noop,
 }
 
 fn index_def_to_doc(def: &IndexDef) -> Document {
@@ -150,6 +155,20 @@ fn index_def_from_doc(d: &Document) -> Option<IndexDef> {
 }
 
 impl WalRecord {
+    /// The collection this record targets; `None` for stream-control
+    /// markers (`Seal`, `Noop`), which every change-stream scope sees.
+    pub fn coll(&self) -> Option<&str> {
+        match self {
+            WalRecord::Insert { coll, .. }
+            | WalRecord::Update { coll, .. }
+            | WalRecord::Delete { coll, .. }
+            | WalRecord::CreateIndex { coll, .. }
+            | WalRecord::DropIndex { coll, .. }
+            | WalRecord::DropCollection { coll } => Some(coll),
+            WalRecord::Seal { .. } | WalRecord::Noop => None,
+        }
+    }
+
     /// Encodes the record as its BSON frame body.
     pub fn to_doc(&self) -> Document {
         match self {
@@ -175,6 +194,7 @@ impl WalRecord {
             WalRecord::Seal { fingerprint } => {
                 doc! {"op" => "seal", "fp" => Value::Document(fingerprint.clone())}
             }
+            WalRecord::Noop => doc! {"op" => "noop"},
         }
     }
 
@@ -216,6 +236,7 @@ impl WalRecord {
                 Value::Document(fp) => WalRecord::Seal { fingerprint: fp.clone() },
                 _ => return None,
             },
+            "noop" => WalRecord::Noop,
             _ => return None,
         })
     }
@@ -234,7 +255,15 @@ struct WalInner {
     /// torn region would leave frames a recovery scan can never reach,
     /// so further appends and seals are refused instead.
     poisoned: Option<String>,
+    /// The file holds exactly the frames with seq in `(file_floor,
+    /// next_seq)`: everything at or below the floor was truncated away
+    /// by a checkpoint (or predates this incarnation of the log).
+    file_floor: u64,
 }
+
+/// Default in-memory change-hub retention, in frames (see
+/// [`Wal::set_change_capacity`]).
+const DEFAULT_CHANGE_BUFFER: usize = 1024;
 
 /// The write-ahead log: an append-only checksummed frame stream.
 pub struct Wal {
@@ -242,6 +271,9 @@ pub struct Wal {
     sync: SyncPolicy,
     faults: Option<Arc<StorageFaults>>,
     inner: Mutex<WalInner>,
+    /// In-memory tail of recently committed frames, for change-stream
+    /// cursors and log-shipping catch-up; survives log truncation.
+    hub: crate::changes::ChangeHub,
 }
 
 impl Wal {
@@ -253,14 +285,16 @@ impl Wal {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let (valid_len, next_seq) = if path.exists() {
+        let (valid_len, next_seq, file_floor) = if path.exists() {
             let scan = scan_wal(&path)?;
-            (scan.valid_len, scan.frames.last().map_or(1, |f| f.seq + 1))
+            let next = scan.frames.last().map_or(1, |f| f.seq + 1);
+            let floor = scan.frames.first().map_or(next - 1, |f| f.seq - 1);
+            (scan.valid_len, next, floor)
         } else {
             let mut f = File::create(&path)?;
             f.write_all(WAL_MAGIC)?;
             f.sync_data()?;
-            (WAL_MAGIC.len() as u64, 1)
+            (WAL_MAGIC.len() as u64, 1, 0)
         };
         let file = OpenOptions::new().read(true).write(true).open(&path)?;
         file.set_len(valid_len)?;
@@ -276,7 +310,9 @@ impl Wal {
                 commits_since_sync: 0,
                 len: valid_len,
                 poisoned: None,
+                file_floor,
             }),
+            hub: crate::changes::ChangeHub::new(DEFAULT_CHANGE_BUFFER),
         }))
     }
 
@@ -298,6 +334,65 @@ impl Wal {
     pub fn reserve_seq(&self, min_next: u64) {
         let mut inner = self.inner.lock();
         inner.next_seq = inner.next_seq.max(min_next);
+        if inner.len == WAL_MAGIC.len() as u64 {
+            // An empty log holds no frames at all, so nothing at or
+            // below the new tip is replayable from it.
+            inner.file_floor = inner.file_floor.max(inner.next_seq - 1);
+        }
+    }
+
+    /// The sequence number of the most recently issued frame (0 when
+    /// none have ever been issued). Doubles as the "current position"
+    /// resume token for a change stream that wants only future events.
+    pub fn last_seq(&self) -> u64 {
+        self.inner.lock().next_seq - 1
+    }
+
+    /// Appends a [`WalRecord::Noop`] heartbeat frame: no state change,
+    /// but the sequence advances and change-stream cursors observe it.
+    pub fn heartbeat(&self) -> Result<u64> {
+        self.append(&WalRecord::Noop)
+    }
+
+    /// Resizes the in-memory change-hub retention window (frames kept
+    /// for cursor catch-up after the file itself is truncated).
+    pub fn set_change_capacity(&self, capacity: usize) {
+        // Taking `inner` first keeps the lock order publish uses.
+        let _inner = self.inner.lock();
+        self.hub.set_capacity(capacity);
+    }
+
+    /// The change hub cursors subscribe to.
+    pub(crate) fn change_hub(&self) -> &crate::changes::ChangeHub {
+        &self.hub
+    }
+
+    /// Every committed frame with a sequence number above `token`, in
+    /// order, or [`Error::TruncatedToken`] when a checkpoint truncated
+    /// (and the in-memory hub evicted) part of that range. An empty vec
+    /// means the caller is already at the tip. This is the catch-up
+    /// surface shared by change-stream cursors and replica log
+    /// shipping.
+    pub fn frames_since(&self, token: u64) -> Result<Vec<Frame>> {
+        let inner = self.inner.lock();
+        let tip = inner.next_seq - 1;
+        if token >= tip {
+            return Ok(Vec::new());
+        }
+        // The hub's ring buffer holds the newest frames; prefer it (no
+        // I/O). The file covers everything since the last truncation,
+        // including what the ring already evicted.
+        if let Some(frames) = self.hub.buffered_after(token) {
+            return Ok(frames);
+        }
+        if token >= inner.file_floor {
+            let scan = scan_wal(&self.path)?;
+            return Ok(scan.frames.into_iter().filter(|f| f.seq > token).collect());
+        }
+        let oldest = self.hub.oldest_buffered().map_or(inner.file_floor, |s| {
+            inner.file_floor.min(s.saturating_sub(1))
+        });
+        Err(Error::TruncatedToken { token, oldest })
     }
 
     /// Why the log refuses writes, if a prior failure poisoned it.
@@ -424,6 +519,15 @@ impl Wal {
             inner.poisoned = Some(format!("commit fsync failed: {e}"));
             return Err(e);
         }
+        // Publish only after the whole batch committed: a rewound batch
+        // must never surface as change events. The `inner` lock is
+        // still held, so subscribers observe frames in sequence order.
+        self.hub.publish(
+            records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| Frame { seq: start_seq + i as u64, record: r.clone() }),
+        );
         Ok(last)
     }
 
@@ -449,6 +553,9 @@ impl Wal {
         inner.len = WAL_MAGIC.len() as u64;
         inner.file.seek(SeekFrom::End(0))?;
         inner.file.sync_data()?;
+        // Frames the file just dropped remain replayable only while the
+        // change hub still buffers them.
+        inner.file_floor = inner.next_seq - 1;
         Ok(())
     }
 
@@ -548,9 +655,11 @@ pub fn scan_wal(path: &Path) -> Result<WalScan> {
     })
 }
 
-/// Applies one replayed record to a database (which must *not* have a
-/// WAL attached yet, or replay would re-log itself).
-fn apply_record(db: &Database, record: &WalRecord) -> Result<()> {
+/// Applies one logged record to a database. Recovery replay calls this
+/// on a database that does *not* have a WAL attached yet (replay must
+/// not re-log itself); replica log shipping calls it on a live member,
+/// where re-logging into the member's own WAL is exactly the point.
+pub fn apply_record(db: &Database, record: &WalRecord) -> Result<()> {
     match record {
         WalRecord::Insert { coll, doc } => {
             db.collection(coll).insert_one(doc.clone())?;
@@ -577,7 +686,7 @@ fn apply_record(db: &Database, record: &WalRecord) -> Result<()> {
         WalRecord::DropCollection { coll } => {
             db.drop_collection(coll);
         }
-        WalRecord::Seal { .. } => {}
+        WalRecord::Seal { .. } | WalRecord::Noop => {}
     }
     Ok(())
 }
@@ -799,7 +908,11 @@ impl DurableDb {
         // loss could keep the truncation but lose the swap, leaving the
         // old (or no) checkpoint plus an empty log.
         fsync_dir(&self.dir)?;
-        self.wal.truncate()
+        self.wal.truncate()?;
+        // Heartbeat so change-stream cursors see a frame past the
+        // truncation point instead of an indistinguishable silence.
+        self.wal.heartbeat()?;
+        Ok(())
     }
 
     /// Clean shutdown: appends a fingerprint-carrying seal frame and
@@ -992,7 +1105,8 @@ mod tests {
         }
         let (d, report) = DurableDb::open("db", &dir, opts_always()).unwrap();
         assert_eq!(report.checkpoint_docs, 50);
-        assert_eq!(report.frames_replayed, 1);
+        // The post-checkpoint heartbeat Noop plus the real insert.
+        assert_eq!(report.frames_replayed, 2);
         let c = d.db().get_collection("c").unwrap();
         assert_eq!(c.len(), 51);
         assert!(c.index_defs().iter().any(|x| x.name == "v_1"), "index survived checkpoint");
@@ -1067,14 +1181,14 @@ mod tests {
             d.db().collection("c").insert_many((0..5i64).map(|i| doc! {"_id" => i})).unwrap();
             d.checkpoint().unwrap();
         }
-        // The log is empty post-checkpoint; a reopened WAL would restart
-        // numbering at 1 without the reservation.
+        // Post-checkpoint the log holds only the heartbeat Noop (seq 6);
+        // a reopened WAL must keep numbering above it.
         let (d, _) = DurableDb::open("db", &dir, opts_always()).unwrap();
-        assert_eq!(d.wal().next_seq(), 6);
+        assert_eq!(d.wal().next_seq(), 7);
         d.db().get_collection("c").unwrap().insert_one(doc! {"_id" => 10i64}).unwrap();
         drop(d);
         let (d, report) = DurableDb::open("db", &dir, opts_always()).unwrap();
-        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(report.frames_replayed, 2);
         assert_eq!(d.db().get_collection("c").unwrap().len(), 6);
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -22,12 +22,13 @@
 //!   against pre-checked member health alone.
 
 use doclite_bson::Document;
-use doclite_docstore::wal::{DurableDb, RecoveryReport, SyncPolicy, WalOptions};
+use doclite_docstore::wal::{apply_record, DurableDb, RecoveryReport, SyncPolicy, Wal, WalOptions};
 use doclite_docstore::{
     Database, Error, Filter, FindOptions, IndexDef, Result, UpdateResult, UpdateSpec,
 };
 use parking_lot::RwLock;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Health of one replica-set member.
@@ -97,6 +98,22 @@ struct Member {
     db: Arc<Database>,
     state: MemberState,
     durable: Option<MemberDurability>,
+    /// The highest primary-WAL sequence this member's copy reflects —
+    /// its log-shipping resume token. Advanced on every acknowledged
+    /// apply and on resync; zeroed by a crash (memory gone).
+    synced_to: u64,
+}
+
+/// How members were brought back in sync (see
+/// [`ReplicaSet::resync_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResyncStats {
+    /// Catch-ups served incrementally from the primary's log tail.
+    pub log_shipped: u64,
+    /// Catch-ups that fell back to a full copy (non-durable primary,
+    /// token truncated by a checkpoint, or a diverged member whose
+    /// frame apply failed).
+    pub full_copies: u64,
 }
 
 /// A replica set: one primary plus secondaries holding copies of the
@@ -105,6 +122,8 @@ pub struct ReplicaSet {
     name: String,
     members: RwLock<Vec<Member>>,
     primary: RwLock<usize>,
+    log_shipped: AtomicU64,
+    full_copies: AtomicU64,
 }
 
 // Lock ordering: `members` before `primary`, everywhere. Every method
@@ -121,9 +140,16 @@ impl ReplicaSet {
                 db: Arc::new(Database::new(format!("{name}_m{i}"))),
                 state: MemberState::Up,
                 durable: None,
+                synced_to: 0,
             })
             .collect();
-        ReplicaSet { name, members: RwLock::new(members), primary: RwLock::new(0) }
+        ReplicaSet {
+            name,
+            members: RwLock::new(members),
+            primary: RwLock::new(0),
+            log_shipped: AtomicU64::new(0),
+            full_copies: AtomicU64::new(0),
+        }
     }
 
     /// Creates a set whose members are durable: each member keeps a WAL
@@ -151,9 +177,16 @@ impl ReplicaSet {
                 db: Arc::clone(handle.db()),
                 state: MemberState::Up,
                 durable: Some(MemberDurability { dir, sync, handle: Some(handle) }),
+                synced_to: 0,
             });
         }
-        Ok(ReplicaSet { name, members: RwLock::new(members), primary: RwLock::new(0) })
+        Ok(ReplicaSet {
+            name,
+            members: RwLock::new(members),
+            primary: RwLock::new(0),
+            log_shipped: AtomicU64::new(0),
+            full_copies: AtomicU64::new(0),
+        })
     }
 
     /// The set name.
@@ -197,6 +230,12 @@ impl ReplicaSet {
     /// checks).
     pub fn member_db(&self, index: usize) -> Arc<Database> {
         Arc::clone(&self.members.read()[index].db)
+    }
+
+    /// A durable member's live WAL handle (inspection: change streams,
+    /// log-shipping tests); `None` while crashed or non-durable.
+    pub fn member_wal(&self, index: usize) -> Option<Arc<Wal>> {
+        Self::wal_of(&self.members.read()[index]).cloned()
     }
 
     /// The primary's database for serving traffic; fails when the
@@ -278,13 +317,22 @@ impl ReplicaSet {
             )));
         }
         let result = primary_op(&members[primary].db)?;
+        // The primary's log position after this write: a secondary that
+        // acknowledges it is synced through here, which is the resume
+        // token a later log-shipping catch-up starts from.
+        let tip = Self::wal_of(&members[primary]).map(|w| w.last_seq());
         let mut acked = 1usize;
         for (i, m) in members.iter_mut().enumerate() {
             if i == primary || m.state != MemberState::Up {
                 continue;
             }
             match secondary_op(&m.db, &result) {
-                Ok(()) => acked += 1,
+                Ok(()) => {
+                    acked += 1;
+                    if let Some(tip) = tip {
+                        m.synced_to = tip;
+                    }
+                }
                 // The member's copy may now trail the primary: take it
                 // out of rotation until recovery resyncs it.
                 Err(_) => m.state = MemberState::Stale,
@@ -458,13 +506,23 @@ impl ReplicaSet {
     /// Drops a collection on every healthy member; true if the primary
     /// had it.
     pub fn drop_collection(&self, collection: &str) -> bool {
-        let members = self.members.write();
+        let mut members = self.members.write();
         let primary = *self.primary.read();
         let mut existed = false;
         for (i, m) in members.iter().enumerate() {
             let dropped = m.db.drop_collection(collection);
             if i == primary {
                 existed = dropped;
+            }
+        }
+        // Healthy members got the drop; replaying the DropCollection
+        // frame onto an unhealthy one later is idempotent, so their
+        // tokens are left where they were.
+        if let Some(tip) = Self::wal_of(&members[primary]).map(|w| w.last_seq()) {
+            for m in members.iter_mut() {
+                if m.state == MemberState::Up {
+                    m.synced_to = tip;
+                }
             }
         }
         existed
@@ -538,8 +596,50 @@ impl ReplicaSet {
             *primary = index;
             return;
         }
-        Self::resync_from(&mut members, *primary, index);
+        if Self::ship_log(&mut members, *primary, index) {
+            self.log_shipped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            Self::resync_from(&mut members, *primary, index);
+            self.full_copies.fetch_add(1, Ordering::Relaxed);
+        }
         members[index].state = MemberState::Up;
+    }
+
+    /// The primary-side WAL of a member, when it is durable and alive.
+    fn wal_of(member: &Member) -> Option<&Arc<Wal>> {
+        member
+            .durable
+            .as_ref()
+            .and_then(|d| d.handle.as_ref())
+            .map(|h| h.wal())
+    }
+
+    /// Tries to catch `index` up by replaying the primary's log tail
+    /// above the member's resume token instead of copying everything.
+    /// Returns `false` — leaving the member for a full resync — when
+    /// the primary keeps no log, a checkpoint truncated the needed
+    /// range, or a frame fails to apply (a diverged copy: e.g. replaying
+    /// an insert the member half-applied before going stale trips its
+    /// unique `_id` check).
+    fn ship_log(members: &mut [Member], primary: usize, index: usize) -> bool {
+        let Some(wal) = Self::wal_of(&members[primary]).cloned() else {
+            return false;
+        };
+        let Ok(frames) = wal.frames_since(members[index].synced_to) else {
+            return false;
+        };
+        let target = Arc::clone(&members[index].db);
+        let mut token = members[index].synced_to;
+        for frame in &frames {
+            // Re-logging into the member's own WAL is intended: the
+            // shipped writes must survive the member's next crash too.
+            if apply_record(&target, &frame.record).is_err() {
+                return false;
+            }
+            token = frame.seq;
+        }
+        members[index].synced_to = token;
+        true
     }
 
     /// Rebuilds `index`'s data in place from `primary`'s copy. When the
@@ -559,6 +659,19 @@ impl ReplicaSet {
             }
             dst.insert_many(src.all_docs()).ok();
         }
+        // The copy reflects the primary as of now (the members lock
+        // blocks concurrent writes), so the token moves to its tip.
+        members[index].synced_to =
+            Self::wal_of(&members[primary]).map_or(0, |w| w.last_seq());
+    }
+
+    /// How recoveries were served so far: incrementally from the log
+    /// tail vs. by full copy.
+    pub fn resync_stats(&self) -> ResyncStats {
+        ResyncStats {
+            log_shipped: self.log_shipped.load(Ordering::Relaxed),
+            full_copies: self.full_copies.load(Ordering::Relaxed),
+        }
     }
 
     /// Kills a member's *process*: its in-memory database is replaced by
@@ -573,6 +686,9 @@ impl ReplicaSet {
             let m = &mut members[index];
             m.state = MemberState::Crashed;
             m.db = Arc::new(Database::new(format!("{}_m{index}_crashed", self.name)));
+            // The in-memory copy the token described is gone; what disk
+            // preserved is judged afresh by restart_member.
+            m.synced_to = 0;
             if let Some(d) = &mut m.durable {
                 d.handle = None;
             }
@@ -947,6 +1063,116 @@ mod tests {
         rs.insert_one("c", doc! {"k" => 77i64}, WriteConcern::Majority).unwrap();
         rs.restart_member(2).unwrap();
         // Nothing on disk, but the primary survived: full resync.
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 11);
+    }
+
+    #[test]
+    fn recovered_durable_member_catches_up_by_log_shipping() {
+        let dir = tmp("logship");
+        let rs = ReplicaSet::new_durable("rs0", 3, &dir, SyncPolicy::Never).unwrap();
+        for i in 0..10i64 {
+            rs.insert_one("c", doc! {"_id" => i}, WriteConcern::All).unwrap();
+        }
+        rs.fail_member(2);
+        for i in 10..25i64 {
+            rs.insert_one("c", doc! {"_id" => i}, WriteConcern::Majority).unwrap();
+        }
+        rs.update(
+            "c",
+            &Filter::eq("_id", 3i64),
+            &UpdateSpec::set("v", 1i64),
+            false,
+            false,
+            WriteConcern::Majority,
+        )
+        .unwrap();
+        rs.delete_many("c", &Filter::eq("_id", 7i64), WriteConcern::Majority).unwrap();
+
+        rs.recover_member(2);
+        let stats = rs.resync_stats();
+        assert_eq!(stats, ResyncStats { log_shipped: 1, full_copies: 0 });
+        let member = rs.member_db(2).get_collection("c").unwrap();
+        assert_eq!(member.len(), 24);
+        assert_eq!(
+            member.find_one(&Filter::eq("_id", 3i64)).unwrap().get("v"),
+            Some(&doclite_bson::Value::Int64(1))
+        );
+        assert!(member.find_one(&Filter::eq("_id", 7i64)).is_none());
+        // The shipped writes are on the member's own log: survive a
+        // crash without a surviving primary.
+        rs.crash_member(2);
+        rs.crash_member(1);
+        rs.crash_member(0);
+        rs.restart_member(2).unwrap();
+        assert_eq!(rs.primary_index(), 2);
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 24);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_truncation_forces_full_copy_fallback() {
+        let dir = tmp("logship-trunc");
+        let rs = ReplicaSet::new_durable("rs0", 3, &dir, SyncPolicy::Never).unwrap();
+        rs.insert_one("c", doc! {"_id" => 0i64}, WriteConcern::All).unwrap();
+        rs.fail_member(2);
+        // Shrink the primary's in-memory log tail so the checkpoint's
+        // truncation really strands the member's token.
+        rs.member_wal(rs.primary_index()).unwrap().set_change_capacity(1);
+        for i in 1..10i64 {
+            rs.insert_one("c", doc! {"_id" => i}, WriteConcern::Majority).unwrap();
+        }
+        rs.checkpoint_all().unwrap();
+        rs.recover_member(2);
+        let stats = rs.resync_stats();
+        assert_eq!(stats, ResyncStats { log_shipped: 0, full_copies: 1 });
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 10);
+        // Having resynced, the next catch-up ships the log again.
+        rs.fail_member(2);
+        rs.insert_one("c", doc! {"_id" => 100i64}, WriteConcern::Majority).unwrap();
+        rs.recover_member(2);
+        assert_eq!(
+            rs.resync_stats(),
+            ResyncStats { log_shipped: 1, full_copies: 1 }
+        );
+        assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 11);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn diverged_member_falls_back_to_full_copy() {
+        let dir = tmp("logship-diverge");
+        let rs = ReplicaSet::new_durable("rs0", 3, &dir, SyncPolicy::Never).unwrap();
+        rs.insert_one("c", doc! {"_id" => 1i64}, WriteConcern::All).unwrap();
+        // Sabotage member 2 with a conflicting doc, then stale it.
+        rs.member_db(2)
+            .collection("c")
+            .insert_one(doc! {"_id" => 2i64, "rogue" => true})
+            .unwrap();
+        rs.insert_one("c", doc! {"_id" => 2i64, "k" => 2i64}, WriteConcern::W1).unwrap();
+        assert_eq!(rs.member_state(2), MemberState::Stale);
+        // Replaying the insert of _id 2 onto the diverged copy fails its
+        // unique-_id check; the recovery must detect that and copy.
+        rs.recover_member(2);
+        assert_eq!(
+            rs.resync_stats(),
+            ResyncStats { log_shipped: 0, full_copies: 1 }
+        );
+        let member = rs.member_db(2).get_collection("c").unwrap();
+        assert_eq!(member.len(), 2);
+        assert!(member.find(&Filter::eq("rogue", true)).is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_durable_recovery_counts_as_full_copy() {
+        let rs = seeded(3);
+        rs.fail_member(2);
+        rs.insert_one("c", doc! {"k" => 50i64}, WriteConcern::Majority).unwrap();
+        rs.recover_member(2);
+        assert_eq!(
+            rs.resync_stats(),
+            ResyncStats { log_shipped: 0, full_copies: 1 }
+        );
         assert_eq!(rs.member_db(2).get_collection("c").unwrap().len(), 11);
     }
 

@@ -459,6 +459,120 @@ fn restarted_member_catches_up_on_writes_it_missed() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Catch-up by log shipping and catch-up by full copy must land the
+/// stale member in the *same* state: run the identical missed-write
+/// workload twice — once with the primary's WAL tail intact (frames
+/// above the member's resume token ship incrementally) and once with a
+/// checkpoint truncating that tail (forcing the full-copy fallback) —
+/// and compare the recovered member's documents as multisets.
+#[test]
+fn log_shipping_catchup_matches_full_resync() {
+    use doclite_bson::json::to_json;
+
+    let mut recovered: Vec<Vec<String>> = Vec::new();
+    for truncate in [false, true] {
+        let tag = if truncate { "ship_trunc" } else { "ship_tail" };
+        let dir = chaos_dir(tag);
+        let cluster =
+            durable_cluster(1, 3, WriteConcern::Majority, &dir, SyncPolicy::Always);
+        // Explicit `_id`s: auto-generated ids differ between the two
+        // cluster instances and would defeat the cross-run comparison.
+        for i in 0..30i64 {
+            cluster
+                .router()
+                .insert_one("facts", doc! {"_id" => i, "k" => i})
+                .unwrap();
+        }
+        let shards = cluster.router().shards();
+        let rs = shards[0].replica_set();
+        // Down, not crashed: memory intact, so recovery goes through
+        // the incremental catch-up path (with its full-copy fallback).
+        rs.fail_member(2);
+        for i in 30..60i64 {
+            cluster
+                .router()
+                .insert_one("facts", doc! {"_id" => i, "k" => i})
+                .unwrap();
+        }
+        if truncate {
+            // Shrink the change buffer and compact: the downed member's
+            // resume token now predates the retained log, so shipping
+            // must refuse and recovery must full-copy instead.
+            rs.member_wal(0).expect("durable primary").set_change_capacity(1);
+            rs.checkpoint_all().unwrap();
+        }
+        rs.recover_member(2);
+
+        let stats = rs.resync_stats();
+        if truncate {
+            assert_eq!(
+                (stats.log_shipped, stats.full_copies),
+                (0, 1),
+                "a truncated tail must force the full-copy fallback"
+            );
+        } else {
+            assert_eq!(
+                (stats.log_shipped, stats.full_copies),
+                (1, 0),
+                "an intact tail must ship incrementally"
+            );
+        }
+
+        let mut docs: Vec<String> = rs
+            .member_db(2)
+            .get_collection("facts")
+            .unwrap()
+            .all_docs()
+            .iter()
+            .map(to_json)
+            .collect();
+        docs.sort();
+        assert_eq!(docs.len(), 60);
+        recovered.push(docs);
+        chaos::check_convergence(&cluster).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        recovered[0], recovered[1],
+        "the two recovery paths disagree on the member's final state"
+    );
+}
+
+/// Under fail/recover churn with writes flowing, every recovery of a
+/// downed secondary is served incrementally from the primary's log
+/// tail — the full-copy path never fires when the tail is intact.
+#[test]
+fn downed_members_catch_up_by_log_shipping_under_chaos() {
+    let dir = chaos_dir("shiplog");
+    let cluster = durable_cluster(2, 3, WriteConcern::W1, &dir, SyncPolicy::EveryN(8));
+    load_and_balance(&cluster, 120);
+
+    const ROUNDS: u64 = 6;
+    for round in 0..ROUNDS {
+        let shard = (round % 2) as usize;
+        let member = 1 + (round % 2) as usize; // a secondary, never member 0
+        cluster.router().shards()[shard].replica_set().fail_member(member);
+        for i in 0..15i64 {
+            let k = 1000 + round as i64 * 15 + i;
+            cluster.router().insert_one("facts", doc! {"k" => k}).unwrap();
+        }
+        cluster.router().shards()[shard].replica_set().recover_member(member);
+    }
+
+    chaos::heal_all(&cluster);
+    chaos::check_convergence(&cluster).unwrap();
+    let (shipped, copies) = cluster.router().shards().iter().fold((0, 0), |(s, c), sh| {
+        let st = sh.replica_set().resync_stats();
+        (s + st.log_shipped, c + st.full_copies)
+    });
+    assert!(
+        shipped >= ROUNDS,
+        "every recovery should ship the log tail (shipped {shipped} of {ROUNDS})"
+    );
+    assert_eq!(copies, 0, "no recovery should have needed a full copy");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[derive(Clone, Debug)]
 enum Op {
     /// Insert k with w:1 (false) or w:majority (true).

@@ -1,0 +1,184 @@
+//! Seeded value distributions for workload key generation, after the
+//! `cassandra-stress`/`cql-stress` population DSL: a compact spec like
+//! `uniform(1..100)`, `gaussian(1..100)`, `seq(1..100)`, or `fixed(7)`
+//! chooses how a workload's keys are spread — and therefore how skewed
+//! the group sizes a materialized view maintains are.
+//!
+//! All distributions are deterministic given the caller's seeded RNG
+//! (`seq` given its construction order), so two runs with the same seed
+//! generate the same key stream.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A bounded integer distribution.
+#[derive(Debug)]
+pub enum Distribution {
+    /// Every value in `[min, max]` equally likely.
+    Uniform { min: i64, max: i64 },
+    /// Normal around the range midpoint, with the `cassandra-stress`
+    /// convention `stddev = (max - min) / 6` (±3σ spans the range);
+    /// samples clamp to `[min, max]`.
+    Gaussian { min: i64, max: i64 },
+    /// `min, min+1, …, max, min, …` — a shared wrapping counter, so
+    /// concurrent samplers partition the keyspace instead of colliding.
+    Sequential { min: i64, max: i64, next: AtomicI64 },
+    /// Always the same value.
+    Fixed(i64),
+}
+
+impl Distribution {
+    /// Uniform over `[min, max]` (inclusive).
+    pub fn uniform(min: i64, max: i64) -> Distribution {
+        assert!(min <= max, "empty distribution range");
+        Distribution::Uniform { min, max }
+    }
+
+    /// Gaussian over `[min, max]` (see [`Distribution::Gaussian`]).
+    pub fn gaussian(min: i64, max: i64) -> Distribution {
+        assert!(min <= max, "empty distribution range");
+        Distribution::Gaussian { min, max }
+    }
+
+    /// Sequential over `[min, max]`, wrapping.
+    pub fn sequential(min: i64, max: i64) -> Distribution {
+        assert!(min <= max, "empty distribution range");
+        Distribution::Sequential { min, max, next: AtomicI64::new(min) }
+    }
+
+    /// Draws one value. `rng` feeds the random distributions; `seq`
+    /// ignores it and steps its counter.
+    pub fn sample(&self, rng: &mut SmallRng) -> i64 {
+        match self {
+            Distribution::Uniform { min, max } => rng.random_range(*min..=*max),
+            Distribution::Gaussian { min, max } => {
+                let mean = (*min as f64 + *max as f64) / 2.0;
+                let stddev = (*max - *min) as f64 / 6.0;
+                let v = (mean + gaussian_unit(rng) * stddev).round() as i64;
+                v.clamp(*min, *max)
+            }
+            Distribution::Sequential { min, max, next } => {
+                let span = max - min + 1;
+                let n = next.fetch_add(1, Ordering::Relaxed);
+                min + (n - min).rem_euclid(span)
+            }
+            Distribution::Fixed(v) => *v,
+        }
+    }
+
+    /// Parses the `cassandra-stress` style spec: `uniform(1..100)`,
+    /// `gaussian(1..100)`, `seq(1..100)`, `fixed(7)`.
+    pub fn parse(spec: &str) -> Result<Distribution, String> {
+        let spec = spec.trim();
+        let (name, rest) = spec
+            .split_once('(')
+            .ok_or_else(|| format!("'{spec}': expected name(args)"))?;
+        let args = rest
+            .strip_suffix(')')
+            .ok_or_else(|| format!("'{spec}': missing closing paren"))?;
+        let range = || -> Result<(i64, i64), String> {
+            let (lo, hi) = args
+                .split_once("..")
+                .ok_or_else(|| format!("'{spec}': expected lo..hi"))?;
+            let lo = lo.trim().parse::<i64>().map_err(|e| format!("'{spec}': {e}"))?;
+            let hi = hi.trim().parse::<i64>().map_err(|e| format!("'{spec}': {e}"))?;
+            if lo > hi {
+                return Err(format!("'{spec}': empty range"));
+            }
+            Ok((lo, hi))
+        };
+        match name.trim().to_ascii_lowercase().as_str() {
+            "uniform" => range().map(|(lo, hi)| Distribution::uniform(lo, hi)),
+            "gaussian" | "gauss" | "normal" => range().map(|(lo, hi)| Distribution::gaussian(lo, hi)),
+            "seq" | "sequential" => range().map(|(lo, hi)| Distribution::sequential(lo, hi)),
+            "fixed" => args
+                .trim()
+                .parse::<i64>()
+                .map(Distribution::Fixed)
+                .map_err(|e| format!("'{spec}': {e}")),
+            other => Err(format!("unknown distribution '{other}'")),
+        }
+    }
+
+    /// The canonical spec string (round-trips through [`parse`]).
+    ///
+    /// [`parse`]: Distribution::parse
+    pub fn spec(&self) -> String {
+        match self {
+            Distribution::Uniform { min, max } => format!("uniform({min}..{max})"),
+            Distribution::Gaussian { min, max } => format!("gaussian({min}..{max})"),
+            Distribution::Sequential { min, max, .. } => format!("seq({min}..{max})"),
+            Distribution::Fixed(v) => format!("fixed({v})"),
+        }
+    }
+}
+
+/// A standard-normal deviate via Box–Muller (the polar branch is not
+/// worth the rejection loop here).
+fn gaussian_unit(rng: &mut SmallRng) -> f64 {
+    // 1 - u maps [0,1) to (0,1]: ln(0) is the only hazard.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_round_trips_and_samples_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for spec in ["uniform(1..100)", "gaussian(1..100)", "seq(1..100)", "fixed(7)"] {
+            let d = Distribution::parse(spec).unwrap();
+            assert_eq!(d.spec(), spec);
+            for _ in 0..1000 {
+                let v = d.sample(&mut rng);
+                assert!((1..=100).contains(&v) || matches!(d, Distribution::Fixed(7)), "{spec}: {v}");
+            }
+        }
+        assert!(Distribution::parse("zipf(1..10)").is_err());
+        assert!(Distribution::parse("uniform(10..1)").is_err());
+        assert!(Distribution::parse("uniform 1..10").is_err());
+    }
+
+    #[test]
+    fn sequential_wraps_and_partitions() {
+        let d = Distribution::sequential(0, 2);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let seen: Vec<i64> = (0..7).map(|_| d.sample(&mut rng)).collect();
+        assert_eq!(seen, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn gaussian_concentrates_around_the_midpoint() {
+        let d = Distribution::gaussian(0, 600);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut near = 0;
+        let n = 4000;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            // Within ±1σ of the mean (300 ± 100): ~68% for a normal.
+            if (200..=400).contains(&v) {
+                near += 1;
+            }
+        }
+        let frac = near as f64 / n as f64;
+        assert!((0.6..0.76).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let d = Distribution::uniform(0, 9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        for (i, c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(c), "bucket {i}: {c}");
+        }
+    }
+}

@@ -22,15 +22,19 @@
 //! println!("{}", result.summary());
 //! ```
 
+pub mod dist;
 pub mod driver;
 pub mod hist;
 pub mod reconfig;
 pub mod report;
 pub mod sched;
+pub mod views;
 pub mod workload;
 
+pub use dist::Distribution;
 pub use driver::{run_stress, worker_seed, StressConfig, StressResult, Workload};
 pub use hist::LogHistogram;
+pub use views::{run_views, validate_views_report, ViewsConfig, ViewsReport, VIEWS_SCHEMA};
 pub use reconfig::{
     derive_sale_doc, run_scenario, validate_reconfig_report, IntervalStat, ReconfigConfig,
     ReconfigReport, ReconfigScenario, ScenarioResult, RECONFIG_SCHEMA,
