@@ -47,6 +47,45 @@ pub fn fraction_of(selectivity: &Selectivity, store: &dyn Store, source: &str) -
     }
 }
 
+/// Plan quality of one predicate: the cost model's row estimate against
+/// the measured result cardinality (the per-stage comparison ablation
+/// 14 / `bench_planner` sweeps).
+#[derive(Clone, Copy, Debug)]
+pub struct PlanQuality {
+    /// The statistics subsystem's row estimate.
+    pub est_rows: u64,
+    /// Rows the filter actually matched.
+    pub actual_rows: u64,
+}
+
+impl PlanQuality {
+    /// Multiplicative estimation error, ≥ 1.0 (1.0 = exact). Zero on
+    /// one side only is maximal error; zero on both sides is exact.
+    pub fn error_factor(&self) -> f64 {
+        match (self.est_rows, self.actual_rows) {
+            (0, 0) => 1.0,
+            (0, _) | (_, 0) => f64::INFINITY,
+            (e, a) => {
+                let (e, a) = (e as f64, a as f64);
+                (e / a).max(a / e)
+            }
+        }
+    }
+}
+
+/// Measures how well the cost model estimates `filter`'s cardinality on
+/// `coll` (statistics are rebuilt lazily if stale, exactly as planning
+/// would).
+pub fn plan_quality(
+    coll: &doclite_docstore::Collection,
+    filter: &doclite_docstore::Filter,
+) -> PlanQuality {
+    PlanQuality {
+        est_rows: coll.estimate_rows(filter),
+        actual_rows: coll.count(filter) as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

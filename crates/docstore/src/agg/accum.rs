@@ -232,7 +232,7 @@ impl AccState {
     }
 }
 
-fn spec_expr(spec: &Accumulator) -> &Expr {
+pub(crate) fn spec_expr(spec: &Accumulator) -> &Expr {
     match spec {
         Accumulator::Sum(e)
         | Accumulator::Avg(e)

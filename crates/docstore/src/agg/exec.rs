@@ -14,6 +14,17 @@ use crate::error::Result;
 use crate::query::matcher::{compile, matches_compiled};
 use doclite_bson::{CompiledPath, Document, Value};
 
+/// Size and index metadata for a `$lookup`'s foreign side, used by the
+/// cost-based join-strategy choice in [`super::kernel::lookup_stage`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LookupMeta {
+    /// Live documents in the foreign collection.
+    pub docs: usize,
+    /// Whether an index with `foreign_field` as its leading field exists
+    /// (enables the index-nested-loop strategy).
+    pub has_index: bool,
+}
+
 /// Supplies foreign collections to `$lookup` stages. Implemented by
 /// [`crate::database::Database`]; the sharded router resolves lookups
 /// against its primary shard (MongoDB likewise requires the `from`
@@ -21,6 +32,23 @@ use doclite_bson::{CompiledPath, Document, Value};
 pub trait LookupSource {
     /// All documents of a collection, or `None` if it does not exist.
     fn collection_docs(&self, name: &str) -> Option<Vec<Document>>;
+
+    /// Foreign-side size/index metadata for a `$lookup` against
+    /// `name.field`, or `None` if the source cannot provide it (the
+    /// kernel then always builds the full hash table).
+    fn collection_lookup_meta(&self, _name: &str, _field: &str) -> Option<LookupMeta> {
+        None
+    }
+
+    /// Index-nested-loop probe: the documents of `name` whose `field`
+    /// resolves canonically equal to `key`, in slab (insertion-slot)
+    /// order — the same per-bucket order the hash build produces.
+    /// `None` when no leading index on `field` exists. Implementations
+    /// must re-check the resolved value against `key` exactly, because
+    /// multikey index entries over-approximate whole-value equality.
+    fn indexed_foreign_docs(&self, _name: &str, _field: &str, _key: &Value) -> Option<Vec<Document>> {
+        None
+    }
 
     /// Runs `f` over the collection's documents *borrowed* in place —
     /// the execution kernel's `$lookup` path, which builds its join
@@ -56,7 +84,7 @@ pub fn execute_with(
     Ok(docs)
 }
 
-fn execute_stage(
+pub(crate) fn execute_stage(
     docs: Vec<Document>,
     stage: &Stage,
     source: Option<&dyn LookupSource>,

@@ -571,6 +571,9 @@ pub(crate) fn lookup_stage(
     foreign_field: &str,
     as_field: &str,
 ) -> Vec<Document> {
+    if use_indexed_lookup(&docs, source, from, local_field, foreign_field) {
+        return lookup_indexed(docs, source, from, local_field, foreign_field, as_field);
+    }
     let local_path = CompiledPath::new(local_field);
     let foreign_path = CompiledPath::new(foreign_field);
     let mut input = Some(docs);
@@ -623,4 +626,93 @@ pub(crate) fn lookup_stage(
 fn resolved_or_null<'a>(r: &'a Option<Resolved<'a>>) -> &'a Value {
     static NULL: Value = Value::Null;
     r.as_ref().map_or(&NULL, Resolved::as_value)
+}
+
+/// Cost-based `$lookup` strategy choice: when the probe side is small
+/// relative to an indexed foreign side, index-nested-loop probes beat
+/// paying the full hash build over the foreign collection. The probe
+/// keys must not contain array-valued elements — multikey index entries
+/// fan arrays out per element, so an array *key* is unreachable through
+/// the index while the hash build would match it whole. Shared with
+/// `Collection::explain_aggregate` so the report matches execution.
+pub(crate) fn use_indexed_lookup(
+    docs: &[Document],
+    source: &dyn LookupSource,
+    from: &str,
+    local_field: &str,
+    foreign_field: &str,
+) -> bool {
+    crate::stats::planner_mode() == crate::stats::PlannerMode::Cost
+        && source
+            .collection_lookup_meta(from, foreign_field)
+            .is_some_and(|meta| {
+                meta.has_index
+                    && docs.len().saturating_mul(16) < meta.docs
+                    && inl_probe_keys_ok(docs, local_field)
+            })
+}
+
+/// True if no probe key is itself an array (see [`lookup_stage`]):
+/// scalar, document, and null/missing keys round-trip exactly through
+/// the index, array keys do not.
+fn inl_probe_keys_ok(docs: &[Document], local_field: &str) -> bool {
+    let local_path = CompiledPath::new(local_field);
+    docs.iter().all(|d| {
+        let r = local_path.resolve(d);
+        match resolved_or_null(&r) {
+            Value::Array(items) => !items.iter().any(|i| matches!(i, Value::Array(_))),
+            _ => true,
+        }
+    })
+}
+
+/// Index-nested-loop `$lookup`: per distinct probe key, fetch the
+/// foreign matches through the index (slab order, exact re-check by the
+/// source) and memoize them. Produces byte-identical results to the
+/// hash build: same per-bucket document order, same duplicate handling,
+/// same null ↔ missing semantics.
+fn lookup_indexed(
+    docs: Vec<Document>,
+    source: &dyn LookupSource,
+    from: &str,
+    local_field: &str,
+    foreign_field: &str,
+    as_field: &str,
+) -> Vec<Document> {
+    let local_path = CompiledPath::new(local_field);
+    let mut cache: HashMap<Box<[u8]>, Vec<Value>> = HashMap::new();
+    let mut scratch = Vec::new();
+    let mut probe = |key: &Value, cache: &mut HashMap<Box<[u8]>, Vec<Value>>| -> Vec<Value> {
+        keybytes::encode_into(key, &mut scratch);
+        if let Some(hit) = cache.get(scratch.as_slice()) {
+            return hit.clone();
+        }
+        let matched: Vec<Value> = source
+            .indexed_foreign_docs(from, foreign_field, key)
+            .unwrap_or_default()
+            .into_iter()
+            .map(Value::Document)
+            .collect();
+        cache.insert(scratch.as_slice().into(), matched.clone());
+        matched
+    };
+    let mut out = Vec::with_capacity(docs.len());
+    for mut d in docs {
+        let matched: Vec<Value> = {
+            let local = local_path.resolve(&d);
+            match resolved_or_null(&local) {
+                Value::Array(items) => {
+                    let mut m = Vec::new();
+                    for item in items {
+                        m.extend(probe(item, &mut cache));
+                    }
+                    m
+                }
+                v => probe(v, &mut cache),
+            }
+        };
+        d.set(as_field, Value::Array(matched));
+        out.push(d);
+    }
+    out
 }

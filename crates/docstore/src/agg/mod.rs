@@ -14,8 +14,9 @@ pub use accum::Accumulator;
 pub use exec::{execute, execute_with, sort_documents, LookupSource};
 pub use expr::Expr;
 pub use kernel::{CompiledExpr, CompiledSortSpec};
+pub use exec::LookupMeta;
 pub use parallel::{
-    execute_parallel, execute_parallel_with, parallel_morsel_size, run_parallel,
+    auto_morsel_size, execute_parallel, execute_parallel_with, parallel_morsel_size, run_parallel,
     set_parallel_morsel_size,
 };
 pub use stage::{GroupId, Pipeline, ProjectField, Stage};

@@ -61,16 +61,31 @@ use std::sync::OnceLock;
 const DEFAULT_MORSEL: usize = 1024;
 
 static MORSEL: AtomicUsize = AtomicUsize::new(DEFAULT_MORSEL);
+static MORSEL_OVERRIDDEN: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
 
-/// Sets the process-wide morsel size (documents per parallel task).
-/// `0` restores the default.
+/// Sets the process-wide morsel size (documents per parallel task),
+/// overriding the stats-driven auto-tuning. `0` restores auto-tuning.
 pub fn set_parallel_morsel_size(n: usize) {
     MORSEL.store(if n == 0 { DEFAULT_MORSEL } else { n }, Ordering::Relaxed);
+    MORSEL_OVERRIDDEN.store(n != 0, Ordering::Relaxed);
 }
 
-/// The current morsel size.
+/// The current morsel size (the explicit override, or the default).
 pub fn parallel_morsel_size() -> usize {
     MORSEL.load(Ordering::Relaxed)
+}
+
+/// The morsel size for a collection of `docs` live documents: the
+/// explicit [`set_parallel_morsel_size`] override when one is set,
+/// otherwise sized from the stats doc count so each worker sees ~4
+/// morsels (enough slack for load balancing without per-morsel setup
+/// dominating small collections), clamped to `[256, 8 × default]`.
+pub fn auto_morsel_size(docs: usize, workers: usize) -> usize {
+    if MORSEL_OVERRIDDEN.load(Ordering::Relaxed) {
+        return MORSEL.load(Ordering::Relaxed);
+    }
+    (docs / (workers.max(1) * 4)).clamp(256, DEFAULT_MORSEL * 8)
 }
 
 /// The pipeline's terminal for the partitionable prefix.

@@ -1,18 +1,27 @@
 //! Collections: the unit of storage, indexing, and querying.
 
-use crate::agg::{exec, parallel, stream, CompiledSortSpec, ExecMode, Pipeline, Stage};
+use crate::agg::{
+    accum, exec, kernel, parallel, stream, CompiledSortSpec, ExecMode, Expr, GroupId, Pipeline,
+    Stage,
+};
 use crate::columnar;
 use crate::pool;
 use crate::error::{Error, Result};
 use crate::index::{extract_keys, Index, IndexDef, IndexKind, SortOrder};
+use crate::ordvalue::CompoundKey;
 use crate::query::filter::Filter;
 use crate::query::matcher::{compile, matches_compiled, CompiledFilter};
-use crate::query::planner::{plan, Plan, PlanKind};
+use crate::query::planner::{
+    columnar_index_threshold, conjunctive_constraints, plan, plan_with_stats, Plan, PlanKind,
+    SMALL_COLLECTION,
+};
+use crate::stats::{self, CollStats, PlannerMode};
 use crate::storage::{DocId, Slab};
 use crate::update::{apply_update, upsert_seed, UpdateResult, UpdateSpec};
 use crate::wal::{delete_records_chunked, Wal, WalRecord};
 use doclite_bson::{codec::encoded_size, Document, Value, MAX_DOCUMENT_SIZE};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Options for a `find`: sort, skip, limit, projection.
@@ -71,6 +80,42 @@ pub struct Explain {
     pub docs_examined: usize,
     /// Documents that satisfied the full filter.
     pub docs_returned: usize,
+    /// Cost-model row estimate for the filter (`None` under
+    /// [`PlannerMode::Rule`]). Comparing it against `docs_returned`
+    /// measures estimation error.
+    pub est_rows: Option<u64>,
+}
+
+/// One stage's entry in an [`AggExplain`] report.
+#[derive(Clone, Debug)]
+pub struct StageExplain {
+    /// Stage name (`$match`, `$lookup`, …).
+    pub stage: String,
+    /// Cost-model estimate of rows *leaving* the stage, where the model
+    /// has one (leading `$match` stages under [`PlannerMode::Cost`]).
+    pub est_rows: Option<u64>,
+    /// Rows that actually left the stage.
+    pub actual_rows: u64,
+    /// The physical decision taken, when one was made: the access plan
+    /// for a leading `$match`, the join strategy for a `$lookup`.
+    pub decision: Option<String>,
+}
+
+/// Execution report for an aggregation pipeline, in the spirit of
+/// `db.collection.explain()` on an aggregate: per-stage estimated vs
+/// actual row counts plus the planner decisions taken. Runs the
+/// pipeline stage-by-stage on the legacy executor to observe the
+/// intermediate cardinalities.
+#[derive(Clone, Debug)]
+pub struct AggExplain {
+    /// Source collection name.
+    pub collection: String,
+    /// One entry per executed stage (a trailing `$out` is skipped).
+    pub stages: Vec<StageExplain>,
+    /// When the pipeline read a materialized view: frames the view's
+    /// watermark lags behind the WAL head (0 = fresh). `None` for a
+    /// direct collection read.
+    pub view_staleness: Option<u64>,
 }
 
 struct Inner {
@@ -80,6 +125,11 @@ struct Inner {
     /// every slab mutation below (insert/update/delete and their WAL
     /// rollbacks) so it is always consistent with the slab.
     columnar: Option<columnar::ColumnSet>,
+    /// Per-field statistics for the cost-based planner, adjusted by the
+    /// same mutations (write paths use `get_mut`, so the mutex is
+    /// uncontended there; read-path planning locks it briefly under the
+    /// shared `inner` lock — lock order `inner` → `stats`).
+    stats: Mutex<CollStats>,
 }
 
 /// A collection of documents with secondary indexes. Thread-safe: reads
@@ -94,6 +144,9 @@ pub struct Collection {
     /// holding the exclusive `inner` lock, so frame order always agrees
     /// with apply order (lock order: `inner` → WAL mutex).
     wal: RwLock<Option<Arc<Wal>>>,
+    /// Full columnar-mode scans served without a sidecar, feeding the
+    /// auto-enable heuristic (see [`Collection::aggregate_with_mode`]).
+    columnar_scans: AtomicU64,
 }
 
 impl Collection {
@@ -112,8 +165,10 @@ impl Collection {
                 slab: Slab::new(),
                 indexes: vec![id_index],
                 columnar: None,
+                stats: Mutex::new(CollStats::new()),
             }),
             wal: RwLock::new(None),
+            columnar_scans: AtomicU64::new(0),
         }
     }
 
@@ -260,7 +315,7 @@ impl Collection {
         }
         // Split-borrow so the indexes can read the stored document in
         // place instead of cloning it for backfill.
-        let Inner { slab, indexes, columnar } = inner;
+        let Inner { slab, indexes, columnar, stats } = inner;
         let id = slab.insert(doc);
         let doc_ref = slab.get(id).expect("just inserted");
         for idx in indexes.iter_mut() {
@@ -270,6 +325,7 @@ impl Collection {
         if let Some(cs) = columnar {
             cs.set_row(id, doc_ref);
         }
+        stats.get_mut().record_insert(doc_ref);
         Ok(id)
     }
 
@@ -285,6 +341,7 @@ impl Collection {
                 if let Some(cs) = &mut inner.columnar {
                     cs.clear_row(*slot);
                 }
+                inner.stats.get_mut().record_delete(&doc);
             }
         }
     }
@@ -302,6 +359,7 @@ impl Collection {
             return Err(Error::IndexConflict(def.name));
         }
         let logged = wal.as_ref().map(|_| def.clone());
+        let tracked: Vec<String> = def.field_names().iter().map(|s| (*s).to_owned()).collect();
         let mut idx = Index::new(def)?;
         for (id, doc) in inner.slab.iter() {
             idx.insert(id, doc)?;
@@ -316,6 +374,10 @@ impl Collection {
                 return Err(e);
             }
         }
+        // Indexed fields are exactly the ones the cost model needs
+        // selectivities for; tracking forces a rebuild before the next
+        // cost-based plan.
+        inner.stats.get_mut().track_fields(tracked.iter().map(String::as_str));
         Ok(())
     }
 
@@ -390,6 +452,27 @@ impl Collection {
             .expect("planner only names existing indexes")
     }
 
+    /// Plans `filter` under the process-wide [`PlannerMode`]: `Rule`
+    /// runs the legacy prefix-rule planner; `Cost` refreshes stale
+    /// statistics and prices index candidates against the scan,
+    /// returning the row estimate that drove the choice. Either way the
+    /// plan's residual is the full filter, so the mode can never change
+    /// results.
+    fn plan_with_mode(inner: &Inner, filter: &Filter) -> (Plan, Option<u64>) {
+        match stats::planner_mode() {
+            PlannerMode::Rule => (plan(filter, &inner.indexes), None),
+            PlannerMode::Cost => {
+                let live = inner.slab.len();
+                let mut st = inner.stats.lock();
+                if st.needs_rebuild(live) {
+                    st.rebuild(&inner.slab);
+                }
+                let costed = plan_with_stats(filter, &inner.indexes, &st, live);
+                (costed.plan, Some(costed.est_rows))
+            }
+        }
+    }
+
     /// Finds documents matching a filter.
     pub fn find(&self, filter: &Filter) -> Vec<Document> {
         self.find_with(filter, &FindOptions::default())
@@ -418,7 +501,7 @@ impl Collection {
     ) -> Vec<Document> {
         let snapshot: Vec<Arc<Document>> = {
             let inner = self.inner.read();
-            let plan = plan(filter, &inner.indexes);
+            let (plan, _) = Self::plan_with_mode(&inner, filter);
             let ids = Self::fetch_candidates(&inner, &plan);
             ids.into_iter().filter_map(|id| inner.slab.get_shared(id)).collect()
         };
@@ -462,7 +545,7 @@ impl Collection {
     /// Counts matching documents without materializing them.
     pub fn count(&self, filter: &Filter) -> usize {
         let inner = self.inner.read();
-        let plan = plan(filter, &inner.indexes);
+        let (plan, _) = Self::plan_with_mode(&inner, filter);
         let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         ids.into_iter()
@@ -474,7 +557,7 @@ impl Collection {
     /// Explains how a filter would execute, running it to report counts.
     pub fn explain(&self, filter: &Filter) -> Explain {
         let inner = self.inner.read();
-        let plan = plan(filter, &inner.indexes);
+        let (plan, est_rows) = Self::plan_with_mode(&inner, filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         let compiled = compile(filter);
         let docs_examined = ids.len();
@@ -488,6 +571,7 @@ impl Collection {
             used_index: plan.uses_index(),
             docs_examined,
             docs_returned,
+            est_rows,
         }
     }
 
@@ -505,7 +589,7 @@ impl Collection {
     ) -> Result<UpdateResult> {
         let wal = self.wal_handle();
         let mut inner = self.inner.write();
-        let plan = plan(filter, &inner.indexes);
+        let (plan, _) = Self::plan_with_mode(&inner, filter);
         let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         let mut logged: Vec<WalRecord> = Vec::new();
@@ -541,6 +625,7 @@ impl Collection {
                     if let Some(cs) = &mut inner.columnar {
                         cs.set_row(id, &updated);
                     }
+                    inner.stats.get_mut().record_update(&old, &updated);
                     // Log the post-image so replay is independent of
                     // how the update expression computed it.
                     if wal.is_some() {
@@ -581,7 +666,7 @@ impl Collection {
                     }
                     for (id, old) in undo.into_iter().rev() {
                         let new = inner.slab.replace(id, old).expect("doc exists");
-                        let Inner { slab, indexes, columnar } = &mut *inner;
+                        let Inner { slab, indexes, columnar, stats } = &mut *inner;
                         let old_ref = slab.get(id).expect("just restored");
                         for idx in indexes.iter_mut() {
                             idx.remove(id, &new);
@@ -590,6 +675,7 @@ impl Collection {
                         if let Some(cs) = columnar {
                             cs.set_row(id, old_ref);
                         }
+                        stats.get_mut().record_update(&new, old_ref);
                     }
                     return Err(e);
                 }
@@ -614,7 +700,7 @@ impl Collection {
     pub fn try_delete_many(&self, filter: &Filter) -> Result<usize> {
         let wal = self.wal_handle();
         let mut inner = self.inner.write();
-        let plan = plan(filter, &inner.indexes);
+        let (plan, _) = Self::plan_with_mode(&inner, filter);
         let compiled = compile(filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         let mut removed = 0;
@@ -635,6 +721,7 @@ impl Collection {
             if let Some(cs) = &mut inner.columnar {
                 cs.clear_row(id);
             }
+            inner.stats.get_mut().record_delete(&old);
             if wal.is_some() {
                 if let Some(doc_id) = old.id() {
                     removed_ids.push(doc_id.clone());
@@ -703,12 +790,15 @@ impl Collection {
             ExecMode::Legacy => exec::execute_with(self.all_docs(), body, source),
             ExecMode::Streaming => self.aggregate_streaming(body, source),
             ExecMode::Parallel => self.aggregate_parallel(body, source),
-            ExecMode::Columnar => self.aggregate_columnar(
-                body,
-                source,
-                pool::parallel_workers(),
-                parallel::parallel_morsel_size(),
-            ),
+            ExecMode::Columnar => {
+                let workers = pool::parallel_workers();
+                self.aggregate_columnar(
+                    body,
+                    source,
+                    workers,
+                    parallel::auto_morsel_size(self.len(), workers),
+                )
+            }
         }
     }
 
@@ -722,8 +812,10 @@ impl Collection {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        let fields: Vec<String> = fields.into_iter().map(Into::into).collect();
         let mut inner = self.inner.write();
-        let mut cs = columnar::ColumnSet::new(fields.into_iter().map(Into::into));
+        inner.stats.get_mut().track_fields(fields.iter().map(String::as_str));
+        let mut cs = columnar::ColumnSet::new(fields);
         cs.rebuild(&inner.slab);
         inner.columnar = Some(cs);
     }
@@ -768,17 +860,95 @@ impl Collection {
         workers: usize,
         chunk: usize,
     ) -> Result<Vec<Document>> {
+        self.maybe_auto_columnar(body);
         let inner = self.inner.read();
         let Some(plan) = inner.columnar.as_ref().and_then(|cs| columnar::plan(body, cs))
         else {
             drop(inner);
             return self.aggregate_streaming(body, source);
         };
+        // The sidecar covers the prefix, but a selective indexed $match
+        // is still cheaper than scanning every column value. Under the
+        // rule planner any usable index wins (the pre-cost-model
+        // behavior); under the cost model the index must beat the
+        // vectorized kernel's per-row cost.
+        let (filter, _) = Self::split_match_pushdown(body);
+        if Self::prefer_index_scan(&inner, &filter) {
+            drop(inner);
+            return self.aggregate_streaming(body, source);
+        }
         let cs = inner.columnar.as_ref().expect("plan implies a sidecar");
         let prefix_out = columnar::execute(cs, &inner.slab, &plan, workers, chunk)?;
         let rest = plan.rest;
         drop(inner);
         stream::run_streaming(stream::DocStream::from_vec(prefix_out), rest, source)
+    }
+
+    /// Whether the leading `$match` should run through an index on the
+    /// row path instead of the columnar kernel. `Rule`: any usable index
+    /// wins. `Cost`: only when the estimated match fraction is below
+    /// [`columnar_index_threshold`] (small collections defer to the
+    /// rule, like [`plan_with_stats`]).
+    fn prefer_index_scan(inner: &Inner, filter: &Filter) -> bool {
+        match stats::planner_mode() {
+            PlannerMode::Rule => plan(filter, &inner.indexes).uses_index(),
+            PlannerMode::Cost => {
+                let live = inner.slab.len();
+                if live <= SMALL_COLLECTION {
+                    return plan(filter, &inner.indexes).uses_index();
+                }
+                let mut st = inner.stats.lock();
+                if st.needs_rebuild(live) {
+                    st.rebuild(&inner.slab);
+                }
+                let frac = st.estimate_fraction(filter);
+                drop(st);
+                frac < columnar_index_threshold() && plan(filter, &inner.indexes).uses_index()
+            }
+        }
+    }
+
+    /// Auto-enables the columnar sidecar once the collection has served
+    /// [`stats::AUTO_COLUMNAR_SCANS`] sidecar-less columnar-mode scans
+    /// and holds at least [`stats::AUTO_COLUMNAR_MIN_DOCS`] documents —
+    /// the point where the vectorized kernel repays the sidecar memory.
+    /// Disabled via [`stats::set_columnar_auto`].
+    fn maybe_auto_columnar(&self, body: &[Stage]) {
+        if !stats::columnar_auto() || self.columnar_enabled() {
+            return;
+        }
+        if self.len() < stats::AUTO_COLUMNAR_MIN_DOCS {
+            return;
+        }
+        let fields = Self::columnar_candidate_fields(body);
+        if fields.is_empty() {
+            return;
+        }
+        let scans = self.columnar_scans.fetch_add(1, Ordering::Relaxed) + 1;
+        if scans >= stats::AUTO_COLUMNAR_SCANS {
+            self.enable_columnar(fields);
+        }
+    }
+
+    /// The scalar paths a pipeline's covered prefix would read from a
+    /// sidecar: leading-`$match` constraint paths plus the first
+    /// `$group`'s key and accumulator fields.
+    fn columnar_candidate_fields(body: &[Stage]) -> Vec<String> {
+        let (filter, rest) = Self::split_match_pushdown(body);
+        let mut fields: Vec<String> = conjunctive_constraints(&filter).into_keys().collect();
+        if let Some(Stage::Group { id, fields: accs }) = rest.first() {
+            if let GroupId::Expr(Expr::Field(p)) = id {
+                fields.push(p.clone());
+            }
+            for (_, acc) in accs {
+                if let Expr::Field(p) = accum::spec_expr(acc) {
+                    fields.push(p.clone());
+                }
+            }
+        }
+        fields.sort_unstable();
+        fields.dedup();
+        fields
     }
 
     /// Plans the leading `$match` run and snapshots the candidate
@@ -789,7 +959,7 @@ impl Collection {
     /// writers (or `$lookup` re-entry into this collection) behind it.
     fn snapshot_candidates(&self, filter: &Filter) -> Vec<Arc<Document>> {
         let inner = self.inner.read();
-        let plan = plan(filter, &inner.indexes);
+        let (plan, _) = Self::plan_with_mode(&inner, filter);
         let ids = Self::fetch_candidates(&inner, &plan);
         ids.into_iter().filter_map(|id| inner.slab.get_shared(id)).collect()
     }
@@ -840,12 +1010,13 @@ impl Collection {
             stages.push(Stage::Match(filter));
         }
         stages.extend(rest.iter().cloned());
+        let workers = pool::parallel_workers();
         parallel::run_parallel(
             &refs,
             &stages,
             source,
-            pool::parallel_workers(),
-            parallel::parallel_morsel_size(),
+            workers,
+            parallel::auto_morsel_size(refs.len(), workers),
         )
     }
 
@@ -885,6 +1056,171 @@ impl Collection {
     pub fn with_docs(&self, f: &mut dyn for<'a> FnMut(&mut (dyn Iterator<Item = &'a Document> + 'a))) {
         let inner = self.inner.read();
         f(&mut inner.slab.iter().map(|(_, d)| d));
+    }
+
+    /// Build/probe metadata for the `$lookup` strategy choice: live
+    /// document count and whether `field` leads a probe-usable index
+    /// (any single-field index, or a compound B-tree whose prefix range
+    /// can serve an equality on the first field).
+    pub fn lookup_meta(&self, field: &str) -> exec::LookupMeta {
+        let inner = self.inner.read();
+        let has_index = inner.indexes.iter().any(|i| {
+            let names = i.def.field_names();
+            names.first() == Some(&field) && (names.len() == 1 || i.def.kind == IndexKind::BTree)
+        });
+        exec::LookupMeta { docs: inner.slab.len(), has_index }
+    }
+
+    /// All documents whose `field` equals `key` under `$lookup` equality
+    /// semantics, in slab (insertion-slot) order — the index-nested-loop
+    /// probe. Multikey index candidates over-approximate, so every
+    /// candidate is re-checked against the resolved value exactly the
+    /// way the hash-join path buckets it; with no usable index the probe
+    /// degrades to a scan, so results never depend on index presence.
+    pub fn docs_by_field_eq(&self, field: &str, key: &Value) -> Vec<Document> {
+        let inner = self.inner.read();
+        let mut ids: Vec<DocId> = 'ids: {
+            for idx in &inner.indexes {
+                let names = idx.def.field_names();
+                if names.first() != Some(&field) {
+                    continue;
+                }
+                if names.len() == 1 {
+                    break 'ids idx.lookup_eq(&CompoundKey::from_values(vec![key.clone()]));
+                }
+                if idx.def.kind == IndexKind::BTree {
+                    if let Some(ids) = idx.lookup_range(Some((key, true)), Some((key, true))) {
+                        break 'ids ids;
+                    }
+                }
+            }
+            inner.slab.iter().map(|(id, _)| id).collect()
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .filter_map(|id| inner.slab.get(id))
+            .filter(|d| d.get_path(field).as_ref().unwrap_or(&Value::Null).canonical_eq(key))
+            .cloned()
+            .collect()
+    }
+
+    /// Estimated fraction of documents matching `filter`, refreshing
+    /// stale statistics first.
+    pub fn estimate_fraction(&self, filter: &Filter) -> f64 {
+        let inner = self.inner.read();
+        let mut st = inner.stats.lock();
+        if st.needs_rebuild(inner.slab.len()) {
+            st.rebuild(&inner.slab);
+        }
+        st.estimate_fraction(filter)
+    }
+
+    /// Estimated matching rows for `filter` (see
+    /// [`Collection::estimate_fraction`]).
+    pub fn estimate_rows(&self, filter: &Filter) -> u64 {
+        let inner = self.inner.read();
+        let live = inner.slab.len();
+        let mut st = inner.stats.lock();
+        if st.needs_rebuild(live) {
+            st.rebuild(&inner.slab);
+        }
+        st.estimate_rows(filter, live)
+    }
+
+    /// Registers `paths` with the statistics subsystem so the next
+    /// cost-based plan has selectivities for them.
+    pub fn track_stats_fields<'a>(&self, paths: impl IntoIterator<Item = &'a str>) {
+        self.inner.write().stats.get_mut().track_fields(paths);
+    }
+
+    /// Serializes the collection's statistics for the checkpoint
+    /// manifest (see [`CollStats::to_doc`]).
+    pub fn stats_doc(&self) -> Document {
+        self.inner.read().stats.lock().to_doc()
+    }
+
+    /// Restores statistics serialized by [`Collection::stats_doc`], so a
+    /// recovered database plans as well as it did before the restart.
+    pub fn load_stats_doc(&self, d: &Document) {
+        *self.inner.write().stats.get_mut() = CollStats::from_doc(d);
+    }
+
+    /// Explains an aggregation: runs the pipeline stage-by-stage on the
+    /// legacy executor, reporting per-stage estimated vs actual row
+    /// counts and the physical decisions (access plan for leading
+    /// `$match` stages, join strategy per `$lookup`). A trailing `$out`
+    /// is skipped, as in [`Collection::aggregate_with_mode`].
+    pub fn explain_aggregate(
+        &self,
+        pipeline: &Pipeline,
+        source: Option<&dyn exec::LookupSource>,
+    ) -> Result<AggExplain> {
+        let stages = pipeline.stages();
+        let body: &[Stage] = match stages.last() {
+            Some(Stage::Out(_)) => &stages[..stages.len() - 1],
+            _ => stages,
+        };
+        let mut docs = self.all_docs();
+        let mut report = Vec::with_capacity(body.len());
+        let mut leading: Vec<Filter> = Vec::new();
+        let mut in_leading_run = true;
+        for stage in body {
+            let mut est_rows = None;
+            let mut decision = None;
+            match stage {
+                Stage::Match(f) if in_leading_run => {
+                    leading.push(f.clone());
+                    let cum = Filter::and(leading.iter().cloned());
+                    let inner = self.inner.read();
+                    let (p, est) = Self::plan_with_mode(&inner, &cum);
+                    est_rows = est;
+                    decision = Some(p.describe());
+                }
+                Stage::Lookup { from, local_field, foreign_field, .. } => {
+                    in_leading_run = false;
+                    if let Some(src) = source {
+                        let strategy = if kernel::use_indexed_lookup(
+                            &docs,
+                            src,
+                            from,
+                            local_field,
+                            foreign_field,
+                        ) {
+                            "INDEX_NESTED_LOOP"
+                        } else {
+                            "HASH_JOIN"
+                        };
+                        decision = Some(format!("{strategy} {{ {from}.{foreign_field} }}"));
+                    }
+                }
+                _ => in_leading_run = false,
+            }
+            docs = exec::execute_stage(docs, stage, source)?;
+            report.push(StageExplain {
+                stage: stage_name(stage).to_owned(),
+                est_rows,
+                actual_rows: docs.len() as u64,
+                decision,
+            });
+        }
+        Ok(AggExplain { collection: self.name.clone(), stages: report, view_staleness: None })
+    }
+}
+
+/// The `$`-prefixed name of a stage, for explain output.
+fn stage_name(stage: &Stage) -> &'static str {
+    match stage {
+        Stage::Match(_) => "$match",
+        Stage::Project(_) => "$project",
+        Stage::Group { .. } => "$group",
+        Stage::Sort(_) => "$sort",
+        Stage::Limit(_) => "$limit",
+        Stage::Skip(_) => "$skip",
+        Stage::Unwind(_) => "$unwind",
+        Stage::Lookup { .. } => "$lookup",
+        Stage::Count(_) => "$count",
+        Stage::Out(_) => "$out",
     }
 }
 

@@ -1,14 +1,28 @@
-//! Databases: named sets of collections, plus `$out` materialization.
+//! Databases: named sets of collections, plus `$out` materialization
+//! and the cost-based `$in` semi-join rewrite over `$lookup` pipelines.
 
-use crate::agg::exec::LookupSource;
+use crate::agg::exec::{LookupMeta, LookupSource};
 use crate::agg::{Pipeline, Stage};
 use crate::collection::Collection;
 use crate::error::{Error, Result};
+use crate::ordvalue::OrdValue;
+use crate::query::filter::{CmpOp, Filter};
+use crate::stats::{planner_mode, PlannerMode};
 use crate::wal::{Wal, WalRecord};
-use doclite_bson::Document;
+use doclite_bson::{Document, Value};
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Caps the key set materialized by the `$in` semi-join rewrite; larger
+/// dimension matches abandon the rewrite (the probe list would rival
+/// the join itself).
+pub const MAX_SEMIJOIN_KEYS: usize = 4096;
+
+/// Dimension-match selectivity above which the semi-join rewrite is not
+/// worth it — the paper's crossover: selective dimension filters win by
+/// probing, broad ones by scanning.
+pub const SEMIJOIN_MAX_FRACTION: f64 = 0.5;
 
 /// A database: a namespace of collections (e.g. `Dataset_1GB` holding the
 /// 24 migrated TPC-DS collections).
@@ -128,7 +142,9 @@ impl Database {
     /// it) comes back with a store-assigned ObjectId `_id`.
     pub fn aggregate(&self, collection: &str, pipeline: &Pipeline) -> Result<Vec<Document>> {
         let source = self.get_collection(collection)?;
-        let results = source.aggregate_with(pipeline, Some(self))?;
+        let rewritten = self.rewrite_semijoin(pipeline);
+        let effective = rewritten.as_ref().unwrap_or(pipeline);
+        let results = source.aggregate_with(effective, Some(self))?;
         if let Some(Stage::Out(target)) = pipeline.stages().last() {
             self.try_drop_collection(target)?;
             let out = self.collection(target);
@@ -140,11 +156,122 @@ impl Database {
         }
         Ok(results)
     }
+
+    /// The paper's normalized-model strategy: for a
+    /// `$lookup` → `$unwind` → `$match`-on-dimension pipeline with a
+    /// *selective* dimension filter, filter the dimension first and
+    /// pre-filter the fact side with an `$in` over the surviving join
+    /// keys. Returns the rewritten pipeline, or `None` when the shape
+    /// does not apply, the planner is in rule mode, or the cost gate
+    /// says the dimension match is too broad to pay off.
+    ///
+    /// The rewrite only *inserts* a `Match($in)` in front of the
+    /// `$lookup`; every original stage is kept, so an over-approximate
+    /// key set cannot change results. It is abandoned whenever a
+    /// surviving dimension key is missing, null, or an array — the only
+    /// shapes whose `$in` probe semantics could under-approximate the
+    /// join's null ↔ missing / whole-array equality.
+    pub fn rewrite_semijoin(&self, pipeline: &Pipeline) -> Option<Pipeline> {
+        if planner_mode() != PlannerMode::Cost {
+            return None;
+        }
+        let stages = pipeline.stages();
+        let i = stages.iter().position(|s| matches!(s, Stage::Lookup { .. }))?;
+        let Stage::Lookup { from, local_field, foreign_field, as_field } = &stages[i] else {
+            unreachable!("position matched a lookup");
+        };
+        let Some(Stage::Unwind(unwound)) = stages.get(i + 1) else { return None };
+        if unwound.strip_prefix('$').unwrap_or(unwound) != as_field {
+            return None;
+        }
+        let Some(Stage::Match(g)) = stages.get(i + 2) else { return None };
+        let dim_filter = dimension_conjuncts(g, as_field)?;
+        let dim = self.get_collection(from).ok()?;
+        // Cost gate: estimated dimension selectivity and key count.
+        let frac = dim.estimate_fraction(&dim_filter);
+        let dim_len = dim.len();
+        if frac > SEMIJOIN_MAX_FRACTION || frac * dim_len as f64 > MAX_SEMIJOIN_KEYS as f64 {
+            return None;
+        }
+        let mut keys: BTreeSet<OrdValue> = BTreeSet::new();
+        for d in dim.find(&dim_filter) {
+            match d.get_path(foreign_field) {
+                Some(Value::Null) | None => return None,
+                Some(Value::Array(_)) => return None,
+                Some(v) => {
+                    keys.insert(OrdValue(v));
+                }
+            }
+            if keys.len() > MAX_SEMIJOIN_KEYS {
+                return None;
+            }
+        }
+        let probe = Filter::In {
+            path: local_field.clone(),
+            values: keys.into_iter().map(OrdValue::into_value).collect(),
+        };
+        let mut rewritten: Vec<Stage> = stages.to_vec();
+        rewritten.insert(i, Stage::Match(probe));
+        Some(rewritten.into_iter().fold(Pipeline::new(), Pipeline::stage))
+    }
+}
+
+/// Extracts the conjuncts of `g` that constrain `as_field.*` paths,
+/// re-rooted onto the dimension document. Only conjuncts whose probe
+/// semantics are exactly preserved per dimension document qualify
+/// (`$eq`/`$in`/ranges on non-null scalars); a subset of conjuncts
+/// over-approximates, which is sound. Returns `None` when no conjunct
+/// qualifies.
+fn dimension_conjuncts(g: &Filter, as_field: &str) -> Option<Filter> {
+    let prefix = format!("{as_field}.");
+    let mut picked: Vec<Filter> = Vec::new();
+    let mut stack: Vec<&Filter> = vec![g];
+    while let Some(f) = stack.pop() {
+        match f {
+            Filter::And(fs) => stack.extend(fs),
+            Filter::Cmp { path, op, value } => {
+                if let Some(dim_path) = path.strip_prefix(&prefix) {
+                    let ok = !matches!(op, CmpOp::Ne) && !matches!(value, Value::Null);
+                    if ok && !dim_path.is_empty() {
+                        picked.push(Filter::Cmp {
+                            path: dim_path.to_owned(),
+                            op: *op,
+                            value: value.clone(),
+                        });
+                    }
+                }
+            }
+            Filter::In { path, values } => {
+                if let Some(dim_path) = path.strip_prefix(&prefix) {
+                    if !dim_path.is_empty() && !values.iter().any(Value::is_null) {
+                        picked.push(Filter::In {
+                            path: dim_path.to_owned(),
+                            values: values.clone(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if picked.is_empty() {
+        None
+    } else {
+        Some(Filter::and(picked))
+    }
 }
 
 impl LookupSource for Database {
     fn collection_docs(&self, name: &str) -> Option<Vec<Document>> {
         self.get_collection(name).ok().map(|c| c.all_docs())
+    }
+
+    fn collection_lookup_meta(&self, name: &str, field: &str) -> Option<LookupMeta> {
+        self.get_collection(name).ok().map(|c| c.lookup_meta(field))
+    }
+
+    fn indexed_foreign_docs(&self, name: &str, field: &str, key: &Value) -> Option<Vec<Document>> {
+        self.get_collection(name).ok().map(|c| c.docs_by_field_eq(field, key))
     }
 
     fn with_collection_docs(

@@ -37,17 +37,21 @@ pub mod keybytes;
 pub mod ordvalue;
 pub mod pool;
 pub mod query;
+pub mod stats;
 pub mod storage;
 pub mod update;
 pub mod views;
 pub mod wal;
 
 pub use agg::{
-    default_exec_mode, execute_parallel_with, parallel_morsel_size, set_default_exec_mode,
-    set_parallel_morsel_size, Accumulator, CompiledExpr, CompiledSortSpec, ExecMode, Expr,
-    GroupId, Pipeline, ProjectField, Stage,
+    auto_morsel_size, default_exec_mode, execute_parallel_with, parallel_morsel_size,
+    set_default_exec_mode, set_parallel_morsel_size, Accumulator, CompiledExpr, CompiledSortSpec,
+    ExecMode, Expr, GroupId, LookupMeta, Pipeline, ProjectField, Stage,
 };
-pub use collection::{project_paths, Collection, Explain, FindOptions};
+pub use collection::{project_paths, AggExplain, Collection, Explain, FindOptions, StageExplain};
+pub use stats::{
+    columnar_auto, planner_mode, set_columnar_auto, set_planner_mode, CollStats, PlannerMode,
+};
 pub use pool::{parallel_for, parallel_workers, set_parallel_workers};
 pub use database::Database;
 pub use dump::{dump_collection, dump_database, restore_collection, restore_database, DumpReader};

@@ -250,6 +250,107 @@ fn plan_for_index(
     None
 }
 
+/// Per-row cost of the full collection scan (the baseline unit).
+pub const COST_SCAN_ROW: f64 = 1.0;
+/// Per-row cost of fetching an index candidate (Arc bump + residual
+/// match) — barely above the scan row, because the streaming scan is
+/// itself just an Arc bump + match per row.
+pub const COST_FETCH_ROW: f64 = 1.2;
+/// Fixed cost per index probe (point lookup or range-scan start).
+pub const COST_SEEK: f64 = 16.0;
+/// Per-row cost of the vectorized columnar kernel, from the recorded
+/// ~8× batch-vs-row speedup on scan-heavy shapes (BENCH_columnar).
+pub const COST_COLUMNAR_ROW: f64 = 0.15;
+
+/// Below this live-document count the cost model defers to the rule
+/// planner: every choice is noise at this scale, and deferring keeps
+/// small-fixture behavior (and its `explain` counters) unchanged.
+pub const SMALL_COLLECTION: usize = 256;
+
+/// Match fraction below which an index scan beats the columnar kernel
+/// (`frac · FETCH < COLUMNAR` per row).
+pub fn columnar_index_threshold() -> f64 {
+    COST_COLUMNAR_ROW / COST_FETCH_ROW
+}
+
+/// A plan chosen by the cost model, with the estimates that selected it.
+#[derive(Clone, Debug)]
+pub struct CostedPlan {
+    pub plan: Plan,
+    /// Estimated fraction of live documents satisfying the full filter.
+    pub est_fraction: f64,
+    /// Estimated result rows (`est_fraction × live`).
+    pub est_rows: u64,
+    /// Estimated cost of the chosen plan, in scan-row units.
+    pub cost: f64,
+}
+
+/// Cost-based planning: enumerates the same candidates as [`plan`] plus
+/// the collection scan, prices each with the per-field statistics, and
+/// picks the cheapest. The residual filter is always the full filter, so
+/// any choice returns identical results — a misestimate costs time, not
+/// correctness. Collections under [`SMALL_COLLECTION`] documents defer
+/// to the rule planner.
+pub fn plan_with_stats(
+    filter: &Filter,
+    indexes: &[Index],
+    stats: &crate::stats::CollStats,
+    live: usize,
+) -> CostedPlan {
+    let est_fraction = stats.estimate_fraction(filter);
+    let est_rows = (est_fraction * live as f64).round() as u64;
+    if live <= SMALL_COLLECTION {
+        let plan = plan(filter, indexes);
+        return CostedPlan { plan, est_fraction, est_rows, cost: live as f64 };
+    }
+    let constraints = conjunctive_constraints(filter);
+    let mut best_kind = PlanKind::CollScan;
+    let mut best_cost = live as f64 * COST_SCAN_ROW;
+    for idx in indexes {
+        let Some(candidate) = plan_for_index(idx, &constraints) else {
+            continue;
+        };
+        let cost = index_cost(&candidate, idx, stats, live);
+        if cost < best_cost {
+            best_cost = cost;
+            best_kind = candidate;
+        }
+    }
+    CostedPlan {
+        plan: Plan { kind: best_kind, residual: filter.clone() },
+        est_fraction,
+        est_rows,
+        cost: best_cost,
+    }
+}
+
+/// Prices an index candidate: seeks plus estimated candidate fetches.
+fn index_cost(kind: &PlanKind, idx: &Index, stats: &crate::stats::CollStats, live: usize) -> f64 {
+    let fields = idx.def.field_names();
+    match kind {
+        PlanKind::CollScan => live as f64 * COST_SCAN_ROW,
+        PlanKind::IndexEq { keys, .. } => {
+            // Candidate fraction: Σ over keys of Π over fields of the
+            // per-value equality fraction (independence assumption).
+            let mut frac = 0.0;
+            for key in keys {
+                let mut kf = 1.0;
+                for (f, ov) in fields.iter().zip(&key.0) {
+                    kf *= stats.eq_value_fraction(f, ov.value());
+                }
+                frac += kf;
+            }
+            let rows = frac.min(1.0) * live as f64;
+            keys.len() as f64 * COST_SEEK + rows * COST_FETCH_ROW
+        }
+        PlanKind::IndexRange { min, max, .. } => {
+            let c = PathConstraint { eq_set: None, min: min.clone(), max: max.clone() };
+            let frac = stats.constraint_fraction(fields[0], &c);
+            COST_SEEK + frac * live as f64 * COST_FETCH_ROW
+        }
+    }
+}
+
 fn cartesian(sets: &[&Vec<Value>]) -> Vec<CompoundKey> {
     let mut keys: Vec<Vec<Value>> = vec![Vec::new()];
     for set in sets {

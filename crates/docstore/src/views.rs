@@ -577,6 +577,23 @@ impl ViewSet {
         Ok(self.wal.last_seq().saturating_sub(watermark))
     }
 
+    /// Explains the view's registered pipeline against its source
+    /// collection (per-stage estimates and physical decisions, as
+    /// [`Collection::explain_aggregate`]) and reports how far the
+    /// served materialization currently trails the log tip.
+    ///
+    /// [`Collection::explain_aggregate`]: crate::Collection::explain_aggregate
+    pub fn explain(&self, name: &str) -> Result<crate::AggExplain> {
+        let (source, pipeline) = self
+            .pipeline(name)
+            .ok_or_else(|| Error::InvalidQuery(format!("no such view: {name}")))?;
+        let staleness = self.staleness(name)?;
+        let coll = self.db.get_collection(&source)?;
+        let mut explain = coll.explain_aggregate(&pipeline, Some(self.db.as_ref()))?;
+        explain.view_staleness = Some(staleness);
+        Ok(explain)
+    }
+
     /// Applies every committed change, recomputes dirty groups, and
     /// republishes clean materializations. On a truncated resume token
     /// (the set fell behind a checkpoint) every view is rebuilt from a
@@ -873,6 +890,35 @@ mod tests {
         assert_eq!(*docs, recompute(ddb.db(), "sales", &q7()));
         assert_eq!(watermark, ddb.wal().last_seq());
         assert_eq!(views.staleness("q7").unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explain_reports_staleness_and_stage_plan() {
+        let dir = tmpdir("explain");
+        let (ddb, _) = DurableDb::open("db", &dir, opts()).unwrap();
+        let sales = ddb.db().collection("sales");
+        for i in 0..20i64 {
+            sales
+                .insert_one(doc! {"_id" => i, "cat" => format!("c{}", i % 3), "price" => i, "qty" => 1i64})
+                .unwrap();
+        }
+        let views = ViewSet::for_durable(&ddb).unwrap();
+        views.create_view("q7", "sales", q7()).unwrap();
+
+        let ex = views.explain("q7").unwrap();
+        assert_eq!(ex.collection, "sales");
+        assert_eq!(ex.view_staleness, Some(0));
+        assert_eq!(ex.stages.len(), 3); // $match, $group, $sort
+        assert_eq!(ex.stages[0].stage, "$match");
+        assert!(ex.stages[0].decision.is_some());
+
+        // New writes the view has not refreshed past show up as lag.
+        sales.insert_one(doc! {"_id" => 100i64, "cat" => "c0", "price" => 1i64, "qty" => 1i64}).unwrap();
+        let lag = views.explain("q7").unwrap().view_staleness.unwrap();
+        assert!(lag > 0, "unrefreshed write must surface as staleness");
+        views.refresh().unwrap();
+        assert_eq!(views.explain("q7").unwrap().view_staleness, Some(0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

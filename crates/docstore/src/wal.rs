@@ -887,6 +887,10 @@ impl DurableDb {
                 "n" => n as i64,
                 "crc" => crc as i64,
                 "indexes" => Value::Array(indexes),
+                // Planner statistics ride along so a recovered database
+                // plans as well as the one that checkpointed; readers of
+                // older manifests miss the key and rebuild lazily.
+                "stats" => Value::Document(coll.stats_doc()),
             }));
         }
         write_manifest(
@@ -984,6 +988,9 @@ fn restore_checkpoint(
             }
         }
         let n = restore_collection(&coll, &ckpt_dir.join(format!("{name}.dump")))?;
+        if let Some(Value::Document(stats)) = e.get("stats") {
+            coll.load_stats_doc(stats);
+        }
         let (count, crc) = collection_fingerprint(&coll);
         let want_n = matches!(e.get("n"), Some(Value::Int64(v)) if *v == count as i64);
         let want_crc = matches!(e.get("crc"), Some(Value::Int64(v)) if *v == crc as i64);

@@ -69,6 +69,24 @@ impl CollectionMeta {
         m
     }
 
+    /// Approximate resident documents per shard, from the chunk
+    /// accounting the router maintains on every insert/split/migration.
+    /// Feeds the cost-based per-leg `limit` sizing: a shard holding a
+    /// small share of the data rarely contributes more than its share
+    /// of a sorted window.
+    pub fn docs_per_shard(&self) -> BTreeMap<ShardId, usize> {
+        let mut m = BTreeMap::new();
+        for c in &self.chunks {
+            *m.entry(c.shard).or_insert(0) += c.docs;
+        }
+        m
+    }
+
+    /// Total approximate documents across all chunks.
+    pub fn total_docs(&self) -> usize {
+        self.chunks.iter().map(|c| c.docs).sum()
+    }
+
     /// Verifies the chunk-map invariants: sorted, contiguous, covering.
     pub fn check_invariants(&self) -> Result<(), String> {
         if self.chunks.is_empty() {

@@ -44,7 +44,7 @@ pub use cluster::{ClusterConfig, DurabilityConfig, ShardedCluster};
 pub use config::{CollectionMeta, ConfigServer, ShardEntry};
 pub use network::{FaultKind, Faults, NetMode, NetStats, NetworkModel, RetryPolicy};
 pub use replica::{MemberState, ReadPreference, ReplicaSet, WriteConcern};
-pub use router::{DegradedReads, Mongos, ScatterMode};
+pub use router::{DegradedReads, Mongos, RouteExplain, ScatterMode};
 pub use shard::Shard;
 pub use shardkey::{Partitioning, ShardKey};
 pub use targeting::{target, Targeting};

@@ -42,6 +42,21 @@ pub enum DegradedReads {
     Partial,
 }
 
+/// Router-level explain for a find: which shards a read would contact,
+/// how many documents each is estimated to hold (chunk accounting), and
+/// the per-leg `limit` the cost-based sizing would request from each.
+#[derive(Clone, Debug)]
+pub struct RouteExplain {
+    /// `true` when the filter pinned the shard key (no broadcast).
+    pub targeted: bool,
+    /// The legs the read would contact, in leg order.
+    pub shards: Vec<ShardId>,
+    /// Approximate resident documents per contacted shard.
+    pub est_docs: Vec<usize>,
+    /// The `limit` each leg would be asked for (0 = unlimited).
+    pub leg_limits: Vec<usize>,
+}
+
 /// The router. All application traffic flows through here, as in the
 /// thesis's AppServer/QueryRouter node.
 pub struct Mongos {
@@ -589,9 +604,27 @@ impl Mongos {
         let point_key = self.point_key(collection, filter, &shard_ids);
         // Compile the filter once at the router; every leg shares it.
         let compiled = compile(filter);
+
+        // A single leg serves the global result verbatim: the whole
+        // window — skip included — and the projection go to the shard,
+        // so the skipped prefix never crosses the network.
+        if shard_ids.len() == 1 {
+            let leg_opts = vec![opts.clone()];
+            let legs = self.run_find_legs(
+                collection,
+                &shard_ids,
+                filter,
+                &compiled,
+                &point_key,
+                &leg_opts,
+            );
+            let legs = self.gather(legs)?;
+            return Ok(legs.into_iter().flatten().collect());
+        }
+
         // A document outside the first `skip + limit` of its own shard's
         // sorted run cannot appear in the global window either.
-        let leg_limit = if opts.limit > 0 {
+        let full_window = if opts.limit > 0 {
             opts.skip.saturating_add(opts.limit)
         } else {
             0
@@ -603,45 +636,43 @@ impl Mongos {
             || opts.sort.iter().all(|(p, _)| {
                 p == "_id" || opts.projection.iter().any(|q| q == p)
             });
-        let leg_opts = FindOptions {
+        let leg_limits = self.optimistic_leg_limits(collection, &shard_ids, opts, full_window);
+        let mk_leg_opts = |limit: usize| FindOptions {
             sort: opts.sort.clone(),
             skip: 0,
-            limit: leg_limit,
+            limit,
             projection: if push_projection {
                 opts.projection.clone()
             } else {
                 Vec::new()
             },
         };
-        let legs = self.scatter_legs(
-            &shard_ids,
-            |id| {
-                self.read_exchange(
-                    id,
-                    || {
-                        let shard = self.shard(id)?;
-                        let db = shard.read_db(self.read_pref)?;
-                        let docs = match db.get_collection(collection) {
-                            Ok(coll) => coll.find_with_shared(filter, &compiled, &leg_opts),
-                            Err(_) => Vec::new(),
-                        };
-                        if let Some(key) = &point_key {
-                            if !shard.owns(collection, key) {
-                                return Err(Error::StaleRoute(format!(
-                                    "read of '{collection}' raced a chunk migration"
-                                )));
-                            }
-                        }
-                        Ok(docs)
-                    },
-                    |docs| docs.iter().map(encoded_size).sum(),
-                )
-            },
-            |leg: &Result<Vec<Document>>| match leg {
-                Ok(docs) => docs.iter().map(encoded_size).sum(),
-                Err(_) => 0,
-            },
-        );
+        let per_leg: Vec<FindOptions> = leg_limits.iter().map(|&l| mk_leg_opts(l)).collect();
+        let mut legs =
+            self.run_find_legs(collection, &shard_ids, filter, &compiled, &point_key, &per_leg);
+
+        // Optimistic per-leg limits can under-fetch: a leg that filled
+        // its cap (saturated) may be hiding rows the global window
+        // needs. Retry exactly those legs with the full window, so the
+        // sizing only ever affects bytes shipped, never results.
+        let retry = Self::saturated_legs_needing_retry(&legs, &leg_limits, opts, full_window);
+        if !retry.is_empty() {
+            let retry_ids: Vec<ShardId> = retry.iter().map(|&i| shard_ids[i]).collect();
+            let full_opts: Vec<FindOptions> =
+                retry_ids.iter().map(|_| mk_leg_opts(full_window)).collect();
+            let refreshed = self.run_find_legs(
+                collection,
+                &retry_ids,
+                filter,
+                &compiled,
+                &point_key,
+                &full_opts,
+            );
+            for (slot, leg) in retry.into_iter().zip(refreshed) {
+                legs[slot] = leg;
+            }
+        }
+
         let legs = self.gather(legs)?;
         let mut docs: Vec<Document> = if opts.sort.is_empty() {
             legs.into_iter().flatten().collect()
@@ -661,6 +692,139 @@ impl Mongos {
                 .collect();
         }
         Ok(docs)
+    }
+
+    /// Runs one find leg per shard (in `shard_ids` order) with per-leg
+    /// options, sharing the router-compiled filter and the point-read
+    /// ownership check.
+    fn run_find_legs(
+        &self,
+        collection: &str,
+        shard_ids: &[ShardId],
+        filter: &Filter,
+        compiled: &doclite_docstore::CompiledFilter,
+        point_key: &Option<CompoundKey>,
+        leg_opts: &[FindOptions],
+    ) -> Vec<Result<Vec<Document>>> {
+        self.scatter_legs(
+            shard_ids,
+            |id| {
+                let i = shard_ids
+                    .iter()
+                    .position(|&s| s == id)
+                    .expect("leg id comes from shard_ids");
+                self.read_exchange(
+                    id,
+                    || {
+                        let shard = self.shard(id)?;
+                        let db = shard.read_db(self.read_pref)?;
+                        let docs = match db.get_collection(collection) {
+                            Ok(coll) => coll.find_with_shared(filter, compiled, &leg_opts[i]),
+                            Err(_) => Vec::new(),
+                        };
+                        if let Some(key) = point_key {
+                            if !shard.owns(collection, key) {
+                                return Err(Error::StaleRoute(format!(
+                                    "read of '{collection}' raced a chunk migration"
+                                )));
+                            }
+                        }
+                        Ok(docs)
+                    },
+                    |docs| docs.iter().map(encoded_size).sum(),
+                )
+            },
+            |leg: &Result<Vec<Document>>| match leg {
+                Ok(docs) => docs.iter().map(encoded_size).sum(),
+                Err(_) => 0,
+            },
+        )
+    }
+
+    /// Per-leg `limit`s for a sorted multi-shard window. Under the cost
+    /// planner each leg is capped near 1.5× its share of the window —
+    /// share taken from the chunk accounting's resident-document counts
+    /// — floored at an even split, instead of everyone shipping the
+    /// full `skip + limit`. Rule mode, unsorted reads, unlimited reads,
+    /// and collections without accounting keep the full window.
+    fn optimistic_leg_limits(
+        &self,
+        collection: &str,
+        shard_ids: &[ShardId],
+        opts: &FindOptions,
+        full_window: usize,
+    ) -> Vec<usize> {
+        let n = shard_ids.len();
+        if full_window == 0
+            || opts.sort.is_empty()
+            || n < 2
+            || doclite_docstore::planner_mode() != doclite_docstore::PlannerMode::Cost
+        {
+            return vec![full_window; n];
+        }
+        let Some(meta) = self.config.meta(collection) else {
+            return vec![full_window; n];
+        };
+        let per_shard = meta.docs_per_shard();
+        let total: usize = per_shard.values().sum();
+        if total == 0 {
+            return vec![full_window; n];
+        }
+        let floor = (full_window / n).max(1);
+        shard_ids
+            .iter()
+            .map(|id| {
+                let share = per_shard.get(id).copied().unwrap_or(0) as f64 / total as f64;
+                let sized = (full_window as f64 * share * 1.5).ceil() as usize;
+                sized.clamp(floor, full_window)
+            })
+            .collect()
+    }
+
+    /// Indices of legs whose optimistic cap may have cut the global
+    /// window: the leg filled its cap AND its worst returned document
+    /// does not sort strictly past the window cutoff computed over
+    /// everything returned so far (hidden rows of any *other* leg can
+    /// only push the true cutoff earlier, so "strictly past" stays
+    /// sound).
+    fn saturated_legs_needing_retry(
+        legs: &[Result<Vec<Document>>],
+        leg_limits: &[usize],
+        opts: &FindOptions,
+        full_window: usize,
+    ) -> Vec<usize> {
+        use doclite_docstore::agg::CompiledSortSpec;
+        if full_window == 0 || leg_limits.iter().all(|&l| l >= full_window) {
+            return Vec::new();
+        }
+        let cs = CompiledSortSpec::new(&opts.sort);
+        let mut all_keys: Vec<Vec<doclite_bson::Value>> = Vec::new();
+        for docs in legs.iter().flatten() {
+            all_keys.extend(docs.iter().map(|d| cs.key_owned(d)));
+        }
+        all_keys.sort_by(|a, b| cs.compare_values(a, b));
+        let cutoff = if all_keys.len() >= full_window {
+            Some(&all_keys[full_window - 1])
+        } else {
+            None
+        };
+        (0..legs.len())
+            .filter(|&i| {
+                let Ok(docs) = &legs[i] else { return false };
+                if leg_limits[i] >= full_window || docs.len() < leg_limits[i] {
+                    return false; // unconstrained or exhausted: complete
+                }
+                match (cutoff, docs.last()) {
+                    // Fewer returned rows than the window needs: any
+                    // saturated leg may be hiding the missing ones.
+                    (None, _) => true,
+                    (Some(c), Some(last)) => {
+                        cs.compare_values(&cs.key_owned(last), c) != std::cmp::Ordering::Greater
+                    }
+                    (Some(_), None) => false,
+                }
+            })
+            .collect()
     }
 
     /// `find` with default options.
@@ -684,6 +848,45 @@ impl Mongos {
             vec![self.primary]
         } else {
             shards
+        }
+    }
+
+    /// Router-level explain for a find: the targeting decision, the
+    /// chunk-accounting document estimate per contacted shard, and the
+    /// per-leg `limit` each leg would be asked for — without running
+    /// the query.
+    pub fn explain_route(
+        &self,
+        collection: &str,
+        filter: &Filter,
+        opts: &FindOptions,
+    ) -> RouteExplain {
+        let targeted = self.explain_targeting(collection, filter).is_targeted();
+        let shards = self.route(collection, filter);
+        let per_shard = self
+            .config
+            .meta(collection)
+            .map(|m| m.docs_per_shard())
+            .unwrap_or_default();
+        let est_docs = shards
+            .iter()
+            .map(|id| per_shard.get(id).copied().unwrap_or(0))
+            .collect();
+        let full_window = if opts.limit > 0 {
+            opts.skip.saturating_add(opts.limit)
+        } else {
+            0
+        };
+        let leg_limits = if shards.len() == 1 {
+            vec![opts.limit]
+        } else {
+            self.optimistic_leg_limits(collection, &shards, opts, full_window)
+        };
+        RouteExplain {
+            targeted,
+            shards,
+            est_docs,
+            leg_limits,
         }
     }
 
@@ -1627,6 +1830,112 @@ mod tests {
         let before = r.net_stats().exchanges();
         r.find("facts", &Filter::eq("nonkey", 0i64)); // broadcast: 1 leg per chunk-holding shard
         assert!(r.net_stats().exchanges() > before);
+    }
+
+    /// A skewed two-shard layout: shard 0 holds 10 docs (the globally
+    /// smallest `v`s), shard 1 holds 500. Stats-sized per-leg limits
+    /// cap shard 0 below the window, so the saturation retry must
+    /// re-fetch it — the final window still has to be exact.
+    fn skewed_cluster() -> Mongos {
+        let r = cluster(2);
+        r.config().shard_collection("facts", ShardKey::range(["k"]), 0);
+        r.config().split_chunk(
+            "facts",
+            0,
+            CompoundKey::from_values(vec![doclite_bson::Value::Int64(100)]),
+            0.5,
+        );
+        r.config().move_chunk("facts", 1, 1);
+        for i in 0..10i64 {
+            r.insert_one("facts", doc! {"k" => i, "v" => i}).unwrap();
+        }
+        for i in 0..500i64 {
+            r.insert_one("facts", doc! {"k" => 100 + i, "v" => 1000 + i})
+                .unwrap();
+        }
+        r
+    }
+
+    #[test]
+    fn optimistic_leg_limits_keep_sorted_window_exact() {
+        doclite_docstore::set_planner_mode(doclite_docstore::PlannerMode::Cost);
+        let r = skewed_cluster();
+        let opts = FindOptions {
+            sort: vec![("v".to_string(), 1)],
+            skip: 0,
+            limit: 10,
+            projection: Vec::new(),
+        };
+        // The optimistic cap for shard 0 is below the window (its stats
+        // share is ~2%), so its 10 smallest docs are only complete
+        // after the saturation retry.
+        let docs = r.find_with("facts", &Filter::True, &opts);
+        let vs: Vec<i64> = docs
+            .iter()
+            .map(|d| match d.get("v") {
+                Some(doclite_bson::Value::Int64(v)) => *v,
+                other => panic!("unexpected v: {other:?}"),
+            })
+            .collect();
+        assert_eq!(vs, (0..10).collect::<Vec<i64>>());
+
+        // Windows deeper than any single optimistic cap still merge
+        // correctly across both legs.
+        let opts = FindOptions {
+            sort: vec![("v".to_string(), 1)],
+            skip: 5,
+            limit: 20,
+            projection: Vec::new(),
+        };
+        let docs = r.find_with("facts", &Filter::True, &opts);
+        let vs: Vec<i64> = docs
+            .iter()
+            .filter_map(|d| match d.get("v") {
+                Some(doclite_bson::Value::Int64(v)) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        let expect: Vec<i64> = (5..10).chain(1000..1015).collect();
+        assert_eq!(vs, expect);
+    }
+
+    #[test]
+    fn explain_route_reports_targeting_and_leg_limits() {
+        doclite_docstore::set_planner_mode(doclite_docstore::PlannerMode::Cost);
+        let r = skewed_cluster();
+
+        // Point read: targeted, single leg, full window pushed.
+        let opts = FindOptions {
+            sort: Vec::new(),
+            skip: 0,
+            limit: 3,
+            projection: Vec::new(),
+        };
+        let ex = r.explain_route("facts", &Filter::eq("k", 5i64), &opts);
+        assert!(ex.targeted);
+        assert_eq!(ex.shards.len(), 1);
+        assert_eq!(ex.leg_limits, vec![3]);
+
+        // Broadcast sorted+limited read: per-leg limits follow the
+        // chunk-accounting skew — the small shard is capped below the
+        // window, no leg exceeds it.
+        let opts = FindOptions {
+            sort: vec![("v".to_string(), 1)],
+            skip: 0,
+            limit: 10,
+            projection: Vec::new(),
+        };
+        let ex = r.explain_route("facts", &Filter::True, &opts);
+        assert!(!ex.targeted);
+        assert_eq!(ex.shards, vec![0, 1]);
+        assert_eq!(ex.est_docs, vec![10, 500]);
+        assert!(ex.leg_limits.iter().all(|&l| l <= 10));
+        assert!(
+            ex.leg_limits[0] < 10,
+            "small shard should be capped below the window, got {:?}",
+            ex.leg_limits
+        );
+        assert_eq!(ex.leg_limits[1], 10);
     }
 }
 

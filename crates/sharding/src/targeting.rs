@@ -39,6 +39,10 @@ impl Targeting {
 /// Cap on `$in`-set expansion during targeting, mirroring the planner's.
 const MAX_TARGET_POINTS: usize = 1024;
 
+/// Point combos beyond this multiple of the chunk count skip expansion
+/// and broadcast instead (see the cost gate in [`target`]).
+const EXPANSION_FACTOR_CAP: usize = 4;
+
 /// Computes the routing decision for a filter against a sharded
 /// collection's metadata.
 pub fn target(meta: &CollectionMeta, filter: &Filter) -> Targeting {
@@ -52,6 +56,13 @@ pub fn target(meta: &CollectionMeta, filter: &Filter) -> Targeting {
         .collect();
     if let Some(eq_sets) = eq_sets {
         let combos: usize = eq_sets.iter().map(|s| s.len()).product();
+        // Cost gate: expanding far more point combos than there are
+        // chunks almost certainly touches every chunk anyway, so the
+        // O(combos) expansion buys nothing — broadcast (a superset of
+        // the targeted shard set, so this is perf-safe, never wrong).
+        if combos > EXPANSION_FACTOR_CAP.saturating_mul(meta.chunks.len()) {
+            return Targeting::Broadcast(meta.all_shards());
+        }
         if combos > 0 && combos <= MAX_TARGET_POINTS {
             let mut shards: Vec<ShardId> = Vec::new();
             for combo in cartesian(&eq_sets) {
